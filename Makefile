@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench repro repro-full fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Reduced-scale reproduction of every table and figure (seconds).
+repro:
+	go run ./cmd/tpcc-repro -scale reduced -out results-reduced
+
+# Paper-scale reproduction: 20 warehouses, 30x100K transactions (minutes).
+repro-full:
+	go run ./cmd/tpcc-repro -scale full -out results
+
+# Short fuzzing passes over the parsers and core data structures.
+fuzz:
+	go test -fuzz FuzzDecodeRecord -fuzztime 30s ./internal/engine/wal/
+	go test -fuzz FuzzBTreeOps -fuzztime 30s ./internal/engine/index/
+	go test -fuzz FuzzExactPMFPaths -fuzztime 30s ./internal/nurand/
+
+clean:
+	rm -rf results-reduced

@@ -1,0 +1,394 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, at reduced scale so `go test -bench=.` completes on a
+// laptop. The cmd/ tools run the same generators at the paper's full
+// scale (-scale full); EXPERIMENTS.md records paper-vs-measured values.
+//
+// Naming follows the paper: BenchmarkFig05StockCDF regenerates Figure 5,
+// BenchmarkTable4VisitCounts regenerates Table 4, and so on.
+package tpccmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel"
+	"tpccmodel/internal/experiments"
+	"tpccmodel/internal/model"
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/queuesim"
+	"tpccmodel/internal/sim"
+	"tpccmodel/internal/tpcc"
+)
+
+// benchOptions is the reduced scale used by the simulation-backed benches:
+// small enough for -bench=. runs, large enough to preserve curve shapes.
+func benchOptions() experiments.Options {
+	opts := experiments.Reduced()
+	opts.Warehouses = 2
+	opts.Batches = 3
+	opts.BatchTxns = 4000
+	opts.WarmupTxns = 4000
+	opts.BufferMB = []float64{2, 6, 12, 20, 32, 48}
+	return opts
+}
+
+// sharedStudy caches the buffer simulations across benchmark iterations.
+var sharedStudy = experiments.NewStudy(benchOptions())
+
+func BenchmarkTable1Schema(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Table1(20, 4096)
+		if len(s.Rows) != 9 {
+			b.Fatal("table1 must list nine relations")
+		}
+	}
+}
+
+func BenchmarkFig03StockPMF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Fig3(1)
+		if len(s.Rows) != 100000 {
+			b.Fatal("fig3 covers all 100K tuple ids")
+		}
+	}
+}
+
+func BenchmarkFig04StockPMFZoom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Fig4(1)
+		if len(s.Rows) != 10000 {
+			b.Fatal("fig4 covers tuples 1..10000")
+		}
+	}
+}
+
+func BenchmarkFig05StockCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Fig5(200)
+		last := s.Rows[len(s.Rows)-1]
+		if math.Abs(last[1]-1) > 1e-9 {
+			b.Fatal("CDF must reach 1")
+		}
+	}
+}
+
+func BenchmarkFig06CustomerPMF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Fig6(1)
+		if len(s.Rows) != 3000 {
+			b.Fatal("fig6 covers 3000 customers")
+		}
+	}
+}
+
+func BenchmarkFig07CustomerCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Fig7(200)
+		if len(s.Rows) != 201 {
+			b.Fatal("unexpected point count")
+		}
+	}
+}
+
+func BenchmarkFig08MissRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig8(sharedStudy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != len(sharedStudy.Opts.BufferMB) {
+			b.Fatal("one row per buffer size")
+		}
+	}
+}
+
+func BenchmarkTable3AccessCounts(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Table3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != 9 {
+			b.Fatal("table3 lists nine relations")
+		}
+	}
+}
+
+func BenchmarkTable4VisitCounts(b *testing.B) {
+	sys := model.DefaultSystemParams()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Table4(sharedStudy, sys, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != 5 {
+			b.Fatal("table4 lists five transaction types")
+		}
+	}
+}
+
+func BenchmarkFig09Throughput(b *testing.B) {
+	sys := model.DefaultSystemParams()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig9(sharedStudy, sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := s.Rows[len(s.Rows)-1]
+		if last[2] < last[1]-1e-6 {
+			b.Fatal("optimized packing must not lose to sequential")
+		}
+	}
+}
+
+func BenchmarkFig10PricePerf(b *testing.B) {
+	sys := model.DefaultSystemParams()
+	cost := model.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig10(sharedStudy, sys, cost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m := experiments.Fig10Minima(s); len(m.Rows) != 4 {
+			b.Fatal("four curves, four minima")
+		}
+	}
+}
+
+func BenchmarkFig11Scaleup(b *testing.B) {
+	sys := model.DefaultSystemParams()
+	nodes := []int{1, 2, 5, 10, 20, 30}
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig11(sharedStudy, sys, 32, nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := s.Rows[len(s.Rows)-1]
+		if !(last[3] < last[2] && last[2] <= last[1]) {
+			b.Fatal("partitioned < replicated <= ideal must hold")
+		}
+	}
+}
+
+func BenchmarkFig12RemoteSensitivity(b *testing.B) {
+	sys := model.DefaultSystemParams()
+	nodes := []int{1, 2, 5, 10, 20, 30}
+	probs := []float64{0.01, 0.05, 0.1, 0.5, 1.0}
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig12(sharedStudy, sys, 32, nodes, probs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != len(nodes) {
+			b.Fatal("one row per node count")
+		}
+	}
+}
+
+func BenchmarkTable6Table7Distributed(b *testing.B) {
+	nodes := []int{2, 5, 10, 20, 30}
+	for i := 0; i < b.N; i++ {
+		s := experiments.Tables6and7(nodes)
+		if len(s.Rows) != len(nodes) {
+			b.Fatal("one row per node count")
+		}
+	}
+}
+
+func BenchmarkAppendixA3ClosedForm(b *testing.B) {
+	p := nurand.Params{A: 8191, X: 0, Y: 1<<17 - 1} // power-of-two case
+	for i := 0; i < b.N; i++ {
+		pmf := nurand.ClosedFormPMF(p)
+		if len(pmf) != 1<<17 {
+			b.Fatal("wrong support")
+		}
+	}
+}
+
+// BenchmarkSkewHeadlines regenerates the Section 3 headline numbers that
+// anchor the whole paper (84/71/39% and 75/59/28%).
+func BenchmarkSkewHeadlines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.SkewHeadlines()
+		if math.Abs(s.Rows[0][1]-0.84) > 0.03 {
+			b.Fatalf("tuple-level 20%% share drifted: %v", s.Rows[0][1])
+		}
+	}
+}
+
+// BenchmarkPolicyAblation measures the Section 4 hypothesis experiment
+// (replacement-policy sensitivity of the packing gap).
+func BenchmarkPolicyAblation(b *testing.B) {
+	opts := benchOptions()
+	opts.Warehouses = 1
+	opts.Batches, opts.BatchTxns, opts.WarmupTxns = 2, 2000, 1000
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.PolicyAblation(opts, 16, []string{"lru", "clock"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != 2 {
+			b.Fatal("two policies, two rows")
+		}
+	}
+}
+
+// BenchmarkOptimalityGap measures the LRU-vs-Belady-OPT extension
+// experiment (how far LRU sits from offline optimal on this workload).
+func BenchmarkOptimalityGap(b *testing.B) {
+	opts := benchOptions()
+	opts.Warehouses = 1
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.OptimalityGap(opts, []float64{8, 16}, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range s.Rows {
+			if row[2] > row[1]+1e-12 {
+				b.Fatal("OPT must lower-bound LRU")
+			}
+		}
+	}
+}
+
+// BenchmarkMixSensitivity measures the Section 2.1 mix-tuning experiment
+// (draining vs non-draining New-Order relation).
+func BenchmarkMixSensitivity(b *testing.B) {
+	opts := benchOptions()
+	opts.Warehouses = 1
+	opts.Batches, opts.BatchTxns = 2, 4000
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.MixSensitivity(opts, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != 2 {
+			b.Fatal("two mixes, two rows")
+		}
+	}
+}
+
+// BenchmarkAppendixAValidation measures the Monte-Carlo validation of the
+// Appendix A expectations against the real workload generator.
+func BenchmarkAppendixAValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.AppendixAValidation(2, 4, 50_000, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != 5 {
+			b.Fatal("five Appendix A quantities")
+		}
+	}
+}
+
+// BenchmarkPageSizeStudy measures the 4K-vs-8K page-size extension.
+func BenchmarkPageSizeStudy(b *testing.B) {
+	opts := benchOptions()
+	opts.Warehouses = 1
+	opts.Batches, opts.BatchTxns, opts.WarmupTxns = 2, 3000, 1000
+	opts.BufferMB = []float64{8, 24}
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.PageSizeStudy(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) != 2 {
+			b.Fatal("two buffer sizes, two rows")
+		}
+	}
+}
+
+// BenchmarkQueueSim measures the discrete-event queueing simulator that
+// validates the response-time model.
+func BenchmarkQueueSim(b *testing.B) {
+	sys := model.DefaultSystemParams()
+	d := model.StaticDemands(model.AnalyticReadIOs(model.AnalyticMissRates{
+		MC: 0.5, MI: 0.01, MS: 0.3, MO: 0.2, ML: 0.1, MNO: 0.01,
+	}))
+	tp := model.MaxThroughput(sys, d, nil)
+	for i := 0; i < b.N; i++ {
+		res, err := queuesim.Run(queuesim.Config{
+			Sys: sys, Demands: d, Lambda: tp.TotalPerSec * 0.6, DiskArms: 8,
+			Transactions: 5000, WarmupTransactions: 500, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != 5000 {
+			b.Fatalf("completed %d", res.Completed)
+		}
+	}
+}
+
+// BenchmarkStackDistanceSim measures the core single-pass simulator on the
+// raw reference stream (accesses/op reported via custom metric).
+func BenchmarkStackDistanceSim(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.RunCurve(sim.CurveConfig{
+			Workload:        tpccmodel.DefaultWorkload(1, 7),
+			Packing:         sim.PackSequential,
+			CapacitiesPages: []int64{1024, 4096},
+			WarmupTxns:      500,
+			Batches:         2,
+			BatchTxns:       2000,
+			Level:           opts.Level,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineMixedWorkload measures the executable engine end to end:
+// transactions per second on the loaded single-warehouse database.
+func BenchmarkEngineMixedWorkload(b *testing.B) {
+	eng, err := tpccmodel.OpenEngine(tpccmodel.EngineConfig{
+		Warehouses: 1, PageSize: 4096, BufferPages: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(1); err != nil {
+		b.Fatal(err)
+	}
+	rn := tpccmodel.NewEngineRunner(eng, 5, tpcc.DefaultMix())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rn.RunOne(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineNewOrder isolates the benchmark's metric transaction.
+func BenchmarkEngineNewOrder(b *testing.B) {
+	eng, err := tpccmodel.OpenEngine(tpccmodel.EngineConfig{
+		Warehouses: 1, PageSize: 4096, BufferPages: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.NewOrder(newOrderInput(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newOrderInput builds a deterministic New-Order input.
+func newOrderInput(i int) tpccmodel.EngineNewOrderInput {
+	in := tpccmodel.EngineNewOrderInput{W: 0, D: int64(i % 10), C: int64(i % 3000)}
+	for l := 0; l < 10; l++ {
+		in.Items = append(in.Items, tpccmodel.EngineOrderItem{
+			IID: int64((i*10 + l) % 100000), SupplyW: 0, Qty: 5,
+		})
+	}
+	return in
+}

@@ -1,0 +1,82 @@
+// Command tpcc-buffersim regenerates the paper's Section 4 buffer results:
+// Figure 8 (per-relation miss rate vs buffer size, sequential vs optimized
+// packing), the measured Table 3 access counts, and the replacement-policy
+// ablation for the paper's "more sophisticated policies" hypothesis.
+//
+// Usage:
+//
+//	tpcc-buffersim -experiment fig8 -scale reduced
+//	tpcc-buffersim -experiment fig8 -scale full        # paper scale, slow
+//	tpcc-buffersim -experiment table3
+//	tpcc-buffersim -experiment ablation -buffer 32 -policies lru,clock,2q,slru,lfu,fifo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tpccmodel/internal/experiments"
+)
+
+func options(scale string, warehouses int) (experiments.Options, error) {
+	var opts experiments.Options
+	switch scale {
+	case "full":
+		opts = experiments.FullScale()
+	case "reduced":
+		opts = experiments.Reduced()
+	default:
+		return opts, fmt.Errorf("unknown scale %q (want full or reduced)", scale)
+	}
+	if warehouses > 0 {
+		opts.Warehouses = warehouses
+	}
+	return opts, nil
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig8", "one of: fig8, table3, ablation, pagesize, mix, optgap")
+		scale      = flag.String("scale", "reduced", "full (paper: 20 warehouses, 30x100K txns) or reduced")
+		warehouses = flag.Int("warehouses", 0, "override warehouse count (0 = scale default)")
+		bufferMB   = flag.Float64("buffer", 32, "buffer size in MB (ablation)")
+		policies   = flag.String("policies", "lru,fifo,clock,lfu,2q,slru", "comma-separated policies (ablation)")
+	)
+	flag.Parse()
+
+	opts, err := options(*scale, *warehouses)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-buffersim: %v\n", err)
+		os.Exit(2)
+	}
+
+	var s experiments.Series
+	switch *experiment {
+	case "fig8":
+		st := experiments.NewStudy(opts)
+		s, err = experiments.Fig8(st)
+	case "table3":
+		s, err = experiments.Table3(opts)
+	case "ablation":
+		s, err = experiments.PolicyAblation(opts, *bufferMB, strings.Split(*policies, ","))
+	case "pagesize":
+		s, err = experiments.PageSizeStudy(opts)
+	case "mix":
+		s, err = experiments.MixSensitivity(opts, *bufferMB)
+	case "optgap":
+		s, err = experiments.OptimalityGap(opts, []float64{*bufferMB / 2, *bufferMB, *bufferMB * 2}, 20000)
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc-buffersim: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-buffersim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := s.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-buffersim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command tpcc-repro regenerates the paper's complete evaluation — every
+// table and figure — in one process, sharing the expensive buffer
+// simulations across figures, and writes one TSV per experiment into an
+// output directory.
+//
+// Usage:
+//
+//	tpcc-repro -scale full -out results/        # paper scale (minutes)
+//	tpcc-repro -scale reduced -out results-reduced/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tpccmodel/internal/experiments"
+	"tpccmodel/internal/model"
+)
+
+func main() {
+	var (
+		scale        = flag.String("scale", "reduced", "full (paper: 20 warehouses, 30x100K txns) or reduced")
+		outDir       = flag.String("out", "results", "output directory for TSV files")
+		skipAblation = flag.Bool("skip-ablation", false, "skip the slow replacement-policy ablation")
+	)
+	flag.Parse()
+
+	var opts experiments.Options
+	switch *scale {
+	case "full":
+		opts = experiments.FullScale()
+	case "reduced":
+		opts = experiments.Reduced()
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc-repro: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	write := func(name string, s experiments.Series, err error) {
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		path := filepath.Join(*outDir, name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.WriteTSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	step := func(name string) func() {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "[%s] %s...\n", time.Now().Format("15:04:05"), name)
+		return func() {
+			fmt.Fprintf(os.Stderr, "  %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	sys := model.DefaultSystemParams()
+	cost := model.DefaultCostModel()
+
+	done := step("analytic experiments (Table 1, Figures 3-7, skew headlines, Tables 6-7)")
+	write("table1", experiments.Table1(opts.Warehouses, opts.PageSize), nil)
+	write("fig3", experiments.Fig3(10), nil)
+	write("fig4", experiments.Fig4(10), nil)
+	write("fig5", experiments.Fig5(200), nil)
+	write("fig6", experiments.Fig6(1), nil)
+	write("fig7", experiments.Fig7(200), nil)
+	write("skew-headlines", experiments.SkewHeadlines(), nil)
+	write("tables6-7", experiments.Tables6and7([]int{2, 5, 10, 20, 30}), nil)
+	done()
+
+	done = step("Table 3 (measured access counts)")
+	t3, err := experiments.Table3(opts)
+	write("table3", t3, err)
+	done()
+
+	st := experiments.NewStudy(opts)
+	done = step(fmt.Sprintf("buffer simulations (%d warehouses, %d x %d txns, 2 packings)",
+		opts.Warehouses, opts.Batches, opts.BatchTxns))
+	fig8, err := experiments.Fig8(st)
+	write("fig8", fig8, err)
+	done()
+
+	done = step("analytic (Che/IRM) vs simulated comparison")
+	cmpSeries, err := experiments.AnalyticVsSimulated(st)
+	write("analytic-vs-sim", cmpSeries, err)
+	done()
+
+	done = step("Figures 9-12, Table 4")
+	fig9, err := experiments.Fig9(st, sys)
+	write("fig9", fig9, err)
+	fig10, err := experiments.Fig10(st, sys, cost)
+	write("fig10", fig10, err)
+	if err == nil {
+		write("fig10-minima", experiments.Fig10Minima(fig10), nil)
+	}
+	t4, err := experiments.Table4(st, sys, 52)
+	write("table4", t4, err)
+	nodes := []int{1, 2, 5, 10, 20, 30}
+	fig11, err := experiments.Fig11(st, sys, 102, nodes)
+	write("fig11", fig11, err)
+	fig12, err := experiments.Fig12(st, sys, 102, nodes, []float64{0.01, 0.05, 0.1, 0.5, 1.0})
+	write("fig12", fig12, err)
+	done()
+
+	if !*skipAblation {
+		done = step("replacement-policy ablation")
+		ablOpts := opts
+		// The direct simulation re-runs per policy per packing; cap its
+		// cost at any scale.
+		if ablOpts.BatchTxns > 20000 {
+			ablOpts.Batches, ablOpts.BatchTxns, ablOpts.WarmupTxns = 5, 20000, 20000
+		}
+		abl, err := experiments.PolicyAblation(ablOpts, 52,
+			[]string{"lru", "fifo", "clock", "lfu", "2q", "slru"})
+		write("policy-ablation", abl, err)
+		done()
+
+		done = step("extension experiments (optimality gap, mix sensitivity, response validation)")
+		gap, err := experiments.OptimalityGap(ablOpts, []float64{13, 26, 52, 104}, 20000)
+		write("optimality-gap", gap, err)
+		mixSens, err := experiments.MixSensitivity(ablOpts, 52)
+		write("mix-sensitivity", mixSens, err)
+		respIdx := len(opts.BufferMB) / 2
+		resp, err := experiments.ResponseValidation(st, sys, respIdx, 8,
+			[]float64{0.2, 0.4, 0.6, 0.8, 0.9})
+		write("response-validation", resp, err)
+		pageOpts := ablOpts
+		pageOpts.BufferMB = []float64{13, 26, 52, 104}
+		pageSize, err := experiments.PageSizeStudy(pageOpts)
+		write("page-size", pageSize, err)
+		appA, err := experiments.AppendixAValidation(opts.Warehouses, 3, 300_000, opts.Seed)
+		write("appendix-a-validation", appA, err)
+		done()
+	}
+	fmt.Fprintln(os.Stderr, "all experiments complete")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tpcc-repro: %v\n", err)
+	os.Exit(1)
+}

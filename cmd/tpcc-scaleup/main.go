@@ -1,0 +1,104 @@
+// Command tpcc-scaleup regenerates the paper's Section 5.3 distributed
+// results: Figure 11 (scale-up with replicated vs partitioned Item
+// relation), Figure 12 (sensitivity to the remote-stock probability), and
+// the Appendix A / Tables 6-7 expectation values.
+//
+// Usage:
+//
+//	tpcc-scaleup -experiment fig11 -nodes 1,2,5,10,20,30
+//	tpcc-scaleup -experiment fig12 -probs 0.01,0.05,0.1,0.5,1.0
+//	tpcc-scaleup -experiment tables67 -nodes 2,10,30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tpccmodel/internal/experiments"
+	"tpccmodel/internal/model"
+)
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig11", "one of: fig11, fig12, tables67")
+		scale      = flag.String("scale", "reduced", "full or reduced")
+		nodesFlag  = flag.String("nodes", "1,2,5,10,20,30", "node counts")
+		probsFlag  = flag.String("probs", "0.01,0.05,0.1,0.5,1.0", "remote-stock probabilities (fig12)")
+		bufferMB   = flag.Float64("buffer", 102, "per-node buffer size in MB (paper: 102)")
+	)
+	flag.Parse()
+
+	nodes, err := parseInts(*nodesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-scaleup: bad -nodes: %v\n", err)
+		os.Exit(2)
+	}
+
+	var s experiments.Series
+	switch *experiment {
+	case "tables67":
+		s = experiments.Tables6and7(nodes)
+	case "fig11", "fig12":
+		var opts experiments.Options
+		switch *scale {
+		case "full":
+			opts = experiments.FullScale()
+		case "reduced":
+			opts = experiments.Reduced()
+		default:
+			fmt.Fprintf(os.Stderr, "tpcc-scaleup: unknown scale %q\n", *scale)
+			os.Exit(2)
+		}
+		st := experiments.NewStudy(opts)
+		sys := model.DefaultSystemParams()
+		if *experiment == "fig11" {
+			s, err = experiments.Fig11(st, sys, *bufferMB, nodes)
+		} else {
+			var probs []float64
+			probs, err = parseFloats(*probsFlag)
+			if err == nil {
+				s, err = experiments.Fig12(st, sys, *bufferMB, nodes, probs)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc-scaleup: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-scaleup: %v\n", err)
+		os.Exit(1)
+	}
+	if err := s.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-scaleup: %v\n", err)
+		os.Exit(1)
+	}
+}

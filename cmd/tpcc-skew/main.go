@@ -1,0 +1,57 @@
+// Command tpcc-skew regenerates the paper's Section 3 access-skew results:
+// Table 1 and Figures 3-7, plus the headline "x% of accesses go to y% of
+// the data" numbers. Output is TSV on stdout.
+//
+// Usage:
+//
+//	tpcc-skew -experiment fig5 -points 200
+//	tpcc-skew -experiment fig3 -stride 100
+//	tpcc-skew -experiment table1 -warehouses 20
+//	tpcc-skew -experiment headlines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpccmodel/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "headlines",
+			"one of: table1, fig3, fig4, fig5, fig6, fig7, headlines")
+		stride     = flag.Int("stride", 100, "PMF downsampling stride (figs 3, 4, 6)")
+		points     = flag.Int("points", 100, "CDF sample points (figs 5, 7)")
+		warehouses = flag.Int("warehouses", 20, "warehouse count (table1)")
+		pageSize   = flag.Int("pagesize", 4096, "page size in bytes (table1)")
+	)
+	flag.Parse()
+
+	var s experiments.Series
+	switch *experiment {
+	case "table1":
+		s = experiments.Table1(*warehouses, *pageSize)
+	case "fig3":
+		s = experiments.Fig3(*stride)
+	case "fig4":
+		s = experiments.Fig4(*stride)
+	case "fig5":
+		s = experiments.Fig5(*points)
+	case "fig6":
+		s = experiments.Fig6(*stride)
+	case "fig7":
+		s = experiments.Fig7(*points)
+	case "headlines":
+		s = experiments.SkewHeadlines()
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc-skew: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := s.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-skew: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Command tpcc-throughput regenerates the paper's Section 5.2 single-node
+// results: Figure 9 (max throughput vs buffer size), Figure 10
+// (price/performance vs buffer size, with the optimal-point summary), and
+// the reconstructed Table 4 visit counts.
+//
+// Usage:
+//
+//	tpcc-throughput -experiment fig9  -scale reduced
+//	tpcc-throughput -experiment fig10 -scale full -diskgb 3
+//	tpcc-throughput -experiment fig10min
+//	tpcc-throughput -experiment table4 -buffer 52
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpccmodel/internal/experiments"
+	"tpccmodel/internal/model"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig9", "one of: fig9, fig10, fig10min, table4, response")
+		scale      = flag.String("scale", "reduced", "full or reduced")
+		warehouses = flag.Int("warehouses", 0, "override warehouse count")
+		mips       = flag.Float64("mips", 10, "processor MIPS (paper: 10)")
+		cpuUtil    = flag.Float64("cpu-util", 0.80, "CPU utilization cap")
+		diskGB     = flag.Float64("diskgb", 3, "disk capacity in decimal GB (paper: 3; sensitivity: 6, 12)")
+		diskPrice  = flag.Float64("disk-price", 5000, "price per disk")
+		cpuPrice   = flag.Float64("cpu-price", 10000, "processor price")
+		memPerMB   = flag.Float64("mem-per-mb", 100, "memory price per MB")
+		bufferMB   = flag.Float64("buffer", 52, "buffer size for table4")
+	)
+	flag.Parse()
+
+	var opts experiments.Options
+	switch *scale {
+	case "full":
+		opts = experiments.FullScale()
+	case "reduced":
+		opts = experiments.Reduced()
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc-throughput: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *warehouses > 0 {
+		opts.Warehouses = *warehouses
+	}
+	sys := model.DefaultSystemParams()
+	sys.MIPS = *mips
+	sys.MaxCPUUtil = *cpuUtil
+	cost := model.CostModel{
+		DiskPrice: *diskPrice, DiskBytes: *diskGB * 1e9,
+		CPUPrice: *cpuPrice, MemPerMB: *memPerMB,
+	}
+
+	st := experiments.NewStudy(opts)
+	var s experiments.Series
+	var err error
+	switch *experiment {
+	case "fig9":
+		s, err = experiments.Fig9(st, sys)
+	case "fig10":
+		s, err = experiments.Fig10(st, sys, cost)
+	case "fig10min":
+		var fig10 experiments.Series
+		fig10, err = experiments.Fig10(st, sys, cost)
+		if err == nil {
+			s = experiments.Fig10Minima(fig10)
+		}
+	case "table4":
+		s, err = experiments.Table4(st, sys, *bufferMB)
+	case "response":
+		// Analytic vs discrete-event response times across load levels.
+		idx := len(opts.BufferMB) / 2
+		s, err = experiments.ResponseValidation(st, sys, idx, 8,
+			[]float64{0.2, 0.4, 0.6, 0.8, 0.9})
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc-throughput: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-throughput: %v\n", err)
+		os.Exit(1)
+	}
+	if err := s.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-throughput: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+// Command tpcc-trace records the TPC-C reference stream to a compact
+// binary trace, or replays/inspects an existing trace. Traces make the
+// workload portable: external cache simulators can consume them without
+// the generator, and replays are deterministic.
+//
+// Usage:
+//
+//	tpcc-trace -record trace.bin -txns 100000 -warehouses 20 -seed 1993
+//	tpcc-trace -inspect trace.bin
+//	tpcc-trace -replay trace.bin -policy lru -buffer-pages 13312 -pagesize 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tpccmodel/internal/buffer"
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/sim"
+	"tpccmodel/internal/tpcc"
+	"tpccmodel/internal/trace"
+	"tpccmodel/internal/workload"
+)
+
+func main() {
+	var (
+		record      = flag.String("record", "", "write a new trace to this path")
+		inspect     = flag.String("inspect", "", "print summary statistics of a trace")
+		replay      = flag.String("replay", "", "replay a trace through a buffer policy")
+		txns        = flag.Int64("txns", 100000, "transactions to record")
+		warehouses  = flag.Int("warehouses", 20, "warehouse count (record)")
+		seed        = flag.Uint64("seed", 1993, "generator seed (record)")
+		policy      = flag.String("policy", "lru", "replacement policy (replay)")
+		bufferPages = flag.Int64("buffer-pages", 13312, "pool capacity in pages (replay)")
+		pageSize    = flag.Int("pagesize", 4096, "page size (replay mapping)")
+		packName    = flag.String("packing", "sequential", "tuple-to-page packing (replay)")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		accs, err := trace.Record(f, workload.DefaultConfig(*warehouses, *seed), *txns)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*record)
+		fmt.Printf("recorded %d txns, %d accesses, %d bytes (%.2f B/access)\n",
+			*txns, accs, st.Size(), float64(st.Size())/float64(accs))
+
+	case *inspect != "":
+		r := openTrace(*inspect)
+		var txn workload.Txn
+		var perType [core.NumTxnTypes]int64
+		var perRel [core.NumRelations]int64
+		var n, accs int64
+		for {
+			if err := r.ReadTxn(&txn); err != nil {
+				if err != io.EOF {
+					fatal(err)
+				}
+				break
+			}
+			n++
+			perType[txn.Type]++
+			for _, a := range txn.Accesses {
+				perRel[a.Rel]++
+				accs++
+			}
+		}
+		fmt.Printf("transactions\t%d\naccesses\t%d\n\ntype\tcount\tfraction\n", n, accs)
+		for t := core.TxnType(0); t < core.NumTxnTypes; t++ {
+			fmt.Printf("%s\t%d\t%.4f\n", t, perType[t], float64(perType[t])/float64(n))
+		}
+		fmt.Printf("\nrelation\taccesses\tshare\n")
+		for _, rel := range core.Relations() {
+			fmt.Printf("%s\t%d\t%.4f\n", rel, perRel[rel], float64(perRel[rel])/float64(accs))
+		}
+
+	case *replay != "":
+		packing, err := sim.ParsePacking(*packName)
+		if err != nil {
+			fatal(err)
+		}
+		pol, err := buffer.NewPolicy(*policy, *bufferPages)
+		if err != nil {
+			fatal(err)
+		}
+		// The mapper needs the scale; infer warehouses from the largest
+		// stock tuple seen would require two passes — take the flag.
+		mappers := sim.BuildMappers(
+			tpcc.Config{Warehouses: *warehouses, PageSize: *pageSize}, packing, *seed)
+		r := openTrace(*replay)
+		var txn workload.Txn
+		var acc, miss int64
+		for {
+			if err := r.ReadTxn(&txn); err != nil {
+				if err != io.EOF {
+					fatal(err)
+				}
+				break
+			}
+			for _, a := range txn.Accesses {
+				acc++
+				if !pol.Access(core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple))) {
+					miss++
+				}
+			}
+		}
+		fmt.Printf("policy\t%s\npacking\t%s\npages\t%d\naccesses\t%d\nmiss_rate\t%.4f\n",
+			*policy, packing, *bufferPages, acc, float64(miss)/float64(acc))
+
+	default:
+		fmt.Fprintln(os.Stderr, "tpcc-trace: one of -record, -inspect, -replay is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func openTrace(path string) *trace.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tpcc-trace: %v\n", err)
+	os.Exit(1)
+}

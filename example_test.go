@@ -1,0 +1,58 @@
+package tpccmodel_test
+
+import (
+	"fmt"
+
+	"tpccmodel"
+)
+
+// ExampleNewLorenz reproduces the paper's headline skew statement for the
+// stock relation.
+func ExampleNewLorenz() {
+	pmf := tpccmodel.ExactPMF(tpccmodel.StockItemDistribution())
+	lz := tpccmodel.NewLorenz(pmf)
+	fmt.Printf("hottest 20%% of tuples: %.0f%% of accesses\n",
+		lz.AccessShareOfHottest(0.20)*100)
+	fmt.Printf("hottest 2%% of tuples: %.0f%% of accesses\n",
+		lz.AccessShareOfHottest(0.02)*100)
+	// Output:
+	// hottest 20% of tuples: 84% of accesses
+	// hottest 2% of tuples: 39% of accesses
+}
+
+// ExampleMaxThroughput couples a tiny buffer simulation to the paper's
+// throughput model.
+func ExampleMaxThroughput() {
+	curve, err := tpccmodel.RunMissCurve(tpccmodel.MissCurveConfig{
+		Workload:        tpccmodel.DefaultWorkload(1, 1993),
+		Packing:         tpccmodel.PackOptimized,
+		CapacitiesPages: []int64{8192},
+		WarmupTxns:      1000,
+		Batches:         2,
+		BatchTxns:       2000,
+		Level:           0.90,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tp := tpccmodel.MaxThroughput(tpccmodel.DefaultSystemParams(),
+		tpccmodel.DemandsAt(curve, 0))
+	// A 10 MIPS processor at 80% utilization supports on the order of
+	// 150-200 new-order transactions per minute.
+	fmt.Println(tp.NewOrderPerMin > 120 && tp.NewOrderPerMin < 250)
+	// Output:
+	// true
+}
+
+// ExampleDefaultDistConfig evaluates the Appendix A expectations behind
+// the paper's distributed results.
+func ExampleDefaultDistConfig() {
+	cfg := tpccmodel.DefaultDistConfig(10, true)
+	e := cfg.Expect()
+	fmt.Printf("E[remote stock fetches per New-Order] = %.3f\n", e.ERs)
+	fmt.Printf("P[all stock local] = %.3f\n", e.LStock)
+	// Output:
+	// E[remote stock fetches per New-Order] = 0.090
+	// P[all stock local] = 0.914
+}

@@ -1,0 +1,51 @@
+// Distributed-scaleup sizes a cluster with the paper's Section 5.3 /
+// Appendix A model: how much throughput do N nodes deliver, how much does
+// replicating the read-only Item relation buy, and how sensitive is the
+// answer to the fraction of remote stock accesses?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpccmodel"
+)
+
+func main() {
+	study := tpccmodel.NewStudy(tpccmodel.ReducedOptions())
+	curve, err := study.Curve(tpccmodel.PackOptimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := study.Opts
+	d := tpccmodel.DemandsAt(curve, len(opts.BufferMB)-1)
+	sys := tpccmodel.DefaultSystemParams()
+
+	nodes := []int{1, 2, 4, 8, 16, 32}
+	rep := tpccmodel.Scaleup(sys, d, tpccmodel.DefaultDistConfig(0, true), nodes)
+	part := tpccmodel.Scaleup(sys, d, tpccmodel.DefaultDistConfig(0, false), nodes)
+
+	fmt.Println("nodes\tideal_tpm\treplicated\tpartitioned\trep_gain")
+	for i := range nodes {
+		gain := rep[i].TotalNewOrderPerMin/part[i].TotalNewOrderPerMin - 1
+		fmt.Printf("%d\t%.0f\t%.0f\t%.0f\t%+.1f%%\n",
+			nodes[i], rep[i].IdealNewOrderPerMin,
+			rep[i].TotalNewOrderPerMin, part[i].TotalNewOrderPerMin, gain*100)
+	}
+
+	// The benchmark's 1% remote-stock rate is generous to distributed
+	// systems (the paper's closing warning). What if your workload
+	// cross-ships more often?
+	fmt.Println("\nremote_prob\ttpm_at_16_nodes\tvs_benchmark")
+	base := 0.0
+	for _, p := range []float64{0.01, 0.10, 0.25, 0.50, 1.00} {
+		cfg := tpccmodel.DefaultDistConfig(16, true)
+		cfg.RemoteStockProb = p
+		pts := tpccmodel.Scaleup(sys, d, cfg, []int{16})
+		tpm := pts[0].TotalNewOrderPerMin
+		if base == 0 {
+			base = tpm
+		}
+		fmt.Printf("%.2f\t%.0f\t%.1f%%\n", p, tpm, tpm/base*100)
+	}
+}

@@ -1,0 +1,67 @@
+// Engine-demo runs real TPC-C transactions on the executable storage
+// engine: load a warehouse, execute a mixed workload on four goroutines
+// under strict two-phase locking, inspect per-relation buffer behaviour,
+// then pull the plug and recover from the write-ahead log.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tpccmodel"
+)
+
+func main() {
+	eng, err := tpccmodel.OpenEngine(tpccmodel.EngineConfig{
+		Warehouses: 1, PageSize: 4096, BufferPages: 8192,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print("loading 1 warehouse (100K items, 100K stock, 30K customers, 30K orders)... ")
+	start := time.Now()
+	if err := eng.Load(2026); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("running 5,000 mixed transactions on 4 workers...")
+	start = time.Now()
+	if err := tpccmodel.RunEngineConcurrent(eng, 1, tpccmodel.DefaultMix(), 5000, 4); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%.0f txn/s, %d commits, %d deadlock aborts\n",
+		5000/elapsed.Seconds(), eng.Commits(), eng.Aborts())
+
+	acq, waits, deadlocks := eng.LockCounts()
+	fmt.Printf("locks: %d acquired, %d waits, %d deadlocks\n", acq, waits, deadlocks)
+
+	fmt.Println("\nper-relation buffer behaviour (8192-page pool):")
+	for rel, s := range eng.RelationStats() {
+		if s.Accesses() == 0 {
+			continue
+		}
+		fmt.Printf("  %-11s %8d accesses, miss rate %.4f\n", rel, s.Accesses(), s.MissRate())
+	}
+
+	// Crash: every unflushed page is lost; the WAL brings committed
+	// state back.
+	ordersBefore := eng.Heap(tpccmodel.Order).Live()
+	fmt.Printf("\ncrashing with %d orders on record... ", ordersBefore)
+	if err := eng.Crash(); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d orders (must match)\n", eng.Heap(tpccmodel.Order).Live())
+
+	// And the engine keeps serving.
+	if err := tpccmodel.RunEngineConcurrent(eng, 2, tpccmodel.DefaultMix(), 500, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("500 post-recovery transactions: ok")
+}

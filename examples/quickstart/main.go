@@ -1,0 +1,65 @@
+// Quickstart walks the paper's whole pipeline in one sitting: quantify the
+// TPC-C access skew, simulate the buffer pool, and turn miss rates into
+// throughput and price/performance — the Section 3 → 4 → 5 chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpccmodel"
+)
+
+func main() {
+	// 1. Access skew (Section 3). The stock/item tuple ids come from
+	// NU(8191, 1, 100000); compute the exact distribution and ask the
+	// paper's question: what share of accesses hit the hottest 20%?
+	pmf := tpccmodel.ExactPMF(tpccmodel.StockItemDistribution())
+	lz := tpccmodel.NewLorenz(pmf)
+	fmt.Printf("stock skew: hottest 20%% of tuples serve %.1f%% of accesses (paper: ~84%%)\n",
+		lz.AccessShareOfHottest(0.20)*100)
+
+	// 2. Buffer behaviour (Section 4). One stack-distance pass yields
+	// the exact LRU miss rate at every buffer size; run it for both
+	// packing strategies at a laptop-friendly scale.
+	study := tpccmodel.NewStudy(tpccmodel.ReducedOptions())
+	fig8, err := tpccmodel.Fig8(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mid := fig8.Rows[len(fig8.Rows)/2]
+	fmt.Printf("at %.0fMB: stock miss rate %.3f sequential vs %.3f optimized packing\n",
+		mid[0], mid[3], mid[4])
+
+	// 3. Throughput and price/performance (Section 5). Feed the miss
+	// rates into the 10 MIPS / 80%-utilization model and find the
+	// cheapest memory/disk configuration.
+	sys := tpccmodel.DefaultSystemParams()
+	fig9, err := tpccmodel.Fig9(study, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := fig9.Rows[len(fig9.Rows)-1]
+	fmt.Printf("max throughput at %.0fMB: %.0f new-order tpm\n", last[0], last[2])
+
+	fig10, err := tpccmodel.Fig10(study, sys, tpccmodel.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := tpccmodel.Fig10Minima(fig10)
+	fmt.Printf("optimal configuration (optimized packing, with growth storage): %.0fMB buffer at $%.0f/tpm\n",
+		best.Rows[3][1], best.Rows[3][2])
+
+	// 4. Distributed scale-up (Section 5.3): replicate the read-only
+	// Item relation and scale-up stays within a few percent of linear.
+	curve, err := study.Curve(tpccmodel.PackOptimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := tpccmodel.DemandsAt(curve, len(fig8.Rows)-1)
+	pts := tpccmodel.Scaleup(sys, d, tpccmodel.DefaultDistConfig(0, true), []int{1, 10, 30})
+	for _, pt := range pts {
+		fmt.Printf("%2d nodes: %.0f tpm total (%.1f%% of linear)\n",
+			pt.Nodes, pt.TotalNewOrderPerMin, pt.ScaleupEfficiency*100)
+	}
+}

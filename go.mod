@@ -1,0 +1,3 @@
+module tpccmodel
+
+go 1.22

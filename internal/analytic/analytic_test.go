@@ -1,0 +1,184 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/buffer"
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/rng"
+)
+
+func uniformClass(name string, pages int, weight float64) Class {
+	pmf := make([]float64, pages)
+	for i := range pmf {
+		pmf[i] = 1 / float64(pages)
+	}
+	return Class{Name: name, Weight: weight, PagePMF: pmf, Copies: 1}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel(nil); err == nil {
+		t.Error("empty model should fail")
+	}
+	if _, err := NewModel([]Class{{Name: "x", Weight: 1, PagePMF: []float64{0.5}, Copies: 1}}); err == nil {
+		t.Error("non-normalized PMF should fail")
+	}
+	if _, err := NewModel([]Class{{Name: "x", Weight: -1, PagePMF: []float64{1}, Copies: 1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewModel([]Class{{Name: "x", Weight: 1, PagePMF: []float64{1}, Copies: 0}}); err == nil {
+		t.Error("zero copies should fail")
+	}
+	m, err := NewModel([]Class{uniformClass("a", 10, 3), uniformClass("b", 20, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalPages() != 30 {
+		t.Errorf("TotalPages = %d", m.TotalPages())
+	}
+}
+
+func TestCacheHoldsEverything(t *testing.T) {
+	m, _ := NewModel([]Class{uniformClass("a", 50, 1)})
+	rates := m.MissRates(50)
+	if rates[0] != 0 {
+		t.Errorf("full-capacity miss rate = %v", rates[0])
+	}
+	if m.OverallMissRate(100) != 0 {
+		t.Error("oversized cache should never miss")
+	}
+}
+
+func TestUniformIRMMatchesTheory(t *testing.T) {
+	// For a uniform IRM over N pages and capacity C, Che's approximation
+	// gives hit ratio ~ C/N.
+	const n, c = 1000, 250
+	m, _ := NewModel([]Class{uniformClass("u", n, 1)})
+	miss := m.OverallMissRate(c)
+	want := 1 - float64(c)/n
+	if math.Abs(miss-want) > 0.01 {
+		t.Errorf("uniform miss rate = %v, theory says %v", miss, want)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	pmf := nurand.ExactPMF(nurand.Params{A: 255, X: 1, Y: 2000})
+	// Page-level class: 13 tuples/page.
+	pagePMF := make([]float64, (len(pmf)+12)/13)
+	for i, p := range pmf {
+		pagePMF[i/13] += p
+	}
+	m, _ := NewModel([]Class{{Name: "s", Weight: 1, PagePMF: pagePMF, Copies: 1}})
+	prev := 1.1
+	for c := int64(1); c < int64(len(pagePMF)); c += 7 {
+		miss := m.OverallMissRate(c)
+		if miss > prev+1e-9 {
+			t.Fatalf("miss rate rose with capacity at %d", c)
+		}
+		prev = miss
+	}
+}
+
+func TestCopiesEquivalentToExplicit(t *testing.T) {
+	// Two copies of a class must behave exactly like two explicit
+	// classes with half the weight each.
+	pmf := []float64{0.5, 0.3, 0.2}
+	withCopies, _ := NewModel([]Class{{Name: "c", Weight: 1, PagePMF: pmf, Copies: 2}})
+	explicit, _ := NewModel([]Class{
+		{Name: "c1", Weight: 0.5, PagePMF: pmf, Copies: 1},
+		{Name: "c2", Weight: 0.5, PagePMF: pmf, Copies: 1},
+	})
+	for _, c := range []int64{1, 2, 3, 4, 5} {
+		a := withCopies.OverallMissRate(c)
+		b := explicit.OverallMissRate(c)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("capacity %d: copies %v != explicit %v", c, a, b)
+		}
+	}
+}
+
+// TestCheTracksSimulatedIRM validates the approximation against a direct
+// LRU simulation of an actual IRM stream.
+func TestCheTracksSimulatedIRM(t *testing.T) {
+	pmf := nurand.ExactPMF(nurand.Params{A: 1023, X: 1, Y: 3000})
+	pagePMF := make([]float64, (len(pmf)+5)/6)
+	for i, p := range pmf {
+		pagePMF[i/6] += p
+	}
+	m, _ := NewModel([]Class{{Name: "cust", Weight: 1, PagePMF: pagePMF, Copies: 1}})
+
+	// Simulate the IRM stream directly.
+	cum := make([]float64, len(pagePMF))
+	var c float64
+	for i, p := range pagePMF {
+		c += p
+		cum[i] = c
+	}
+	draw := func(r *rng.RNG) int {
+		u := r.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	for _, capacity := range []int64{50, 150, 300} {
+		lru := buffer.NewLRU(capacity)
+		r := rng.New(42)
+		var misses, n int64
+		for i := 0; i < 400000; i++ {
+			if !lru.Access(core.MakePageID(core.Customer, int64(draw(r)))) {
+				misses++
+			}
+			n++
+		}
+		sim := float64(misses) / float64(n)
+		che := m.OverallMissRate(capacity)
+		if math.Abs(sim-che) > 0.02 {
+			t.Errorf("capacity %d: simulated %v vs Che %v", capacity, sim, che)
+		}
+	}
+}
+
+func TestCharacteristicTimeProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		pmf := make([]float64, 100)
+		var sum float64
+		for i := range pmf {
+			pmf[i] = r.Float64() + 0.01
+			sum += pmf[i]
+		}
+		for i := range pmf {
+			pmf[i] /= sum
+		}
+		m, err := NewModel([]Class{{Name: "x", Weight: 1, PagePMF: pmf, Copies: 1}})
+		if err != nil {
+			return false
+		}
+		// T_C increases with capacity; occupancy(T_C) == capacity.
+		prev := 0.0
+		for _, cap := range []int64{10, 30, 60, 90} {
+			tc := m.CharacteristicTime(cap)
+			if tc <= prev {
+				return false
+			}
+			if math.Abs(m.occupancy(tc)-float64(cap)) > 0.01 {
+				return false
+			}
+			prev = tc
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

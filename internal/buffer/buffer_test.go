@@ -1,0 +1,212 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/rng"
+)
+
+func pid(n int64) core.PageID { return core.MakePageID(core.Stock, n) }
+
+func TestLRUBasicEviction(t *testing.T) {
+	c := NewLRU(2)
+	if c.Access(pid(1)) {
+		t.Error("first access must miss")
+	}
+	if c.Access(pid(2)) {
+		t.Error("first access must miss")
+	}
+	if !c.Access(pid(1)) {
+		t.Error("page 1 should be resident")
+	}
+	// Insert 3: evicts LRU page 2 (1 was just touched).
+	if c.Access(pid(3)) {
+		t.Error("page 3 is new")
+	}
+	if c.Access(pid(2)) {
+		t.Error("page 2 should have been evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := NewLRU(3)
+	for _, p := range []int64{1, 2, 3} {
+		c.Access(pid(p))
+	}
+	c.Access(pid(1)) // order now 1,3,2 (MRU first)
+	c.Access(pid(4)) // evicts 2
+	if c.Access(pid(2)) {
+		t.Error("2 should be evicted")
+	}
+	// Accessing 2 evicts 3 (order was 2-miss-inserted,4,1,3).
+	if !c.Access(pid(4)) || !c.Access(pid(1)) {
+		t.Error("4 and 1 should survive")
+	}
+}
+
+func TestFIFOIgnoresRecency(t *testing.T) {
+	c := NewFIFO(2)
+	c.Access(pid(1))
+	c.Access(pid(2))
+	c.Access(pid(1)) // hit, but FIFO order unchanged
+	c.Access(pid(3)) // evicts 1 (oldest insertion)
+	if c.Access(pid(1)) {
+		t.Error("FIFO should have evicted 1 despite its recent hit")
+	}
+}
+
+func TestClockApproximatesLRU(t *testing.T) {
+	c := NewClock(2)
+	c.Access(pid(1))
+	c.Access(pid(2))
+	c.Access(pid(1)) // sets reference bit on 1
+	c.Access(pid(3)) // hand at 1: ref set -> clear, advance; evicts 2
+	if !c.Access(pid(1)) {
+		t.Error("clock should keep referenced page 1")
+	}
+	if c.Access(pid(2)) {
+		t.Error("clock should have evicted unreferenced page 2")
+	}
+}
+
+func TestLFUKeepsFrequentPages(t *testing.T) {
+	c := NewLFU(2)
+	c.Access(pid(1))
+	c.Access(pid(1))
+	c.Access(pid(1)) // freq 3
+	c.Access(pid(2)) // freq 1
+	c.Access(pid(3)) // evicts 2 (lowest freq)
+	if !c.Access(pid(1)) {
+		t.Error("LFU must keep the frequent page")
+	}
+	if c.Access(pid(2)) {
+		t.Error("LFU should have evicted page 2")
+	}
+}
+
+func TestTwoQPromotion(t *testing.T) {
+	c := NewTwoQ(8) // a1 = 2, am = 6
+	c.Access(pid(1))
+	if !c.Access(pid(1)) {
+		t.Error("second touch should hit in probation")
+	}
+	// Scan many cold pages; promoted page 1 must survive in Am.
+	for i := int64(100); i < 120; i++ {
+		c.Access(pid(i))
+	}
+	if !c.Access(pid(1)) {
+		t.Error("2Q should be scan-resistant: promoted page evicted by scan")
+	}
+}
+
+func TestSLRUDemotion(t *testing.T) {
+	c := NewSLRU(4) // probation 1, protected 3
+	c.Access(pid(1))
+	c.Access(pid(1)) // promote 1
+	c.Access(pid(2))
+	c.Access(pid(2)) // promote 2
+	c.Access(pid(3))
+	c.Access(pid(3)) // promote 3; protected {3,2,1}
+	c.Access(pid(4))
+	c.Access(pid(4)) // promote 4; protected full -> demote 1 to probation
+	if !c.Access(pid(1)) {
+		t.Error("demoted page should land in probation, not be dropped")
+	}
+}
+
+func TestPoliciesNeverExceedCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		caps := []int64{1, 3, 17}
+		for _, capacity := range caps {
+			for _, name := range PolicyNames() {
+				p, err := NewPolicy(name, capacity)
+				if err != nil {
+					return false
+				}
+				for i := 0; i < 500; i++ {
+					p.Access(pid(r.Int63n(50)))
+					if p.Len() > capacity {
+						t.Logf("%s exceeded capacity %d: %d", name, capacity, p.Len())
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyResets(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 10; i++ {
+			p.Access(pid(i))
+		}
+		p.Reset()
+		if p.Len() != 0 {
+			t.Errorf("%s: Len after Reset = %d", name, p.Len())
+		}
+		if p.Access(pid(3)) {
+			t.Errorf("%s: access after Reset should miss", name)
+		}
+	}
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	if _, err := NewPolicy("belady", 4); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestPolicySmallCapacityOne(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, _ := NewPolicy(name, 1)
+		p.Access(pid(1))
+		if !p.Access(pid(1)) {
+			t.Errorf("%s: immediate re-access at capacity 1 should hit", name)
+		}
+		p.Access(pid(2))
+		if p.Len() > 1 {
+			t.Errorf("%s: capacity 1 exceeded", name)
+		}
+	}
+}
+
+// TestLRUHitRateDominatesFIFOOnSkew checks the expected qualitative
+// ordering on a skewed reference stream.
+func TestLRUHitRateDominatesFIFOOnSkew(t *testing.T) {
+	run := func(p Policy) float64 {
+		r := rng.New(42)
+		hits, n := 0, 20000
+		for i := 0; i < n; i++ {
+			// 80/20 skew over 100 pages.
+			var page int64
+			if r.Bernoulli(0.8) {
+				page = r.Int63n(20)
+			} else {
+				page = 20 + r.Int63n(80)
+			}
+			if p.Access(pid(page)) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(n)
+	}
+	lru := run(NewLRU(30))
+	fifo := run(NewFIFO(30))
+	if lru <= fifo {
+		t.Errorf("LRU hit rate %.3f should exceed FIFO %.3f on skewed stream", lru, fifo)
+	}
+}

@@ -1,0 +1,89 @@
+package buffer
+
+import "tpccmodel/internal/core"
+
+// OPT implements Belady's optimal offline replacement policy: evict the
+// resident page whose next reference is farthest in the future. It needs
+// the full reference trace up front, so it cannot run online; it exists as
+// the lower bound for the Section 4 policy ablation ("how far is LRU from
+// optimal on the TPC-C reference stream?").
+type OPT struct {
+	capacity int64
+	trace    []core.PageID
+	// nextUse[i] is the index of the next reference to trace[i]'s page
+	// after position i (len(trace) when none).
+	nextUse []int64
+	pos     int64
+	// resident maps pages to their next-use time, mirrored by a lazy
+	// max-structure over (nextUse, page).
+	resident map[core.PageID]int64
+}
+
+// NewOPT builds the policy for a fixed trace. The Access sequence must
+// replay exactly the trace passed here.
+func NewOPT(capacity int64, trace []core.PageID) *OPT {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	o := &OPT{
+		capacity: capacity,
+		trace:    append([]core.PageID(nil), trace...),
+		nextUse:  make([]int64, len(trace)),
+		resident: make(map[core.PageID]int64, capacity),
+	}
+	last := make(map[core.PageID]int64, 1024)
+	for i := len(o.trace) - 1; i >= 0; i-- {
+		p := o.trace[i]
+		if n, ok := last[p]; ok {
+			o.nextUse[i] = n
+		} else {
+			o.nextUse[i] = int64(len(o.trace))
+		}
+		last[p] = int64(i)
+	}
+	return o
+}
+
+// Name implements Policy.
+func (o *OPT) Name() string { return "opt" }
+
+// Capacity implements Policy.
+func (o *OPT) Capacity() int64 { return o.capacity }
+
+// Len implements Policy.
+func (o *OPT) Len() int64 { return int64(len(o.resident)) }
+
+// Reset implements Policy (restarts the trace).
+func (o *OPT) Reset() {
+	o.pos = 0
+	o.resident = make(map[core.PageID]int64, o.capacity)
+}
+
+// Access implements Policy. It panics if the access diverges from the
+// trace the policy was built for.
+func (o *OPT) Access(p core.PageID) bool {
+	if o.pos >= int64(len(o.trace)) || o.trace[o.pos] != p {
+		panic("buffer: OPT access diverges from its trace")
+	}
+	next := o.nextUse[o.pos]
+	o.pos++
+	if _, ok := o.resident[p]; ok {
+		o.resident[p] = next
+		return true
+	}
+	if int64(len(o.resident)) >= o.capacity {
+		// Evict the page with the farthest next use. Linear scan keeps
+		// the implementation simple; capacities in the ablation are
+		// modest and OPT runs offline anyway.
+		var victim core.PageID
+		far := int64(-1)
+		for page, n := range o.resident {
+			if n > far {
+				far, victim = n, page
+			}
+		}
+		delete(o.resident, victim)
+	}
+	o.resident[p] = next
+	return false
+}

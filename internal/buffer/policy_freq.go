@@ -1,0 +1,255 @@
+package buffer
+
+import (
+	"container/heap"
+
+	"tpccmodel/internal/core"
+)
+
+// LFU evicts the least-frequently-used page, breaking frequency ties by
+// least-recent use. Implemented with an indexed min-heap keyed on
+// (frequency, last-use time).
+type LFU struct {
+	capacity int64
+	idx      map[core.PageID]int // position in heap
+	h        lfuHeap
+	tick     int64
+}
+
+type lfuEntry struct {
+	page core.PageID
+	freq int64
+	used int64
+}
+
+type lfuHeap struct {
+	entries []lfuEntry
+	pos     map[core.PageID]int
+}
+
+func (h *lfuHeap) Len() int { return len(h.entries) }
+func (h *lfuHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.used < b.used
+}
+func (h *lfuHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].page] = i
+	h.pos[h.entries[j].page] = j
+}
+func (h *lfuHeap) Push(x any) {
+	e := x.(lfuEntry)
+	h.pos[e.page] = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *lfuHeap) Pop() any {
+	e := h.entries[len(h.entries)-1]
+	h.entries = h.entries[:len(h.entries)-1]
+	delete(h.pos, e.page)
+	return e
+}
+
+// NewLFU returns an LFU pool holding capacity pages.
+func NewLFU(capacity int64) *LFU {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	l := &LFU{capacity: capacity}
+	l.h.pos = make(map[core.PageID]int, capacity)
+	return l
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "lfu" }
+
+// Capacity implements Policy.
+func (c *LFU) Capacity() int64 { return c.capacity }
+
+// Len implements Policy.
+func (c *LFU) Len() int64 { return int64(len(c.h.entries)) }
+
+// Reset implements Policy.
+func (c *LFU) Reset() {
+	c.h.entries = c.h.entries[:0]
+	c.h.pos = make(map[core.PageID]int, c.capacity)
+	c.tick = 0
+}
+
+// Access implements Policy.
+func (c *LFU) Access(p core.PageID) bool {
+	c.tick++
+	if i, ok := c.h.pos[p]; ok {
+		c.h.entries[i].freq++
+		c.h.entries[i].used = c.tick
+		heap.Fix(&c.h, i)
+		return true
+	}
+	if int64(len(c.h.entries)) >= c.capacity {
+		heap.Pop(&c.h)
+	}
+	heap.Push(&c.h, lfuEntry{page: p, freq: 1, used: c.tick})
+	return false
+}
+
+// TwoQ is a simplified 2Q policy (Johnson & Shasha): first-touch pages go
+// to a FIFO probation queue (A1, 25% of capacity); a second touch promotes
+// to the main LRU queue (Am). Scan-resistant relative to plain LRU.
+type TwoQ struct {
+	capacity int64
+	a1Cap    int64
+	a1       *FIFO
+	am       *LRU
+}
+
+// NewTwoQ returns a 2Q pool holding capacity pages in total. A capacity of
+// one degenerates to a single-page probation queue.
+func NewTwoQ(capacity int64) *TwoQ {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	if capacity == 1 {
+		return &TwoQ{capacity: 1, a1Cap: 1, a1: NewFIFO(1)}
+	}
+	a1 := capacity / 4
+	if a1 < 1 {
+		a1 = 1
+	}
+	return &TwoQ{capacity: capacity, a1Cap: a1, a1: NewFIFO(a1), am: NewLRU(capacity - a1)}
+}
+
+// Name implements Policy.
+func (c *TwoQ) Name() string { return "2q" }
+
+// Capacity implements Policy.
+func (c *TwoQ) Capacity() int64 { return c.capacity }
+
+// Len implements Policy.
+func (c *TwoQ) Len() int64 {
+	n := c.a1.Len()
+	if c.am != nil {
+		n += c.am.Len()
+	}
+	return n
+}
+
+// Reset implements Policy.
+func (c *TwoQ) Reset() {
+	c.a1.Reset()
+	if c.am != nil {
+		c.am.Reset()
+	}
+}
+
+// Access implements Policy.
+func (c *TwoQ) Access(p core.PageID) bool {
+	if c.am != nil {
+		if _, ok := c.am.idx[p]; ok {
+			c.am.Access(p)
+			return true
+		}
+	}
+	if i, ok := c.a1.idx[p]; ok {
+		if c.am == nil {
+			return true
+		}
+		// Second touch: promote to the main queue.
+		c.a1.l.remove(i)
+		c.a1.l.release(i)
+		delete(c.a1.idx, p)
+		c.am.Access(p)
+		return true
+	}
+	c.a1.Access(p)
+	return false
+}
+
+// SLRU is a segmented LRU: a probationary LRU segment and a protected LRU
+// segment (75% of capacity). Hits in probation promote to protected;
+// protected overflow demotes back to probation's MRU end.
+type SLRU struct {
+	capacity  int64
+	probation *LRU
+	protected *LRU
+}
+
+// NewSLRU returns a segmented-LRU pool holding capacity pages in total. A
+// capacity of one degenerates to plain LRU.
+func NewSLRU(capacity int64) *SLRU {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	if capacity == 1 {
+		return &SLRU{capacity: 1, probation: NewLRU(1)}
+	}
+	prot := capacity * 3 / 4
+	if prot < 1 {
+		prot = 1
+	}
+	if prot > capacity-1 {
+		prot = capacity - 1
+	}
+	return &SLRU{capacity: capacity, probation: NewLRU(capacity - prot), protected: NewLRU(prot)}
+}
+
+// Name implements Policy.
+func (c *SLRU) Name() string { return "slru" }
+
+// Capacity implements Policy.
+func (c *SLRU) Capacity() int64 { return c.capacity }
+
+// Len implements Policy.
+func (c *SLRU) Len() int64 {
+	n := c.probation.Len()
+	if c.protected != nil {
+		n += c.protected.Len()
+	}
+	return n
+}
+
+// Reset implements Policy.
+func (c *SLRU) Reset() {
+	c.probation.Reset()
+	if c.protected != nil {
+		c.protected.Reset()
+	}
+}
+
+// Access implements Policy.
+func (c *SLRU) Access(p core.PageID) bool {
+	if c.protected != nil {
+		if _, ok := c.protected.idx[p]; ok {
+			c.protected.Access(p)
+			return true
+		}
+	}
+	if i, ok := c.probation.idx[p]; ok {
+		if c.protected == nil {
+			c.probation.Access(p)
+			return true
+		}
+		c.probation.l.remove(i)
+		c.probation.l.release(i)
+		delete(c.probation.idx, p)
+		c.promote(p)
+		return true
+	}
+	c.probation.Access(p)
+	return false
+}
+
+func (c *SLRU) promote(p core.PageID) {
+	if c.protected.Len() >= c.protected.Capacity() {
+		// Demote the protected LRU victim into probation rather than
+		// dropping it.
+		victim := c.protected.l.back()
+		vp := c.protected.l.nodes[victim].page
+		c.protected.l.remove(victim)
+		c.protected.l.release(victim)
+		delete(c.protected.idx, vp)
+		c.probation.Access(vp)
+	}
+	c.protected.Access(p)
+}

@@ -1,0 +1,193 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/rng"
+)
+
+func TestStackDistanceKnownSequence(t *testing.T) {
+	s := NewStackSim()
+	// Classic example: a b c b a -> distances inf inf inf 1(b? no)...
+	// Reference stream and expected distances:
+	//   a: cold
+	//   b: cold
+	//   c: cold
+	//   b: distinct since prior b = {c, b} -> 2
+	//   a: distinct since prior a = {b, c, a} -> 3
+	//   a: 1
+	seq := []struct {
+		page int64
+		want int64
+	}{
+		{1, ColdDistance},
+		{2, ColdDistance},
+		{3, ColdDistance},
+		{2, 2},
+		{1, 3},
+		{1, 1},
+	}
+	for i, c := range seq {
+		if got := s.Access(pid(c.page)); got != c.want {
+			t.Fatalf("access %d (page %d): distance %d, want %d", i, c.page, got, c.want)
+		}
+	}
+	if s.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", s.Distinct())
+	}
+}
+
+func TestStackDistanceRepeats(t *testing.T) {
+	s := NewStackSim()
+	s.Access(pid(7))
+	for i := 0; i < 100; i++ {
+		if got := s.Access(pid(7)); got != 1 {
+			t.Fatalf("repeated access distance = %d, want 1", got)
+		}
+	}
+}
+
+func TestStackSimCompaction(t *testing.T) {
+	// Force many compactions with a small page set and long stream.
+	s := NewStackSim()
+	r := rng.New(5)
+	lru := NewLRU(10)
+	for i := 0; i < 50000; i++ {
+		p := pid(r.Int63n(40))
+		d := s.Access(p)
+		hit := lru.Access(p)
+		wantHit := d != ColdDistance && d <= 10
+		if hit != wantHit {
+			t.Fatalf("access %d: stack distance %d disagrees with direct LRU (hit=%v)", i, d, hit)
+		}
+	}
+}
+
+// TestStackSimMatchesLRUEverywhere is the central inclusion-property test:
+// for random streams and several capacities, the stack-distance predicate
+// (distance <= C) must agree access-by-access with a direct LRU pool of
+// capacity C.
+func TestStackSimMatchesLRUEverywhere(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		caps := []int64{1, 2, 7, 33}
+		lrus := make([]*LRU, len(caps))
+		for i, c := range caps {
+			lrus[i] = NewLRU(c)
+		}
+		s := NewStackSim()
+		for i := 0; i < 3000; i++ {
+			// Mix relations to exercise PageID encoding.
+			rel := core.Relation(r.Int63n(3))
+			p := core.MakePageID(rel, r.Int63n(60))
+			d := s.Access(p)
+			for j, c := range caps {
+				hit := lrus[j].Access(p)
+				wantHit := d != ColdDistance && d <= c
+				if hit != wantHit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissCurve(t *testing.T) {
+	var m MissCurve
+	m.Add(ColdDistance)
+	m.Add(1)
+	m.Add(2)
+	m.Add(5)
+	if m.Accesses() != 4 || m.ColdMisses() != 1 {
+		t.Fatalf("accesses=%d cold=%d", m.Accesses(), m.ColdMisses())
+	}
+	cases := []struct {
+		capacity int64
+		want     float64
+	}{
+		{0, 1.0},
+		{1, 0.75}, // only the distance-1 access hits
+		{2, 0.5},  // distances 1,2 hit
+		{4, 0.5},  // distance 5 still misses
+		{5, 0.25}, // only cold misses
+		{100, 0.25},
+	}
+	for _, c := range cases {
+		if got := m.MissRate(c.capacity); got != c.want {
+			t.Errorf("MissRate(%d) = %v, want %v", c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestMissCurveMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := NewStackSim()
+		var m MissCurve
+		for i := 0; i < 5000; i++ {
+			m.Add(s.Access(pid(r.Int63n(200))))
+		}
+		prev := 1.1
+		for c := int64(0); c <= 220; c += 5 {
+			mr := m.MissRate(c)
+			if mr > prev+1e-12 || mr < 0 || mr > 1 {
+				return false
+			}
+			prev = mr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissCurveMatchesDirectLRU(t *testing.T) {
+	r := rng.New(77)
+	s := NewStackSim()
+	var m MissCurve
+	const capacity = 25
+	lru := NewLRU(capacity)
+	var directMisses, n int64
+	for i := 0; i < 20000; i++ {
+		// Skewed stream over two relations.
+		var p core.PageID
+		if r.Bernoulli(0.7) {
+			p = core.MakePageID(core.Stock, r.Int63n(15))
+		} else {
+			p = core.MakePageID(core.Customer, r.Int63n(300))
+		}
+		m.Add(s.Access(p))
+		if !lru.Access(p) {
+			directMisses++
+		}
+		n++
+	}
+	got := m.MissRate(capacity)
+	want := float64(directMisses) / float64(n)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("curve miss rate %v != direct LRU %v", got, want)
+	}
+}
+
+func TestMissCurveMergeAndRates(t *testing.T) {
+	var a, b MissCurve
+	a.Add(1)
+	a.Add(ColdDistance)
+	b.Add(3)
+	b.Add(1)
+	a.Merge(&b)
+	if a.Accesses() != 4 || a.ColdMisses() != 1 || a.MaxDistance() != 3 {
+		t.Fatalf("merge: %+v", a)
+	}
+	rates := a.MissRates([]int64{1, 3})
+	if rates[0] != 0.5 || rates[1] != 0.25 {
+		t.Errorf("MissRates = %v", rates)
+	}
+}

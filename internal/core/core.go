@@ -1,0 +1,175 @@
+// Package core defines the shared primitives used across the TPC-C modeling
+// pipeline: relation identifiers, logical tuple accesses, page identifiers,
+// and operation kinds.
+//
+// The packages in this module form a pipeline patterned on Leutenegger &
+// Dias, "A Modeling Study of the TPC-C Benchmark" (SIGMOD '93): a workload
+// generator emits streams of Access records, packing policies map tuples to
+// PageIDs, buffer policies consume PageIDs and report hits/misses, and the
+// throughput model turns miss rates into transactions-per-minute and
+// price/performance estimates.
+package core
+
+import "fmt"
+
+// Relation identifies one of the nine TPC-C relations.
+type Relation uint8
+
+// The nine relations of the TPC-C logical database (paper Table 1).
+const (
+	Warehouse Relation = iota
+	District
+	Customer
+	Stock
+	Item
+	Order
+	NewOrder
+	OrderLine
+	History
+
+	// NumRelations is the count of TPC-C relations; useful for sizing
+	// per-relation accumulator arrays.
+	NumRelations
+)
+
+var relationNames = [NumRelations]string{
+	Warehouse: "warehouse",
+	District:  "district",
+	Customer:  "customer",
+	Stock:     "stock",
+	Item:      "item",
+	Order:     "order",
+	NewOrder:  "new-order",
+	OrderLine: "order-line",
+	History:   "history",
+}
+
+// String returns the relation name as printed in the paper's Table 1.
+func (r Relation) String() string {
+	if r < NumRelations {
+		return relationNames[r]
+	}
+	return fmt.Sprintf("relation(%d)", uint8(r))
+}
+
+// Valid reports whether r names one of the nine TPC-C relations.
+func (r Relation) Valid() bool { return r < NumRelations }
+
+// Relations lists all nine relations in Table 1 order.
+func Relations() []Relation {
+	rs := make([]Relation, NumRelations)
+	for i := range rs {
+		rs[i] = Relation(i)
+	}
+	return rs
+}
+
+// Op is the kind of database call made against a tuple.
+type Op uint8
+
+// Operation kinds, following the paper's Table 2 taxonomy. NonUniqueSelect
+// is the select-by-customer-name path (on average three tuples qualify);
+// JoinFetch marks tuples fetched as part of the Stock-Level equi-join.
+const (
+	Select Op = iota
+	Update
+	Insert
+	Delete
+	NonUniqueSelect
+	JoinFetch
+
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	Select:          "select",
+	Update:          "update",
+	Insert:          "insert",
+	Delete:          "delete",
+	NonUniqueSelect: "non-unique-select",
+	JoinFetch:       "join-fetch",
+}
+
+// String returns the lower-case operation name.
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsWrite reports whether the operation dirties the tuple's page.
+func (o Op) IsWrite() bool { return o == Update || o == Insert || o == Delete }
+
+// TxnType identifies one of the five TPC-C transaction types.
+type TxnType uint8
+
+// The five TPC-C transaction types (paper Table 2).
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+
+	NumTxnTypes
+)
+
+var txnNames = [NumTxnTypes]string{
+	TxnNewOrder:    "new-order",
+	TxnPayment:     "payment",
+	TxnOrderStatus: "order-status",
+	TxnDelivery:    "delivery",
+	TxnStockLevel:  "stock-level",
+}
+
+// String returns the transaction type name.
+func (t TxnType) String() string {
+	if t < NumTxnTypes {
+		return txnNames[t]
+	}
+	return fmt.Sprintf("txn(%d)", uint8(t))
+}
+
+// TxnTypes lists the five transaction types in Table 2 order.
+func TxnTypes() []TxnType {
+	ts := make([]TxnType, NumTxnTypes)
+	for i := range ts {
+		ts[i] = TxnType(i)
+	}
+	return ts
+}
+
+// Access is one logical tuple reference emitted by the workload generator.
+// Tuple is a zero-based tuple ordinal within the relation (the generator
+// linearizes composite keys such as (item-id, warehouse-id) into a single
+// ordinal; see package workload).
+type Access struct {
+	Rel   Relation
+	Tuple int64
+	Op    Op
+}
+
+// PageID identifies a database page globally: the relation in the high bits
+// and the zero-based page ordinal within the relation in the low bits.
+// The encoding keeps PageID usable as a compact map key in buffer policies.
+type PageID uint64
+
+const pageBits = 56
+
+// MakePageID packs a relation and page ordinal into a PageID. Page ordinals
+// are limited to 2^56-1, far beyond any configuration this model supports.
+func MakePageID(rel Relation, page int64) PageID {
+	return PageID(uint64(rel)<<pageBits | uint64(page))
+}
+
+// Rel extracts the relation from a PageID.
+func (p PageID) Rel() Relation { return Relation(p >> pageBits) }
+
+// Page extracts the zero-based page ordinal within the relation.
+func (p PageID) Page() int64 { return int64(p & (1<<pageBits - 1)) }
+
+// String renders the page ID as "relation/page".
+func (p PageID) String() string {
+	return fmt.Sprintf("%s/%d", p.Rel(), p.Page())
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationNames(t *testing.T) {
+	want := map[Relation]string{
+		Warehouse: "warehouse",
+		District:  "district",
+		Customer:  "customer",
+		Stock:     "stock",
+		Item:      "item",
+		Order:     "order",
+		NewOrder:  "new-order",
+		OrderLine: "order-line",
+		History:   "history",
+	}
+	for r, n := range want {
+		if r.String() != n {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), n)
+		}
+		if !r.Valid() {
+			t.Errorf("%s should be valid", n)
+		}
+	}
+	if Relation(200).Valid() {
+		t.Error("relation 200 should be invalid")
+	}
+	if len(Relations()) != int(NumRelations) {
+		t.Errorf("Relations() length = %d", len(Relations()))
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	writes := map[Op]bool{
+		Select: false, Update: true, Insert: true, Delete: true,
+		NonUniqueSelect: false, JoinFetch: false,
+	}
+	for op, w := range writes {
+		if op.IsWrite() != w {
+			t.Errorf("%s.IsWrite() = %v, want %v", op, op.IsWrite(), w)
+		}
+	}
+	if Select.String() != "select" || NonUniqueSelect.String() != "non-unique-select" {
+		t.Error("op names wrong")
+	}
+}
+
+func TestTxnTypes(t *testing.T) {
+	if len(TxnTypes()) != 5 {
+		t.Fatalf("expected 5 transaction types")
+	}
+	if TxnNewOrder.String() != "new-order" || TxnStockLevel.String() != "stock-level" {
+		t.Error("txn names wrong")
+	}
+}
+
+func TestPageIDRoundTrip(t *testing.T) {
+	f := func(relRaw uint8, pageRaw int64) bool {
+		rel := Relation(relRaw % uint8(NumRelations))
+		page := pageRaw
+		if page < 0 {
+			page = -page
+		}
+		page %= 1 << 40
+		p := MakePageID(rel, page)
+		return p.Rel() == rel && p.Page() == page
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageIDDistinctAcrossRelations(t *testing.T) {
+	a := MakePageID(Stock, 7)
+	b := MakePageID(Customer, 7)
+	if a == b {
+		t.Error("same page ordinal in different relations must differ")
+	}
+	if a.String() != "stock/7" {
+		t.Errorf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,276 @@
+// Package bufmgr implements the engine's buffer manager: a fixed set of
+// frames over the storage.Store with pin/unpin semantics, LRU eviction of
+// unpinned frames, write-back of dirty pages, and per-class hit/miss
+// accounting so the engine's buffer behaviour can be compared with the
+// paper's trace-driven simulation.
+package bufmgr
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"tpccmodel/internal/engine/storage"
+)
+
+// Stats counts logical page accesses and physical misses.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Evicts  int64
+	Flushes int64
+}
+
+// Accesses returns Hits+Misses.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRate returns Misses/Accesses (0 when unused).
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+type frame struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	// lruElem is the frame's position in the LRU list when unpinned.
+	lruElem *list.Element
+	// contentMu serializes readers/writers of data: row locks serialize
+	// same-row access, but two rows sharing a page (or its slot bitmap
+	// byte) may be touched concurrently.
+	contentMu sync.Mutex
+}
+
+// Manager is the buffer manager. All methods are safe for concurrent use.
+type Manager struct {
+	store    *storage.Store
+	capacity int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames map[storage.PageID]*frame
+	lru    *list.List // unpinned frames, front = MRU
+
+	stats Stats
+	// classOf assigns pages to accounting classes (e.g. one per
+	// relation); nil means everything lands in class 0.
+	classOf    func(storage.PageID) int
+	classStats []Stats
+}
+
+// New creates a buffer manager with capacity frames over store.
+func New(store *storage.Store, capacity int) *Manager {
+	if capacity <= 0 {
+		panic("bufmgr: capacity must be positive")
+	}
+	m := &Manager{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[storage.PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// SetClassifier installs a page-to-class mapping with classes accounting
+// classes; must be called before any access.
+func (m *Manager) SetClassifier(classes int, fn func(storage.PageID) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.classOf = fn
+	m.classStats = make([]Stats, classes)
+}
+
+// Capacity returns the frame count.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Stats returns a copy of the global counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ClassStats returns a copy of the per-class counters.
+func (m *Manager) ClassStats() []Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Stats(nil), m.classStats...)
+}
+
+// ResetStats zeroes all counters (e.g. after warmup).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+	for i := range m.classStats {
+		m.classStats[i] = Stats{}
+	}
+}
+
+// pin returns the frame for id with its pin count incremented, reading the
+// page in on a miss and evicting an unpinned LRU victim when full. It
+// blocks while every frame is pinned.
+func (m *Manager) pin(id storage.PageID) (*frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	cls := 0
+	if m.classOf != nil {
+		cls = m.classOf(id)
+	}
+	if f, ok := m.frames[id]; ok {
+		m.stats.Hits++
+		if m.classStats != nil {
+			m.classStats[cls].Hits++
+		}
+		if f.pins == 0 && f.lruElem != nil {
+			m.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+
+	m.stats.Misses++
+	if m.classStats != nil {
+		m.classStats[cls].Misses++
+	}
+	for len(m.frames) >= m.capacity {
+		if victim := m.lru.Back(); victim != nil {
+			f := victim.Value.(*frame)
+			if f.dirty {
+				if err := m.store.Flush(f.id, f.data); err != nil {
+					return nil, err
+				}
+				m.stats.Flushes++
+			}
+			m.lru.Remove(victim)
+			delete(m.frames, f.id)
+			m.stats.Evicts++
+			continue
+		}
+		// All frames pinned: wait for an unpin.
+		m.cond.Wait()
+	}
+
+	f := &frame{id: id, data: make([]byte, m.store.PageSize()), pins: 1}
+	if err := m.store.Read(id, f.data); err != nil {
+		return nil, err
+	}
+	m.frames[id] = f
+	return f, nil
+}
+
+// unpin releases one pin, recording dirtiness.
+func (m *Manager) unpin(f *frame, dirty bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic("bufmgr: unpin without pin")
+	}
+	if f.pins == 0 {
+		f.lruElem = m.lru.PushFront(f)
+		m.cond.Signal()
+	}
+}
+
+// With implements storage.Pager: it pins page id, runs fn on its bytes,
+// and unpins.
+func (m *Manager) With(id storage.PageID, dirty bool, fn func(page []byte)) error {
+	f, err := m.pin(id)
+	if err != nil {
+		return err
+	}
+	// The frame's data slice is stable while pinned; fn runs outside the
+	// manager lock so callers don't serialize the whole pool, under the
+	// frame's content mutex so same-page accesses don't race.
+	f.contentMu.Lock()
+	fn(f.data)
+	f.contentMu.Unlock()
+	m.unpin(f, dirty)
+	return nil
+}
+
+// Allocate implements storage.Pager: it allocates a store page and makes
+// it resident and dirty. Allocation is page creation, not a logical
+// access, so it does not touch the hit/miss counters (which would
+// otherwise attribute the inevitable cold miss before the caller can tag
+// the page's relation).
+func (m *Manager) Allocate() (storage.PageID, error) {
+	id := m.store.Allocate()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.frames) >= m.capacity {
+		if victim := m.lru.Back(); victim != nil {
+			f := victim.Value.(*frame)
+			if f.dirty {
+				if err := m.store.Flush(f.id, f.data); err != nil {
+					return 0, err
+				}
+				m.stats.Flushes++
+			}
+			m.lru.Remove(victim)
+			delete(m.frames, f.id)
+			m.stats.Evicts++
+			continue
+		}
+		m.cond.Wait()
+	}
+	f := &frame{id: id, data: make([]byte, m.store.PageSize()), dirty: true}
+	m.frames[id] = f
+	f.lruElem = m.lru.PushFront(f)
+	return id, nil
+}
+
+// FlushAll writes every dirty resident page back to the store (a
+// checkpoint).
+func (m *Manager) FlushAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.frames {
+		if f.dirty {
+			f.contentMu.Lock()
+			err := m.store.Flush(f.id, f.data)
+			f.contentMu.Unlock()
+			if err != nil {
+				return err
+			}
+			f.dirty = false
+			m.stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// Crash discards every resident frame without flushing, simulating a
+// failure: dirty pages are lost and only the store's durable images
+// survive. Pinned frames indicate a bug in the caller.
+func (m *Manager) Crash() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("bufmgr: crash with pinned page %d", f.id)
+		}
+	}
+	m.frames = make(map[storage.PageID]*frame, m.capacity)
+	m.lru.Init()
+	return nil
+}
+
+// Resident returns the number of resident frames.
+func (m *Manager) Resident() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frames)
+}

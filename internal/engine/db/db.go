@@ -1,0 +1,328 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/bufmgr"
+	"tpccmodel/internal/engine/index"
+	"tpccmodel/internal/engine/lock"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/engine/wal"
+	"tpccmodel/internal/tpcc"
+)
+
+// Config sizes the database instance.
+type Config struct {
+	// Warehouses is the scale factor W.
+	Warehouses int
+	// PageSize is the page size in bytes (paper: 4096).
+	PageSize int
+	// BufferPages is the buffer-pool capacity in pages.
+	BufferPages int
+}
+
+// DefaultConfig returns a laptop-friendly single-warehouse instance.
+func DefaultConfig() Config {
+	return Config{Warehouses: 1, PageSize: 4096, BufferPages: 4096}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Warehouses <= 0 {
+		return fmt.Errorf("db: warehouses must be positive")
+	}
+	if c.PageSize < tpcc.TupleLen[core.Customer]+64 {
+		return fmt.Errorf("db: page size %d too small", c.PageSize)
+	}
+	if c.BufferPages <= 0 {
+		return fmt.Errorf("db: buffer pages must be positive")
+	}
+	return nil
+}
+
+// guardedTree is a B+tree with a reader/writer latch; the engine's
+// transactions run on multiple goroutines and the tree is shared.
+type guardedTree struct {
+	mu sync.RWMutex
+	t  *index.BTree
+}
+
+func newGuardedTree() *guardedTree { return &guardedTree{t: index.New()} }
+
+func (g *guardedTree) get(k uint64) (uint64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.t.Get(k)
+}
+
+func (g *guardedTree) set(k, v uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.t.Set(k, v)
+}
+
+func (g *guardedTree) delete(k uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.t.Delete(k)
+}
+
+func (g *guardedTree) min(lo uint64) (uint64, uint64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.t.Min(lo)
+}
+
+func (g *guardedTree) max(hi uint64) (uint64, uint64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.t.Max(hi)
+}
+
+func (g *guardedTree) ascendRange(lo, hi uint64, fn func(k, v uint64) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.t.AscendRange(lo, hi, fn)
+}
+
+func (g *guardedTree) reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.t = index.New()
+}
+
+// relPager tags pages with their owning relation as they are allocated, so
+// the buffer manager's per-class stats align with the model's per-relation
+// miss rates.
+type relPager struct {
+	buf *bufmgr.Manager
+	db  *DB
+	rel core.Relation
+}
+
+func (p relPager) With(id storage.PageID, dirty bool, fn func(page []byte)) error {
+	return p.buf.With(id, dirty, fn)
+}
+
+func (p relPager) Allocate() (storage.PageID, error) {
+	id, err := p.buf.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	p.db.pageRel.Store(id, p.rel)
+	return id, nil
+}
+
+// DB is a running TPC-C database instance.
+type DB struct {
+	cfg   Config
+	store *storage.Store
+	buf   *bufmgr.Manager
+	log   *wal.Log
+	locks *lock.Manager
+
+	heaps [core.NumRelations]*storage.HeapFile
+	// pageRel maps pages to relations for buffer accounting.
+	pageRel sync.Map // storage.PageID -> core.Relation
+
+	// Primary and secondary indexes (memory-resident, rebuilt at
+	// recovery, as the paper's one-index-lookup assumption implies).
+	warehouseIdx *guardedTree // w               -> RID
+	districtIdx  *guardedTree // (w,d)           -> RID
+	customerIdx  *guardedTree // (w,d,c)         -> RID
+	custNameIdx  *guardedTree // (w,d,name,c)    -> RID
+	stockIdx     *guardedTree // (w,i)           -> RID
+	itemIdx      *guardedTree // i               -> RID
+	orderIdx     *guardedTree // (w,d,o)         -> RID
+	custOrderIdx *guardedTree // (w,d,c,o)       -> RID
+	newOrderIdx  *guardedTree // (w,d,o)         -> RID
+	olIdx        *guardedTree // (w,d,o,line)    -> RID
+
+	txnSeq  atomic.Uint64
+	tick    atomic.Uint64
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// Open creates an empty database instance (no data loaded).
+func Open(cfg Config) (*DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DB{
+		cfg:   cfg,
+		store: storage.NewStore(cfg.PageSize),
+		log:   wal.New(),
+		locks: lock.NewManager(),
+	}
+	d.buf = bufmgr.New(d.store, cfg.BufferPages)
+	d.buf.SetClassifier(int(core.NumRelations), func(id storage.PageID) int {
+		if rel, ok := d.pageRel.Load(id); ok {
+			return int(rel.(core.Relation))
+		}
+		return 0
+	})
+	for _, rel := range core.Relations() {
+		h, err := storage.NewHeapFile(rel.String(), relPager{buf: d.buf, db: d, rel: rel},
+			cfg.PageSize, tpcc.TupleLen[rel])
+		if err != nil {
+			return nil, err
+		}
+		d.heaps[rel] = h
+	}
+	d.resetIndexes()
+	return d, nil
+}
+
+func (d *DB) resetIndexes() {
+	d.warehouseIdx = newGuardedTree()
+	d.districtIdx = newGuardedTree()
+	d.customerIdx = newGuardedTree()
+	d.custNameIdx = newGuardedTree()
+	d.stockIdx = newGuardedTree()
+	d.itemIdx = newGuardedTree()
+	d.orderIdx = newGuardedTree()
+	d.custOrderIdx = newGuardedTree()
+	d.newOrderIdx = newGuardedTree()
+	d.olIdx = newGuardedTree()
+}
+
+// Config returns the instance configuration.
+func (d *DB) Config() Config { return d.cfg }
+
+// BufferStats returns the buffer manager's global counters.
+func (d *DB) BufferStats() bufmgr.Stats { return d.buf.Stats() }
+
+// RelationStats returns per-relation buffer counters.
+func (d *DB) RelationStats() map[core.Relation]bufmgr.Stats {
+	out := make(map[core.Relation]bufmgr.Stats)
+	for i, s := range d.buf.ClassStats() {
+		out[core.Relation(i)] = s
+	}
+	return out
+}
+
+// ResetBufferStats zeroes buffer counters (after load/warmup).
+func (d *DB) ResetBufferStats() { d.buf.ResetStats() }
+
+// LockCounts exposes the lock manager's counters.
+func (d *DB) LockCounts() (acquired, waits, deadlocks int64) { return d.locks.Counts() }
+
+// LogForces returns the number of forced log writes (one per commit/abort).
+func (d *DB) LogForces() int64 { return d.log.Forces() }
+
+// Commits and Aborts report transaction outcomes.
+func (d *DB) Commits() int64 { return d.commits.Load() }
+
+// Aborts reports the number of aborted transactions (deadlock victims).
+func (d *DB) Aborts() int64 { return d.aborts.Load() }
+
+// Heap exposes a relation's heap file (read-only use: stats, verification).
+func (d *DB) Heap(rel core.Relation) *storage.HeapFile { return d.heaps[rel] }
+
+// nextTick returns a monotonically increasing stamp used for entry and
+// delivery timestamps (the model forbids wall-clock time for determinism).
+func (d *DB) nextTick() uint64 { return d.tick.Add(1) }
+
+// Checkpoint flushes all dirty pages to the store.
+func (d *DB) Checkpoint() error { return d.buf.FlushAll() }
+
+// Crash simulates a failure: all volatile buffer contents are lost; the
+// durable store and the log survive. Catalog metadata (heap page lists)
+// is considered durable, as in a real system.
+func (d *DB) Crash() error { return d.buf.Crash() }
+
+// heapApplier adapts a HeapFile to wal.Applier: a nil image deletes the
+// row if present, anything else is written in place.
+type heapApplier struct{ h *storage.HeapFile }
+
+func (a heapApplier) Apply(rid uint64, image []byte) error {
+	r := storage.UnpackRID(rid)
+	if image != nil {
+		return a.h.InsertAt(r, image)
+	}
+	out := make([]byte, a.h.RecordLen())
+	if err := a.h.Read(r, out); err != nil {
+		return nil // already absent: idempotent
+	}
+	return a.h.Delete(r)
+}
+
+// Recover restores a consistent committed state after Crash: heaps are
+// reattached over the durable pages, the log is replayed, and all indexes
+// are rebuilt from the heaps.
+func (d *DB) Recover() error {
+	appliers := make(map[uint32]wal.Applier, core.NumRelations)
+	for _, rel := range core.Relations() {
+		if err := d.heaps[rel].AttachPages(d.heaps[rel].PageIDs()); err != nil {
+			return err
+		}
+		appliers[uint32(rel)] = heapApplier{h: d.heaps[rel]}
+	}
+	if _, _, err := wal.Recover(d.log, appliers); err != nil {
+		return err
+	}
+	return d.RebuildIndexes()
+}
+
+// RebuildIndexes reconstructs every index from the heap contents.
+func (d *DB) RebuildIndexes() error {
+	d.resetIndexes()
+	var err error
+	scan := func(rel core.Relation, fn func(rid storage.RID, rec []byte)) {
+		if err != nil {
+			return
+		}
+		err = d.heaps[rel].Scan(func(rid storage.RID, rec []byte) bool {
+			fn(rid, rec)
+			return true
+		})
+	}
+	scan(core.Warehouse, func(rid storage.RID, rec []byte) {
+		var r WarehouseRec
+		r.Unmarshal(rec)
+		d.warehouseIdx.set(uint64(r.ID), rid.Pack())
+	})
+	scan(core.District, func(rid storage.RID, rec []byte) {
+		var r DistrictRec
+		r.Unmarshal(rec)
+		d.districtIdx.set(index.KeyWD(int64(r.WID), int64(r.ID)), rid.Pack())
+	})
+	scan(core.Customer, func(rid storage.RID, rec []byte) {
+		var r CustomerRec
+		r.Unmarshal(rec)
+		d.customerIdx.set(index.KeyWDC(int64(r.WID), int64(r.DID), int64(r.ID)), rid.Pack())
+		d.custNameIdx.set(index.KeyWDNC(int64(r.WID), int64(r.DID), int64(r.NameOrd), int64(r.ID)), rid.Pack())
+	})
+	scan(core.Stock, func(rid storage.RID, rec []byte) {
+		var r StockRec
+		r.Unmarshal(rec)
+		d.stockIdx.set(index.KeyWI(int64(r.WID), int64(r.IID)), rid.Pack())
+	})
+	scan(core.Item, func(rid storage.RID, rec []byte) {
+		var r ItemRec
+		r.Unmarshal(rec)
+		d.itemIdx.set(uint64(r.IID), rid.Pack())
+	})
+	scan(core.Order, func(rid storage.RID, rec []byte) {
+		var r OrderRec
+		r.Unmarshal(rec)
+		d.orderIdx.set(index.KeyWDO(int64(r.WID), int64(r.DID), int64(r.OID)), rid.Pack())
+		d.custOrderIdx.set(index.KeyWDCO(int64(r.WID), int64(r.DID), int64(r.CID), int64(r.OID)), rid.Pack())
+	})
+	scan(core.NewOrder, func(rid storage.RID, rec []byte) {
+		var r NewOrderRec
+		r.Unmarshal(rec)
+		d.newOrderIdx.set(index.KeyWDO(int64(r.WID), int64(r.DID), int64(r.OID)), rid.Pack())
+	})
+	scan(core.OrderLine, func(rid storage.RID, rec []byte) {
+		var r OrderLineRec
+		r.Unmarshal(rec)
+		d.olIdx.set(index.KeyWDOL(int64(r.WID), int64(r.DID), int64(r.OID), int64(r.Number)), rid.Pack())
+	})
+	// History has no index (append-only, never queried by the workload).
+	return err
+}

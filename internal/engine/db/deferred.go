@@ -1,0 +1,104 @@
+package db
+
+import (
+	"sync"
+)
+
+// DeliveryQueue implements the benchmark's deferred execution of the
+// Delivery transaction (clause 2.7; the paper notes Delivery "has less
+// stringent response time constraints and can be executed in batch mode").
+// Front-ends enqueue delivery requests and return immediately; a
+// background worker executes them against the database, retrying deadlock
+// victims.
+type DeliveryQueue struct {
+	d *DB
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []DeliveryInput
+	closed  bool
+	done    sync.WaitGroup
+	served  int64
+	skipped int64
+	errs    []error
+}
+
+// NewDeliveryQueue starts the background worker.
+func NewDeliveryQueue(d *DB) *DeliveryQueue {
+	q := &DeliveryQueue{d: d}
+	q.cond = sync.NewCond(&q.mu)
+	q.done.Add(1)
+	go q.worker()
+	return q
+}
+
+// Enqueue submits a delivery for deferred execution; it never blocks on
+// the database.
+func (q *DeliveryQueue) Enqueue(in DeliveryInput) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.queue = append(q.queue, in)
+	q.cond.Signal()
+}
+
+// Pending returns the number of queued, unexecuted deliveries.
+func (q *DeliveryQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+// Close drains the queue, stops the worker, and returns execution totals
+// plus the first execution error if any occurred.
+func (q *DeliveryQueue) Close() (served, skippedDistricts int64, err error) {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Signal()
+	q.mu.Unlock()
+	q.done.Wait()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.errs) > 0 {
+		err = q.errs[0]
+	}
+	return q.served, q.skipped, err
+}
+
+func (q *DeliveryQueue) worker() {
+	defer q.done.Done()
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		in := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+
+		const maxRetries = 20
+		for attempt := 0; ; attempt++ {
+			res, err := q.d.Delivery(in)
+			if err == nil {
+				q.mu.Lock()
+				q.served++
+				q.skipped += int64(res.Skipped)
+				q.mu.Unlock()
+				break
+			}
+			if err == ErrAborted && attempt < maxRetries {
+				continue
+			}
+			q.mu.Lock()
+			q.errs = append(q.errs, err)
+			q.mu.Unlock()
+			break
+		}
+	}
+}

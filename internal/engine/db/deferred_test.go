@@ -1,0 +1,83 @@
+package db
+
+import (
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/tpcc"
+)
+
+func TestDeferredDelivery(t *testing.T) {
+	d := newLoaded(t, 1<<18)
+	q := NewDeliveryQueue(d)
+	const n = 30
+	for i := 0; i < n; i++ {
+		q.Enqueue(DeliveryInput{W: 0, Carrier: uint8(1 + i%10)})
+	}
+	served, skipped, err := q.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != n {
+		t.Errorf("served %d deliveries, want %d", served, n)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d districts with 900 pending each", skipped)
+	}
+	// 30 deliveries x 10 districts remove 300 new-order rows.
+	want := int64(10*900 - n*10)
+	if got := d.heaps[core.NewOrder].Live(); got != want {
+		t.Errorf("new-order rows = %d, want %d", got, want)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeferredDeliveryConcurrentWithForeground mixes deferred deliveries
+// with a foreground mixed workload — the benchmark's actual arrangement —
+// and verifies consistency at the end.
+func TestDeferredDeliveryConcurrentWithForeground(t *testing.T) {
+	d := newLoaded(t, 1<<18)
+	q := NewDeliveryQueue(d)
+	// Foreground mix without Delivery (it is deferred here).
+	mix := tpcc.Mix{
+		core.TxnNewOrder:    0.48,
+		core.TxnPayment:     0.44,
+		core.TxnOrderStatus: 0.04,
+		core.TxnStockLevel:  0.04,
+	}
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- RunConcurrent(d, 61, mix, 400, 3) }()
+	for i := 0; i < 40; i++ {
+		q.Enqueue(DeliveryInput{W: 0, Carrier: 2})
+	}
+	if err := <-doneCh; err != nil {
+		t.Fatal(err)
+	}
+	served, _, err := q.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != 40 {
+		t.Errorf("served %d, want 40", served)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryQueueCloseIdempotentEnqueue(t *testing.T) {
+	d := newLoaded(t, 1<<18)
+	q := NewDeliveryQueue(d)
+	q.Enqueue(DeliveryInput{W: 0, Carrier: 1})
+	served, _, err := q.Close()
+	if err != nil || served != 1 {
+		t.Fatalf("served %d err %v", served, err)
+	}
+	// Enqueue after close is a no-op, not a panic.
+	q.Enqueue(DeliveryInput{W: 0, Carrier: 1})
+	if q.Pending() != 0 {
+		t.Error("enqueue after close should be ignored")
+	}
+}

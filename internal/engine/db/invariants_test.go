@@ -1,0 +1,135 @@
+package db
+
+import (
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/tpcc"
+)
+
+// sumMoney scans warehouse, district, customer, and history and returns
+// the TPC-C consistency-condition aggregates.
+func sumMoney(t *testing.T, d *DB) (whYTD, distYTD, histAmount uint64, custBal int64) {
+	t.Helper()
+	err := d.heaps[core.Warehouse].Scan(func(_ storage.RID, rec []byte) bool {
+		var r WarehouseRec
+		r.Unmarshal(rec)
+		whYTD += r.YTDCents
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.heaps[core.District].Scan(func(_ storage.RID, rec []byte) bool {
+		var r DistrictRec
+		r.Unmarshal(rec)
+		distYTD += r.YTDCents
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.heaps[core.History].Scan(func(_ storage.RID, rec []byte) bool {
+		var r HistoryRec
+		r.Unmarshal(rec)
+		histAmount += uint64(r.AmountCents)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.heaps[core.Customer].Scan(func(_ storage.RID, rec []byte) bool {
+		var r CustomerRec
+		r.Unmarshal(rec)
+		custBal += r.BalanceCents
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// TestMoneyConservation checks the TPC-C consistency conditions after a
+// concurrent mixed run: every Payment's amount must appear exactly once in
+// the warehouse YTD, once in the district YTD, and once in History —
+// regardless of interleaving, deadlock retries, and buffer evictions.
+func TestMoneyConservation(t *testing.T) {
+	d := newLoaded(t, 1<<18)
+	if err := RunConcurrent(d, 41, tpcc.DefaultMix(), 800, 4); err != nil {
+		t.Fatal(err)
+	}
+	whYTD, distYTD, histAmount, _ := sumMoney(t, d)
+	if whYTD != histAmount {
+		t.Errorf("warehouse YTD %d != history total %d", whYTD, histAmount)
+	}
+	if distYTD != histAmount {
+		t.Errorf("district YTD %d != history total %d", distYTD, histAmount)
+	}
+	if histAmount == 0 {
+		t.Error("no payments executed")
+	}
+}
+
+// TestMoneyConservationSurvivesCrash re-checks the same conditions after
+// crash + recovery: partially flushed transactions must not break them.
+func TestMoneyConservationSurvivesCrash(t *testing.T) {
+	d, err := Open(Config{Warehouses: 1, PageSize: 4096, BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(1); err != nil {
+		t.Fatal(err)
+	}
+	// A 512-page pool guarantees steal during the run.
+	if err := RunConcurrent(d, 43, tpcc.DefaultMix(), 300, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	whYTD, distYTD, histAmount, _ := sumMoney(t, d)
+	if whYTD != histAmount || distYTD != histAmount {
+		t.Errorf("money diverged across crash: wh %d dist %d hist %d",
+			whYTD, distYTD, histAmount)
+	}
+}
+
+// TestOrderLineCountInvariant: every order's OLCount equals its actual
+// order lines, after a concurrent run.
+func TestOrderLineCountInvariant(t *testing.T) {
+	d := newLoaded(t, 1<<18)
+	if err := RunConcurrent(d, 47, tpcc.DefaultMix(), 500, 4); err != nil {
+		t.Fatal(err)
+	}
+	perOrder := make(map[uint32]int)
+	if err := d.heaps[core.OrderLine].Scan(func(_ storage.RID, rec []byte) bool {
+		var r OrderLineRec
+		r.Unmarshal(rec)
+		if r.DID == 0 && r.WID == 0 {
+			perOrder[r.OID]++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	if err := d.heaps[core.Order].Scan(func(_ storage.RID, rec []byte) bool {
+		var r OrderRec
+		r.Unmarshal(rec)
+		if r.DID != 0 || r.WID != 0 {
+			return true
+		}
+		if got := perOrder[r.OID]; got != int(r.OLCount) {
+			t.Errorf("order %d: OLCount %d but %d lines", r.OID, r.OLCount, got)
+		}
+		checked++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 3000 {
+		t.Errorf("only %d orders checked", checked)
+	}
+}

@@ -1,0 +1,182 @@
+package db
+
+import (
+	"fmt"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/index"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/rng"
+	"tpccmodel/internal/tpcc"
+)
+
+// Load populates the database per the benchmark's initial-population
+// rules, scaled by cfg.Warehouses:
+//
+//   - 100,000 items;
+//   - per warehouse: 1 warehouse row, 100,000 stock rows, 10 districts;
+//   - per district: 3,000 customers (the first 1,000 name ordinals appear
+//     once each; the rest are drawn NURand(255,0,999), so ~3 customers
+//     share a name), and 3,000 initial orders — one per customer in a
+//     random permutation — of 10 uniform items each, the most recent 900
+//     of which are undelivered (pending in new-order);
+//   - district next-order-id counters set to 3,000.
+//
+// The load bypasses the WAL (a real system loads then checkpoints); Load
+// finishes with a checkpoint so the durable store holds the loaded state.
+func (d *DB) Load(seed uint64) error {
+	r := rng.New(seed)
+	nameGen := nurand.NewGen(nurand.Params{A: 255, X: 0, Y: tpcc.NamesPerDistrict - 1}, r)
+	buf := make([]byte, 1024)
+
+	insert := func(rel core.Relation, n int) (storage.RID, error) {
+		return d.heaps[rel].Insert(buf[:n])
+	}
+
+	// Items (shared across warehouses).
+	for i := 0; i < tpcc.ItemCount; i++ {
+		rec := ItemRec{IID: uint32(i), ImageID: uint32(r.Int63n(10000)),
+			PriceCents: uint32(100 + r.Int63n(9900))}
+		copy(rec.Name[:], LastName(int(r.Int63n(1000))))
+		rec.Marshal(buf[:tpcc.TupleLen[core.Item]])
+		rid, err := insert(core.Item, tpcc.TupleLen[core.Item])
+		if err != nil {
+			return err
+		}
+		d.itemIdx.set(uint64(i), rid.Pack())
+	}
+
+	for w := 0; w < d.cfg.Warehouses; w++ {
+		wrec := WarehouseRec{ID: uint32(w), TaxBP: uint32(r.Int63n(2001))}
+		wrec.Marshal(buf[:tpcc.TupleLen[core.Warehouse]])
+		rid, err := insert(core.Warehouse, tpcc.TupleLen[core.Warehouse])
+		if err != nil {
+			return err
+		}
+		d.warehouseIdx.set(uint64(w), rid.Pack())
+
+		for i := 0; i < tpcc.StockPerWarehouse; i++ {
+			srec := StockRec{IID: uint32(i), WID: uint32(w),
+				Quantity: int32(10 + r.Int63n(91))}
+			srec.Marshal(buf[:tpcc.TupleLen[core.Stock]])
+			rid, err := insert(core.Stock, tpcc.TupleLen[core.Stock])
+			if err != nil {
+				return err
+			}
+			d.stockIdx.set(index.KeyWI(int64(w), int64(i)), rid.Pack())
+		}
+
+		for dist := 0; dist < tpcc.DistrictsPerWarehouse; dist++ {
+			drec := DistrictRec{ID: uint32(dist), WID: uint32(w),
+				TaxBP: uint32(r.Int63n(2001)), NextOID: tpcc.CustomersPerDistrict}
+			drec.Marshal(buf[:tpcc.TupleLen[core.District]])
+			rid, err := insert(core.District, tpcc.TupleLen[core.District])
+			if err != nil {
+				return err
+			}
+			d.districtIdx.set(index.KeyWD(int64(w), int64(dist)), rid.Pack())
+
+			if err := d.loadDistrict(r, nameGen, w, dist, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Checkpoint()
+}
+
+func (d *DB) loadDistrict(r *rng.RNG, nameGen *nurand.Gen, w, dist int, buf []byte) error {
+	// Customers.
+	for c := 0; c < tpcc.CustomersPerDistrict; c++ {
+		nameOrd := c
+		if c >= tpcc.NamesPerDistrict {
+			nameOrd = int(nameGen.Next())
+		}
+		crec := CustomerRec{
+			ID: uint32(c), DID: uint32(dist), WID: uint32(w),
+			NameOrd: uint32(nameOrd), CreditLimit: 5000000,
+			DiscountBP: uint32(r.Int63n(5001)),
+		}
+		copy(crec.Data[:], LastName(nameOrd))
+		crec.Marshal(buf[:tpcc.TupleLen[core.Customer]])
+		rid, err := d.heaps[core.Customer].Insert(buf[:tpcc.TupleLen[core.Customer]])
+		if err != nil {
+			return err
+		}
+		d.customerIdx.set(index.KeyWDC(int64(w), int64(dist), int64(c)), rid.Pack())
+		d.custNameIdx.set(index.KeyWDNC(int64(w), int64(dist), int64(nameOrd), int64(c)), rid.Pack())
+	}
+
+	// Initial orders: one per customer in a random permutation.
+	perm := make([]int64, tpcc.CustomersPerDistrict)
+	r.Perm(perm)
+	for o := 0; o < tpcc.CustomersPerDistrict; o++ {
+		cid := perm[o]
+		delivered := o < tpcc.CustomersPerDistrict-900
+		orec := OrderRec{
+			OID: uint32(o), CID: uint32(cid), WID: uint16(w), DID: uint8(dist),
+			OLCount: tpcc.ItemsPerOrder, AllLocal: 1, EntryTick: d.nextTick(),
+		}
+		if delivered {
+			orec.CarrierID = uint8(1 + r.Int63n(10))
+		}
+		orec.Marshal(buf[:tpcc.TupleLen[core.Order]])
+		rid, err := d.heaps[core.Order].Insert(buf[:tpcc.TupleLen[core.Order]])
+		if err != nil {
+			return err
+		}
+		d.orderIdx.set(index.KeyWDO(int64(w), int64(dist), int64(o)), rid.Pack())
+		d.custOrderIdx.set(index.KeyWDCO(int64(w), int64(dist), cid, int64(o)), rid.Pack())
+
+		for l := 0; l < tpcc.ItemsPerOrder; l++ {
+			ol := OrderLineRec{
+				OID: uint32(o), IID: uint32(r.Int63n(tpcc.ItemCount)),
+				SupplyWID: uint16(w), WID: uint16(w), DID: uint8(dist),
+				Number: uint8(l), Quantity: 5,
+				AmountCents: uint32(r.Int63n(999999)),
+			}
+			if delivered {
+				ol.DeliveryTick = orec.EntryTick
+			}
+			ol.Marshal(buf[:tpcc.TupleLen[core.OrderLine]])
+			rid, err := d.heaps[core.OrderLine].Insert(buf[:tpcc.TupleLen[core.OrderLine]])
+			if err != nil {
+				return err
+			}
+			d.olIdx.set(index.KeyWDOL(int64(w), int64(dist), int64(o), int64(l)), rid.Pack())
+		}
+
+		if !delivered {
+			no := NewOrderRec{OID: uint32(o), WID: uint16(w), DID: uint8(dist)}
+			no.Marshal(buf[:tpcc.TupleLen[core.NewOrder]])
+			rid, err := d.heaps[core.NewOrder].Insert(buf[:tpcc.TupleLen[core.NewOrder]])
+			if err != nil {
+				return err
+			}
+			d.newOrderIdx.set(index.KeyWDO(int64(w), int64(dist), int64(o)), rid.Pack())
+		}
+	}
+	return nil
+}
+
+// VerifyCounts checks the loaded cardinalities against Table 1, returning
+// an error naming the first mismatch.
+func (d *DB) VerifyCounts() error {
+	w := int64(d.cfg.Warehouses)
+	want := map[core.Relation]int64{
+		core.Warehouse: w,
+		core.District:  w * tpcc.DistrictsPerWarehouse,
+		core.Customer:  w * tpcc.CustomersPerWarehouse,
+		core.Stock:     w * tpcc.StockPerWarehouse,
+		core.Item:      tpcc.ItemCount,
+		core.Order:     w * tpcc.DistrictsPerWarehouse * tpcc.CustomersPerDistrict,
+		core.OrderLine: w * tpcc.DistrictsPerWarehouse * tpcc.CustomersPerDistrict * tpcc.ItemsPerOrder,
+		core.NewOrder:  w * tpcc.DistrictsPerWarehouse * 900,
+	}
+	for rel, n := range want {
+		if got := d.heaps[rel].Live(); got != n {
+			return fmt.Errorf("db: %s has %d rows, want %d", rel, got, n)
+		}
+	}
+	return nil
+}

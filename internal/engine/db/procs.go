@@ -1,0 +1,658 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/index"
+	"tpccmodel/internal/engine/lock"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/tpcc"
+)
+
+// OrderItem is one requested line of a New-Order transaction.
+type OrderItem struct {
+	IID     int64
+	SupplyW int64
+	Qty     int64
+}
+
+// NewOrderInput parameterizes the New-Order transaction.
+type NewOrderInput struct {
+	W, D, C int64
+	Items   []OrderItem
+}
+
+// NewOrderResult reports the created order.
+type NewOrderResult struct {
+	OID         int64
+	TotalCents  uint64
+	RemoteLines int
+}
+
+// NewOrder executes the Section 2.2 New-Order transaction: read warehouse,
+// read+update district (allocating the order id), read customer, insert
+// order and new-order, and per item read item, read+update stock, insert
+// order-line. Returns ErrAborted on deadlock; the caller retries.
+func (d *DB) NewOrder(in NewOrderInput) (NewOrderResult, error) {
+	t := d.begin()
+	var res NewOrderResult
+
+	// 1. Select warehouse.
+	var wrec WarehouseRec
+	if err := t.lockRow(core.Warehouse, uint64(in.W), lock.Shared); err != nil {
+		return res, t.fail(err)
+	}
+	wrid, ok := d.warehouseIdx.get(uint64(in.W))
+	if !ok {
+		return res, t.fail(fmt.Errorf("db: no warehouse %d", in.W))
+	}
+	buf := make([]byte, tpcc.TupleLen[core.Customer])
+	if err := t.readRec(core.Warehouse, storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
+		return res, t.fail(err)
+	}
+	wrec.Unmarshal(buf[:tpcc.TupleLen[core.Warehouse]])
+
+	// 2-3. Select and update district: allocate the order id.
+	dkey := index.KeyWD(in.W, in.D)
+	if err := t.lockRow(core.District, dkey, lock.Exclusive); err != nil {
+		return res, t.fail(err)
+	}
+	drid, ok := d.districtIdx.get(dkey)
+	if !ok {
+		return res, t.fail(fmt.Errorf("db: no district (%d,%d)", in.W, in.D))
+	}
+	dlen := tpcc.TupleLen[core.District]
+	if err := t.readRec(core.District, storage.UnpackRID(drid), buf[:dlen]); err != nil {
+		return res, t.fail(err)
+	}
+	var drec DistrictRec
+	drec.Unmarshal(buf[:dlen])
+	oid := int64(drec.NextOID)
+	before := append([]byte(nil), buf[:dlen]...)
+	drec.NextOID++
+	after := make([]byte, dlen)
+	drec.Marshal(after)
+	if err := t.updateRec(core.District, storage.UnpackRID(drid), before, after); err != nil {
+		return res, t.fail(err)
+	}
+
+	// 4. Select customer.
+	ckey := index.KeyWDC(in.W, in.D, in.C)
+	if err := t.lockRow(core.Customer, ckey, lock.Shared); err != nil {
+		return res, t.fail(err)
+	}
+	crid, ok := d.customerIdx.get(ckey)
+	if !ok {
+		return res, t.fail(fmt.Errorf("db: no customer (%d,%d,%d)", in.W, in.D, in.C))
+	}
+	if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:tpcc.TupleLen[core.Customer]]); err != nil {
+		return res, t.fail(err)
+	}
+
+	// 5. Insert order.
+	allLocal := uint8(1)
+	for _, it := range in.Items {
+		if it.SupplyW != in.W {
+			allLocal = 0
+		}
+	}
+	okey := index.KeyWDO(in.W, in.D, oid)
+	if err := t.lockRow(core.Order, okey, lock.Exclusive); err != nil {
+		return res, t.fail(err)
+	}
+	orec := OrderRec{
+		OID: uint32(oid), CID: uint32(in.C), WID: uint16(in.W), DID: uint8(in.D),
+		OLCount: uint8(len(in.Items)), AllLocal: allLocal, EntryTick: d.nextTick(),
+	}
+	olen := tpcc.TupleLen[core.Order]
+	orec.Marshal(buf[:olen])
+	orid, err := t.insertRec(core.Order, buf[:olen])
+	if err != nil {
+		return res, t.fail(err)
+	}
+	t.setIdx(d.orderIdx, okey, orid.Pack())
+	t.setIdx(d.custOrderIdx, index.KeyWDCO(in.W, in.D, in.C, oid), orid.Pack())
+
+	// 6. Insert new-order.
+	if err := t.lockRow(core.NewOrder, okey, lock.Exclusive); err != nil {
+		return res, t.fail(err)
+	}
+	norec := NewOrderRec{OID: uint32(oid), WID: uint16(in.W), DID: uint8(in.D)}
+	nolen := tpcc.TupleLen[core.NewOrder]
+	norec.Marshal(buf[:nolen])
+	norid, err := t.insertRec(core.NewOrder, buf[:nolen])
+	if err != nil {
+		return res, t.fail(err)
+	}
+	t.setIdx(d.newOrderIdx, okey, norid.Pack())
+
+	// 7. Per item: select item, select+update stock, insert order-line.
+	ilen := tpcc.TupleLen[core.Item]
+	slen := tpcc.TupleLen[core.Stock]
+	ollen := tpcc.TupleLen[core.OrderLine]
+	for n, it := range in.Items {
+		if err := t.lockRow(core.Item, uint64(it.IID), lock.Shared); err != nil {
+			return res, t.fail(err)
+		}
+		irid, ok := d.itemIdx.get(uint64(it.IID))
+		if !ok {
+			return res, t.fail(fmt.Errorf("db: no item %d", it.IID))
+		}
+		if err := t.readRec(core.Item, storage.UnpackRID(irid), buf[:ilen]); err != nil {
+			return res, t.fail(err)
+		}
+		var irec ItemRec
+		irec.Unmarshal(buf[:ilen])
+
+		skey := index.KeyWI(it.SupplyW, it.IID)
+		if err := t.lockRow(core.Stock, skey, lock.Exclusive); err != nil {
+			return res, t.fail(err)
+		}
+		srid, ok := d.stockIdx.get(skey)
+		if !ok {
+			return res, t.fail(fmt.Errorf("db: no stock (%d,%d)", it.SupplyW, it.IID))
+		}
+		if err := t.readRec(core.Stock, storage.UnpackRID(srid), buf[:slen]); err != nil {
+			return res, t.fail(err)
+		}
+		var srec StockRec
+		srec.Unmarshal(buf[:slen])
+		sBefore := append([]byte(nil), buf[:slen]...)
+		srec.Quantity -= int32(it.Qty)
+		if srec.Quantity < 10 {
+			srec.Quantity += 91
+		}
+		srec.YTD += uint64(it.Qty)
+		srec.OrderCount++
+		if it.SupplyW != in.W {
+			srec.RemoteCnt++
+			res.RemoteLines++
+		}
+		sAfter := make([]byte, slen)
+		srec.Marshal(sAfter)
+		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), sBefore, sAfter); err != nil {
+			return res, t.fail(err)
+		}
+
+		amount := uint32(it.Qty) * irec.PriceCents
+		olkey := index.KeyWDOL(in.W, in.D, oid, int64(n))
+		if err := t.lockRow(core.OrderLine, olkey, lock.Exclusive); err != nil {
+			return res, t.fail(err)
+		}
+		olrec := OrderLineRec{
+			OID: uint32(oid), IID: uint32(it.IID), SupplyWID: uint16(it.SupplyW),
+			WID: uint16(in.W), DID: uint8(in.D), Number: uint8(n),
+			Quantity: uint8(it.Qty), AmountCents: amount,
+		}
+		olrec.Marshal(buf[:ollen])
+		olrid, err := t.insertRec(core.OrderLine, buf[:ollen])
+		if err != nil {
+			return res, t.fail(err)
+		}
+		t.setIdx(d.olIdx, olkey, olrid.Pack())
+		res.TotalCents += uint64(amount)
+	}
+
+	res.OID = oid
+	t.commit()
+	return res, nil
+}
+
+// PaymentInput parameterizes the Payment transaction. The paying customer
+// lives at (CW, CD) — a remote warehouse 15% of the time — and is chosen
+// by id or by last-name ordinal.
+type PaymentInput struct {
+	W, D        int64
+	CW, CD      int64
+	ByName      bool
+	C           int64 // customer id (ByName false)
+	NameOrd     int64 // last-name ordinal (ByName true)
+	AmountCents uint32
+}
+
+// Payment executes the Payment transaction.
+func (d *DB) Payment(in PaymentInput) error {
+	t := d.begin()
+	buf := make([]byte, tpcc.TupleLen[core.Customer])
+
+	// 1+4. Select and update warehouse.
+	wlen := tpcc.TupleLen[core.Warehouse]
+	if err := t.lockRow(core.Warehouse, uint64(in.W), lock.Exclusive); err != nil {
+		return t.fail(err)
+	}
+	wrid, ok := d.warehouseIdx.get(uint64(in.W))
+	if !ok {
+		return t.fail(fmt.Errorf("db: no warehouse %d", in.W))
+	}
+	if err := t.readRec(core.Warehouse, storage.UnpackRID(wrid), buf[:wlen]); err != nil {
+		return t.fail(err)
+	}
+	var wrec WarehouseRec
+	wrec.Unmarshal(buf[:wlen])
+	wBefore := append([]byte(nil), buf[:wlen]...)
+	wrec.YTDCents += uint64(in.AmountCents)
+	wAfter := make([]byte, wlen)
+	wrec.Marshal(wAfter)
+	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), wBefore, wAfter); err != nil {
+		return t.fail(err)
+	}
+
+	// 2+5. Select and update district.
+	dlen := tpcc.TupleLen[core.District]
+	dkey := index.KeyWD(in.W, in.D)
+	if err := t.lockRow(core.District, dkey, lock.Exclusive); err != nil {
+		return t.fail(err)
+	}
+	drid, ok := d.districtIdx.get(dkey)
+	if !ok {
+		return t.fail(fmt.Errorf("db: no district (%d,%d)", in.W, in.D))
+	}
+	if err := t.readRec(core.District, storage.UnpackRID(drid), buf[:dlen]); err != nil {
+		return t.fail(err)
+	}
+	var drec DistrictRec
+	drec.Unmarshal(buf[:dlen])
+	dBefore := append([]byte(nil), buf[:dlen]...)
+	drec.YTDCents += uint64(in.AmountCents)
+	dAfter := make([]byte, dlen)
+	drec.Marshal(dAfter)
+	if err := t.updateRec(core.District, storage.UnpackRID(drid), dBefore, dAfter); err != nil {
+		return t.fail(err)
+	}
+
+	// 3. Select customer (by id, or non-unique select by name).
+	cid := in.C
+	if in.ByName {
+		var err error
+		cid, err = t.middleCustomerByName(in.CW, in.CD, in.NameOrd, buf)
+		if err != nil {
+			return t.fail(err)
+		}
+	}
+
+	// 6. Update customer.
+	clen := tpcc.TupleLen[core.Customer]
+	ckey := index.KeyWDC(in.CW, in.CD, cid)
+	if err := t.lockRow(core.Customer, ckey, lock.Exclusive); err != nil {
+		return t.fail(err)
+	}
+	crid, ok := d.customerIdx.get(ckey)
+	if !ok {
+		return t.fail(fmt.Errorf("db: no customer (%d,%d,%d)", in.CW, in.CD, cid))
+	}
+	if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:clen]); err != nil {
+		return t.fail(err)
+	}
+	var crec CustomerRec
+	crec.Unmarshal(buf[:clen])
+	cBefore := append([]byte(nil), buf[:clen]...)
+	crec.BalanceCents -= int64(in.AmountCents)
+	crec.YTDPayCents += uint64(in.AmountCents)
+	crec.PaymentCount++
+	cAfter := make([]byte, clen)
+	crec.Marshal(cAfter)
+	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), cBefore, cAfter); err != nil {
+		return t.fail(err)
+	}
+
+	// 7. Insert history (no index; no lock needed — the row is invisible
+	// to every other transaction).
+	hlen := tpcc.TupleLen[core.History]
+	hrec := HistoryRec{
+		CID: uint32(cid), CWID: uint16(in.CW), CDID: uint8(in.CD),
+		DID: uint8(in.D), WID: uint16(in.W),
+		AmountCents: in.AmountCents, Tick: d.nextTick(),
+	}
+	hrec.Marshal(buf[:hlen])
+	if _, err := t.insertRec(core.History, buf[:hlen]); err != nil {
+		return t.fail(err)
+	}
+
+	t.commit()
+	return nil
+}
+
+// middleCustomerByName implements the benchmark's non-unique select: all
+// customers of (w, d) sharing the last name are read (under S locks) and
+// the middle one by customer id is returned.
+func (t *txn) middleCustomerByName(w, d, nameOrd int64, buf []byte) (int64, error) {
+	lo, hi := index.RangeWDNC(w, d, nameOrd)
+	type hit struct {
+		cid int64
+		rid uint64
+	}
+	var hits []hit
+	t.d.custNameIdx.ascendRange(lo, hi, func(k, v uint64) bool {
+		hits = append(hits, hit{cid: int64(k & 0xffff), rid: v})
+		return true
+	})
+	if len(hits) == 0 {
+		return 0, fmt.Errorf("db: no customer named %d in (%d,%d)", nameOrd, w, d)
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].cid < hits[j].cid })
+	clen := tpcc.TupleLen[core.Customer]
+	for _, h := range hits {
+		if err := t.lockRow(core.Customer, index.KeyWDC(w, d, h.cid), lock.Shared); err != nil {
+			return 0, err
+		}
+		if err := t.readRec(core.Customer, storage.UnpackRID(h.rid), buf[:clen]); err != nil {
+			return 0, err
+		}
+	}
+	return hits[len(hits)/2].cid, nil
+}
+
+// OrderStatusInput parameterizes the Order-Status transaction.
+type OrderStatusInput struct {
+	W, D    int64
+	ByName  bool
+	C       int64
+	NameOrd int64
+}
+
+// OrderStatusResult reports the customer's last order.
+type OrderStatusResult struct {
+	CID   int64
+	OID   int64
+	Lines int
+}
+
+// OrderStatus executes the read-only Order-Status transaction.
+func (d *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
+	t := d.begin()
+	var res OrderStatusResult
+	buf := make([]byte, tpcc.TupleLen[core.Customer])
+
+	cid := in.C
+	if in.ByName {
+		var err error
+		cid, err = t.middleCustomerByName(in.W, in.D, in.NameOrd, buf)
+		if err != nil {
+			return res, t.fail(err)
+		}
+	} else {
+		clen := tpcc.TupleLen[core.Customer]
+		ckey := index.KeyWDC(in.W, in.D, cid)
+		if err := t.lockRow(core.Customer, ckey, lock.Shared); err != nil {
+			return res, t.fail(err)
+		}
+		crid, ok := d.customerIdx.get(ckey)
+		if !ok {
+			return res, t.fail(fmt.Errorf("db: no customer (%d,%d,%d)", in.W, in.D, cid))
+		}
+		if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:clen]); err != nil {
+			return res, t.fail(err)
+		}
+	}
+	res.CID = cid
+
+	// Select(Max(order-id)): one lookup in the (w,d,c,o) index.
+	lo, hi := index.RangeWDCO(in.W, in.D, cid)
+	k, orid, ok := d.custOrderIdx.max(hi)
+	if !ok || k < lo {
+		// No order on record (cannot happen after a standard load).
+		t.commit()
+		return res, nil
+	}
+	oid := int64(k & (1<<28 - 1))
+	okey := index.KeyWDO(in.W, in.D, oid)
+	if err := t.lockRow(core.Order, okey, lock.Shared); err != nil {
+		return res, t.fail(err)
+	}
+	olenOrd := tpcc.TupleLen[core.Order]
+	if err := t.readRec(core.Order, storage.UnpackRID(orid), buf[:olenOrd]); err != nil {
+		return res, t.fail(err)
+	}
+	var orec OrderRec
+	orec.Unmarshal(buf[:olenOrd])
+	res.OID = oid
+
+	// Each order line of the last order.
+	ollen := tpcc.TupleLen[core.OrderLine]
+	lo, hi = index.RangeWDOLOrder(in.W, in.D, oid)
+	var olRids []uint64
+	d.olIdx.ascendRange(lo, hi, func(k, v uint64) bool {
+		olRids = append(olRids, v)
+		return true
+	})
+	for i, rid := range olRids {
+		olkey := index.KeyWDOL(in.W, in.D, oid, int64(i))
+		if err := t.lockRow(core.OrderLine, olkey, lock.Shared); err != nil {
+			return res, t.fail(err)
+		}
+		if err := t.readRec(core.OrderLine, storage.UnpackRID(rid), buf[:ollen]); err != nil {
+			return res, t.fail(err)
+		}
+		res.Lines++
+	}
+
+	t.commit()
+	return res, nil
+}
+
+// DeliveryInput parameterizes the Delivery transaction.
+type DeliveryInput struct {
+	W       int64
+	Carrier uint8
+}
+
+// DeliveryResult reports how many districts had a pending order.
+type DeliveryResult struct {
+	Delivered int
+	Skipped   int
+}
+
+// Delivery executes the deferred Delivery transaction: for each district
+// of the warehouse, the oldest undelivered order is removed from
+// new-order, stamped in order and order-line, and the customer balance is
+// credited.
+func (d *DB) Delivery(in DeliveryInput) (DeliveryResult, error) {
+	t := d.begin()
+	var res DeliveryResult
+	buf := make([]byte, tpcc.TupleLen[core.Customer])
+
+	for dist := int64(0); dist < tpcc.DistrictsPerWarehouse; dist++ {
+		delivered, err := d.deliverDistrict(t, in, dist, buf)
+		if err != nil {
+			return res, t.fail(err)
+		}
+		if delivered {
+			res.Delivered++
+		} else {
+			res.Skipped++
+		}
+	}
+	t.commit()
+	return res, nil
+}
+
+func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64, buf []byte) (bool, error) {
+	lo, hi := index.RangeWDO(in.W, dist)
+	for {
+		// Select(Min(order-id)) from New-Order via the index.
+		k, norid, ok := d.newOrderIdx.min(lo)
+		if !ok || k > hi {
+			return false, nil
+		}
+		oid := int64(k & (1<<40 - 1))
+		if err := t.lockRow(core.NewOrder, k, lock.Exclusive); err != nil {
+			return false, err
+		}
+		// Revalidate after the wait: another Delivery may have taken it.
+		if cur, ok := d.newOrderIdx.get(k); !ok || cur != norid {
+			continue
+		}
+
+		nolen := tpcc.TupleLen[core.NewOrder]
+		if err := t.readRec(core.NewOrder, storage.UnpackRID(norid), buf[:nolen]); err != nil {
+			return false, err
+		}
+		noBefore := append([]byte(nil), buf[:nolen]...)
+		if err := t.deleteRec(core.NewOrder, storage.UnpackRID(norid), noBefore); err != nil {
+			return false, err
+		}
+		if err := t.delIdx(d.newOrderIdx, k, norid); err != nil {
+			return false, err
+		}
+
+		// Select + update the order (stamp the carrier).
+		olenOrd := tpcc.TupleLen[core.Order]
+		orid, ok := d.orderIdx.get(k)
+		if !ok {
+			return false, fmt.Errorf("db: new-order %d without order", oid)
+		}
+		if err := t.lockRow(core.Order, k, lock.Exclusive); err != nil {
+			return false, err
+		}
+		if err := t.readRec(core.Order, storage.UnpackRID(orid), buf[:olenOrd]); err != nil {
+			return false, err
+		}
+		var orec OrderRec
+		orec.Unmarshal(buf[:olenOrd])
+		oBefore := append([]byte(nil), buf[:olenOrd]...)
+		orec.CarrierID = in.Carrier
+		oAfter := make([]byte, olenOrd)
+		orec.Marshal(oAfter)
+		if err := t.updateRec(core.Order, storage.UnpackRID(orid), oBefore, oAfter); err != nil {
+			return false, err
+		}
+
+		// Select + update each order line (stamp delivery, sum amounts).
+		ollen := tpcc.TupleLen[core.OrderLine]
+		tick := d.nextTick()
+		var total uint64
+		for l := int64(0); l < int64(orec.OLCount); l++ {
+			olkey := index.KeyWDOL(in.W, dist, oid, l)
+			olrid, ok := d.olIdx.get(olkey)
+			if !ok {
+				return false, fmt.Errorf("db: order %d missing line %d", oid, l)
+			}
+			if err := t.lockRow(core.OrderLine, olkey, lock.Exclusive); err != nil {
+				return false, err
+			}
+			if err := t.readRec(core.OrderLine, storage.UnpackRID(olrid), buf[:ollen]); err != nil {
+				return false, err
+			}
+			var olrec OrderLineRec
+			olrec.Unmarshal(buf[:ollen])
+			olBefore := append([]byte(nil), buf[:ollen]...)
+			olrec.DeliveryTick = tick
+			total += uint64(olrec.AmountCents)
+			olAfter := make([]byte, ollen)
+			olrec.Marshal(olAfter)
+			if err := t.updateRec(core.OrderLine, storage.UnpackRID(olrid), olBefore, olAfter); err != nil {
+				return false, err
+			}
+		}
+
+		// Select + update the customer (credit the balance).
+		clen := tpcc.TupleLen[core.Customer]
+		ckey := index.KeyWDC(in.W, dist, int64(orec.CID))
+		if err := t.lockRow(core.Customer, ckey, lock.Exclusive); err != nil {
+			return false, err
+		}
+		crid, ok := d.customerIdx.get(ckey)
+		if !ok {
+			return false, fmt.Errorf("db: order %d names unknown customer %d", oid, orec.CID)
+		}
+		if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:clen]); err != nil {
+			return false, err
+		}
+		var crec CustomerRec
+		crec.Unmarshal(buf[:clen])
+		cBefore := append([]byte(nil), buf[:clen]...)
+		crec.BalanceCents += int64(total)
+		crec.DeliveryCount++
+		cAfter := make([]byte, clen)
+		crec.Marshal(cAfter)
+		if err := t.updateRec(core.Customer, storage.UnpackRID(crid), cBefore, cAfter); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+}
+
+// StockLevelInput parameterizes the Stock-Level transaction.
+type StockLevelInput struct {
+	W, D      int64
+	Threshold int32
+}
+
+// StockLevel executes the Stock-Level join: count distinct items among the
+// order lines of the district's last 20 orders whose stock quantity at the
+// home warehouse is below the threshold. Returns the count.
+func (d *DB) StockLevel(in StockLevelInput) (int, error) {
+	t := d.begin()
+	buf := make([]byte, tpcc.TupleLen[core.Customer])
+
+	// First select: the district's next order id.
+	dlen := tpcc.TupleLen[core.District]
+	dkey := index.KeyWD(in.W, in.D)
+	if err := t.lockRow(core.District, dkey, lock.Shared); err != nil {
+		return 0, t.fail(err)
+	}
+	drid, ok := d.districtIdx.get(dkey)
+	if !ok {
+		return 0, t.fail(fmt.Errorf("db: no district (%d,%d)", in.W, in.D))
+	}
+	if err := t.readRec(core.District, storage.UnpackRID(drid), buf[:dlen]); err != nil {
+		return 0, t.fail(err)
+	}
+	var drec DistrictRec
+	drec.Unmarshal(buf[:dlen])
+
+	// Join: order lines of orders [next-20, next) against stock.
+	loOID := int64(drec.NextOID) - tpcc.StockLevelOrders
+	if loOID < 0 {
+		loOID = 0
+	}
+	ollen := tpcc.TupleLen[core.OrderLine]
+	slen := tpcc.TupleLen[core.Stock]
+	type olref struct {
+		key uint64
+		rid uint64
+	}
+	var refs []olref
+	lo := index.KeyWDOL(in.W, in.D, loOID, 0)
+	hi := index.KeyWDOL(in.W, in.D, int64(drec.NextOID)-1, 255)
+	d.olIdx.ascendRange(lo, hi, func(k, v uint64) bool {
+		refs = append(refs, olref{key: k, rid: v})
+		return true
+	})
+	distinct := make(map[uint32]struct{})
+	low := 0
+	for _, ref := range refs {
+		if err := t.lockRow(core.OrderLine, ref.key, lock.Shared); err != nil {
+			return 0, t.fail(err)
+		}
+		if err := t.readRec(core.OrderLine, storage.UnpackRID(ref.rid), buf[:ollen]); err != nil {
+			return 0, t.fail(err)
+		}
+		var olrec OrderLineRec
+		olrec.Unmarshal(buf[:ollen])
+
+		skey := index.KeyWI(in.W, int64(olrec.IID))
+		if err := t.lockRow(core.Stock, skey, lock.Shared); err != nil {
+			return 0, t.fail(err)
+		}
+		srid, ok := d.stockIdx.get(skey)
+		if !ok {
+			return 0, t.fail(fmt.Errorf("db: no stock (%d,%d)", in.W, olrec.IID))
+		}
+		if err := t.readRec(core.Stock, storage.UnpackRID(srid), buf[:slen]); err != nil {
+			return 0, t.fail(err)
+		}
+		var srec StockRec
+		srec.Unmarshal(buf[:slen])
+		if srec.Quantity < in.Threshold {
+			if _, seen := distinct[srec.IID]; !seen {
+				distinct[srec.IID] = struct{}{}
+				low++
+			}
+		}
+	}
+	t.commit()
+	return low, nil
+}

@@ -1,0 +1,191 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/rng"
+	"tpccmodel/internal/tpcc"
+)
+
+// Runner generates benchmark transaction inputs with the paper's
+// distributions and executes them against a DB, retrying deadlock victims.
+type Runner struct {
+	d       *DB
+	r       *rng.RNG
+	custGen *nurand.Gen
+	itemGen *nurand.Gen
+	nameGen *nurand.Gen
+	mix     tpcc.Mix
+
+	// RemoteStockProb and RemotePaymentProb default to the benchmark's
+	// 0.01 and 0.15.
+	RemoteStockProb   float64
+	RemotePaymentProb float64
+
+	counts  [core.NumTxnTypes]int64
+	retries int64
+}
+
+// NewRunner creates a runner over d with the given seed and mix.
+func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
+	r := rng.New(seed)
+	return &Runner{
+		d:                 d,
+		r:                 r,
+		custGen:           nurand.NewGen(nurand.CustomerID, r),
+		itemGen:           nurand.NewGen(nurand.ItemID, r),
+		nameGen:           nurand.NewGen(nurand.Params{A: 255, X: 0, Y: tpcc.NamesPerDistrict - 1}, r),
+		mix:               mix,
+		RemoteStockProb:   tpcc.RemoteStockProb,
+		RemotePaymentProb: tpcc.RemotePaymentProb,
+	}
+}
+
+// Counts returns per-type executed transaction counts.
+func (rn *Runner) Counts() [core.NumTxnTypes]int64 { return rn.counts }
+
+// Retries returns the number of deadlock-victim retries performed.
+func (rn *Runner) Retries() int64 { return rn.retries }
+
+func (rn *Runner) pickType() core.TxnType {
+	u := rn.r.Float64()
+	var cum float64
+	for t := core.TxnType(0); t < core.NumTxnTypes; t++ {
+		cum += rn.mix.Fraction(t)
+		if u < cum {
+			return t
+		}
+	}
+	return core.TxnStockLevel
+}
+
+func (rn *Runner) warehouse() int64 { return rn.r.Int63n(int64(rn.d.cfg.Warehouses)) }
+
+func (rn *Runner) remoteWarehouse(home int64) int64 {
+	w := int64(rn.d.cfg.Warehouses)
+	if w == 1 {
+		return home
+	}
+	v := rn.r.Int63n(w - 1)
+	if v >= home {
+		v++
+	}
+	return v
+}
+
+// RunOne generates and executes one transaction, retrying deadlock aborts
+// (bounded). It returns the executed type.
+func (rn *Runner) RunOne() (core.TxnType, error) {
+	typ := rn.pickType()
+	var exec func() error
+	switch typ {
+	case core.TxnNewOrder:
+		in := NewOrderInput{
+			W: rn.warehouse(),
+			D: rn.r.Int63n(tpcc.DistrictsPerWarehouse),
+			C: rn.custGen.Next() - 1,
+		}
+		for i := 0; i < tpcc.ItemsPerOrder; i++ {
+			it := OrderItem{IID: rn.itemGen.Next() - 1, SupplyW: in.W, Qty: 1 + rn.r.Int63n(10)}
+			if rn.r.Bernoulli(rn.RemoteStockProb) {
+				it.SupplyW = rn.remoteWarehouse(in.W)
+			}
+			in.Items = append(in.Items, it)
+		}
+		exec = func() error { _, err := rn.d.NewOrder(in); return err }
+	case core.TxnPayment:
+		in := PaymentInput{
+			W:           rn.warehouse(),
+			D:           rn.r.Int63n(tpcc.DistrictsPerWarehouse),
+			AmountCents: uint32(100 + rn.r.Int63n(500000)),
+		}
+		in.CW, in.CD = in.W, rn.r.Int63n(tpcc.DistrictsPerWarehouse)
+		if rn.r.Bernoulli(rn.RemotePaymentProb) {
+			in.CW = rn.remoteWarehouse(in.W)
+		}
+		if rn.r.Bernoulli(tpcc.PayByNameProb) {
+			in.ByName = true
+			in.NameOrd = rn.nameGen.Next()
+		} else {
+			in.C = rn.custGen.Next() - 1
+		}
+		exec = func() error { return rn.d.Payment(in) }
+	case core.TxnOrderStatus:
+		in := OrderStatusInput{
+			W: rn.warehouse(),
+			D: rn.r.Int63n(tpcc.DistrictsPerWarehouse),
+		}
+		if rn.r.Bernoulli(tpcc.PayByNameProb) {
+			in.ByName = true
+			in.NameOrd = rn.nameGen.Next()
+		} else {
+			in.C = rn.custGen.Next() - 1
+		}
+		exec = func() error { _, err := rn.d.OrderStatus(in); return err }
+	case core.TxnDelivery:
+		in := DeliveryInput{W: rn.warehouse(), Carrier: uint8(1 + rn.r.Int63n(10))}
+		exec = func() error { _, err := rn.d.Delivery(in); return err }
+	case core.TxnStockLevel:
+		in := StockLevelInput{
+			W: rn.warehouse(), D: rn.r.Int63n(tpcc.DistrictsPerWarehouse),
+			Threshold: int32(10 + rn.r.Int63n(11)),
+		}
+		exec = func() error { _, err := rn.d.StockLevel(in); return err }
+	}
+
+	const maxRetries = 10
+	for attempt := 0; ; attempt++ {
+		err := exec()
+		if err == nil {
+			rn.counts[typ]++
+			return typ, nil
+		}
+		if err == ErrAborted && attempt < maxRetries {
+			rn.retries++
+			continue
+		}
+		return typ, fmt.Errorf("db: %s failed: %w", typ, err)
+	}
+}
+
+// Run executes n transactions sequentially.
+func (rn *Runner) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := rn.RunOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunConcurrent executes total transactions across workers goroutines
+// (each with an independent derived seed) and returns the first error.
+func RunConcurrent(d *DB, seed uint64, mix tpcc.Mix, total, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	per := total / workers
+	base := rng.New(seed)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		rn := NewRunner(d, base.Uint64(), mix)
+		n := per
+		if w == workers-1 {
+			n = total - per*(workers-1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := rn.Run(n); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}

@@ -1,0 +1,139 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/lock"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/engine/wal"
+)
+
+// ErrAborted is returned by transaction procedures that were chosen as
+// deadlock victims and rolled back; callers should retry with the same
+// input.
+var ErrAborted = errors.New("db: transaction aborted, retry")
+
+// txn is one executing transaction: a lock owner plus an undo list for
+// rollback. Strict 2PL: locks release only at commit/abort.
+type txn struct {
+	d    *DB
+	id   lock.TxnID
+	undo []func() error
+}
+
+func (d *DB) begin() *txn {
+	return &txn{d: d, id: lock.TxnID(d.txnSeq.Add(1))}
+}
+
+// lockRow acquires a row lock, translating deadlock into rollback.
+func (t *txn) lockRow(rel core.Relation, row uint64, mode lock.Mode) error {
+	err := t.d.locks.Acquire(t.id, lock.Key{Table: uint32(rel), Row: row}, mode)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// commit forces a commit record and releases locks.
+func (t *txn) commit() {
+	t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit})
+	t.d.locks.ReleaseAll(t.id)
+	t.d.commits.Add(1)
+}
+
+// rollback applies the undo list in reverse, logs an abort, and releases.
+func (t *txn) rollback() error {
+	var firstErr error
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecAbort})
+	t.d.locks.ReleaseAll(t.id)
+	t.d.aborts.Add(1)
+	if firstErr != nil {
+		return fmt.Errorf("db: rollback failed: %w", firstErr)
+	}
+	return nil
+}
+
+// fail rolls back and wraps the cause; deadlocks surface as ErrAborted.
+func (t *txn) fail(cause error) error {
+	if rbErr := t.rollback(); rbErr != nil {
+		return rbErr
+	}
+	if errors.Is(cause, lock.ErrDeadlock) {
+		return ErrAborted
+	}
+	return cause
+}
+
+// readRec reads the record bytes at rid into out.
+func (t *txn) readRec(rel core.Relation, rid storage.RID, out []byte) error {
+	return t.d.heaps[rel].Read(rid, out)
+}
+
+// updateRec overwrites the record at rid, logging the after-image and
+// queueing an undo that restores the before-image. before and after must
+// not be aliased or mutated afterwards.
+func (t *txn) updateRec(rel core.Relation, rid storage.RID, before, after []byte) error {
+	t.d.log.Append(wal.Record{
+		Txn: uint64(t.id), Type: wal.RecUpdate, Table: uint32(rel),
+		RID: rid.Pack(), Before: before, After: after,
+	})
+	if err := t.d.heaps[rel].Update(rid, after); err != nil {
+		return err
+	}
+	h := t.d.heaps[rel]
+	img := append([]byte(nil), before...)
+	t.undo = append(t.undo, func() error { return h.Update(rid, img) })
+	return nil
+}
+
+// insertRec inserts a record, logging it and queueing deletion as undo.
+func (t *txn) insertRec(rel core.Relation, rec []byte) (storage.RID, error) {
+	rid, err := t.d.heaps[rel].Insert(rec)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	t.d.log.Append(wal.Record{
+		Txn: uint64(t.id), Type: wal.RecInsert, Table: uint32(rel),
+		RID: rid.Pack(), After: rec,
+	})
+	h := t.d.heaps[rel]
+	t.undo = append(t.undo, func() error { return h.Delete(rid) })
+	return rid, nil
+}
+
+// deleteRec removes the record at rid, queueing reinsertion as undo.
+func (t *txn) deleteRec(rel core.Relation, rid storage.RID, before []byte) error {
+	t.d.log.Append(wal.Record{
+		Txn: uint64(t.id), Type: wal.RecDelete, Table: uint32(rel),
+		RID: rid.Pack(), Before: before,
+	})
+	if err := t.d.heaps[rel].Delete(rid); err != nil {
+		return err
+	}
+	h := t.d.heaps[rel]
+	img := append([]byte(nil), before...)
+	t.undo = append(t.undo, func() error { return h.InsertAt(rid, img) })
+	return nil
+}
+
+// setIdx adds an index entry with undo.
+func (t *txn) setIdx(g *guardedTree, key, val uint64) {
+	g.set(key, val)
+	t.undo = append(t.undo, func() error { return g.delete(key) })
+}
+
+// delIdx removes an index entry with undo.
+func (t *txn) delIdx(g *guardedTree, key, val uint64) error {
+	if err := g.delete(key); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, func() error { g.set(key, val); return nil })
+	return nil
+}

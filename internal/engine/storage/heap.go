@@ -1,0 +1,385 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// RID is a record identifier: the page and slot holding the record.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Pack encodes the RID as a uint64 for storage in index values.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID {
+	return RID{Page: PageID(v >> 16), Slot: uint16(v & 0xffff)}
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Pager is the page-access interface HeapFile needs; the buffer manager
+// implements it (storage_test uses the store directly via a trivial
+// write-through adapter).
+type Pager interface {
+	// With pins page id, calls fn with its bytes, and unpins, marking
+	// the page dirty when dirty is true. fn must not retain the slice.
+	With(id PageID, dirty bool, fn func(page []byte)) error
+	// Allocate creates a new zeroed page (resident and dirty).
+	Allocate() (PageID, error)
+}
+
+// Slotted-page layout for fixed-length records:
+//
+//	[0:2)  numSlots  (uint16, capacity of the page, fixed at format time)
+//	[2:4)  recLen    (uint16)
+//	[4:4+ceil(numSlots/8))  occupancy bitmap
+//	[...]  record slots, recLen bytes each
+//
+// Fixed-length records make slot arithmetic trivial and match the paper's
+// "integral units of tuples fit per page" assumption (Table 1).
+const heapHeader = 4
+
+// SlotsPerPage returns how many recLen-byte records fit a page of
+// pageSize bytes after the header and bitmap.
+func SlotsPerPage(pageSize, recLen int) int {
+	if recLen <= 0 || pageSize <= heapHeader+1 {
+		return 0
+	}
+	// Solve n*recLen + ceil(n/8) + header <= pageSize.
+	n := (pageSize - heapHeader) / recLen
+	for n > 0 && heapHeader+(n+7)/8+n*recLen > pageSize {
+		n--
+	}
+	return n
+}
+
+func bitmapGet(page []byte, slot int) bool {
+	return page[heapHeader+slot/8]&(1<<uint(slot%8)) != 0
+}
+
+func bitmapSet(page []byte, slot int, v bool) {
+	if v {
+		page[heapHeader+slot/8] |= 1 << uint(slot%8)
+	} else {
+		page[heapHeader+slot/8] &^= 1 << uint(slot%8)
+	}
+}
+
+func slotOffset(numSlots, recLen, slot int) int {
+	return heapHeader + (numSlots+7)/8 + slot*recLen
+}
+
+// HeapFile stores fixed-length records in slotted pages.
+type HeapFile struct {
+	name     string
+	pager    Pager
+	recLen   int
+	slots    int // per page
+	pageSize int
+
+	mu sync.Mutex
+	// pages lists the file's pages in allocation order; freePages are
+	// indexes into pages with at least one free slot.
+	pages     []PageID
+	freePages []int
+	liveCount int64
+}
+
+// NewHeapFile creates an empty heap file of recLen-byte records.
+func NewHeapFile(name string, pager Pager, pageSize, recLen int) (*HeapFile, error) {
+	slots := SlotsPerPage(pageSize, recLen)
+	if slots <= 0 {
+		return nil, fmt.Errorf("storage: record length %d does not fit a %d-byte page", recLen, pageSize)
+	}
+	return &HeapFile{
+		name: name, pager: pager, recLen: recLen,
+		slots: slots, pageSize: pageSize,
+	}, nil
+}
+
+// Name returns the file name.
+func (h *HeapFile) Name() string { return h.name }
+
+// RecordLen returns the fixed record length.
+func (h *HeapFile) RecordLen() int { return h.recLen }
+
+// Slots returns the records-per-page capacity.
+func (h *HeapFile) Slots() int { return h.slots }
+
+// PageCount returns the number of pages in the file.
+func (h *HeapFile) PageCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(len(h.pages))
+}
+
+// Live returns the number of live records.
+func (h *HeapFile) Live() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.liveCount
+}
+
+// PageIDs returns a copy of the file's page list in allocation order.
+func (h *HeapFile) PageIDs() []PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]PageID(nil), h.pages...)
+}
+
+func (h *HeapFile) formatPage(page []byte) {
+	for i := range page {
+		page[i] = 0
+	}
+	binary.LittleEndian.PutUint16(page[0:2], uint16(h.slots))
+	binary.LittleEndian.PutUint16(page[2:4], uint16(h.recLen))
+}
+
+// Insert stores rec (len must equal RecordLen) and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) != h.recLen {
+		return RID{}, fmt.Errorf("storage: %s: record is %d bytes, want %d", h.name, len(rec), h.recLen)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.freePages) > 0 {
+		idx := h.freePages[len(h.freePages)-1]
+		pid := h.pages[idx]
+		slot := -1
+		err := h.pager.With(pid, true, func(page []byte) {
+			for s := 0; s < h.slots; s++ {
+				if !bitmapGet(page, s) {
+					bitmapSet(page, s, true)
+					off := slotOffset(h.slots, h.recLen, s)
+					copy(page[off:off+h.recLen], rec)
+					slot = s
+					return
+				}
+			}
+		})
+		if err != nil {
+			return RID{}, err
+		}
+		if slot >= 0 {
+			// Check whether the page is now full by slot count:
+			// conservatively drop it from the free list when the
+			// last slot was taken.
+			if slot == h.slots-1 {
+				h.freePages = h.freePages[:len(h.freePages)-1]
+			}
+			h.liveCount++
+			return RID{Page: pid, Slot: uint16(slot)}, nil
+		}
+		h.freePages = h.freePages[:len(h.freePages)-1]
+	}
+	pid, err := h.pager.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	err = h.pager.With(pid, true, func(page []byte) {
+		h.formatPage(page)
+		bitmapSet(page, 0, true)
+		off := slotOffset(h.slots, h.recLen, 0)
+		copy(page[off:off+h.recLen], rec)
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	h.pages = append(h.pages, pid)
+	if h.slots > 1 {
+		h.freePages = append(h.freePages, len(h.pages)-1)
+	}
+	h.liveCount++
+	return RID{Page: pid, Slot: 0}, nil
+}
+
+// InsertAt places rec at a specific RID, formatting and extending the file
+// as needed. It exists for WAL redo, which must reproduce exact RIDs.
+func (h *HeapFile) InsertAt(rid RID, rec []byte) error {
+	if len(rec) != h.recLen {
+		return fmt.Errorf("storage: %s: record is %d bytes, want %d", h.name, len(rec), h.recLen)
+	}
+	if int(rid.Slot) >= h.slots {
+		return fmt.Errorf("storage: %s: slot %d out of range", h.name, rid.Slot)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.knownPageLocked(rid.Page) {
+		h.pages = append(h.pages, rid.Page)
+		h.freePages = append(h.freePages, len(h.pages)-1)
+		if err := h.pager.With(rid.Page, true, func(page []byte) {
+			if binary.LittleEndian.Uint16(page[0:2]) == 0 {
+				h.formatPage(page)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	var wasLive bool
+	err := h.pager.With(rid.Page, true, func(page []byte) {
+		wasLive = bitmapGet(page, int(rid.Slot))
+		bitmapSet(page, int(rid.Slot), true)
+		off := slotOffset(h.slots, h.recLen, int(rid.Slot))
+		copy(page[off:off+h.recLen], rec)
+	})
+	if err != nil {
+		return err
+	}
+	if !wasLive {
+		h.liveCount++
+	}
+	return nil
+}
+
+// AttachPages reopens the heap over an existing set of pages (the page
+// list is catalog metadata, durable in a real system): it adopts the pages
+// in order and recounts live records and free slots from the durable
+// images. Used after a crash, before WAL redo.
+func (h *HeapFile) AttachPages(ids []PageID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pages = append([]PageID(nil), ids...)
+	h.freePages = h.freePages[:0]
+	h.liveCount = 0
+	for i, pid := range h.pages {
+		var live int
+		err := h.pager.With(pid, false, func(page []byte) {
+			for s := 0; s < h.slots; s++ {
+				if bitmapGet(page, s) {
+					live++
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		h.liveCount += int64(live)
+		if live < h.slots {
+			h.freePages = append(h.freePages, i)
+		}
+	}
+	return nil
+}
+
+func (h *HeapFile) knownPageLocked(pid PageID) bool {
+	for _, p := range h.pages {
+		if p == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// Read copies the record at rid into out (len RecordLen).
+func (h *HeapFile) Read(rid RID, out []byte) error {
+	if len(out) != h.recLen {
+		return fmt.Errorf("storage: %s: read buffer is %d bytes, want %d", h.name, len(out), h.recLen)
+	}
+	var live bool
+	err := h.pager.With(rid.Page, false, func(page []byte) {
+		if int(rid.Slot) < h.slots && bitmapGet(page, int(rid.Slot)) {
+			live = true
+			off := slotOffset(h.slots, h.recLen, int(rid.Slot))
+			copy(out, page[off:off+h.recLen])
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if !live {
+		return fmt.Errorf("storage: %s: no record at %s", h.name, rid)
+	}
+	return nil
+}
+
+// Update overwrites the record at rid.
+func (h *HeapFile) Update(rid RID, rec []byte) error {
+	if len(rec) != h.recLen {
+		return fmt.Errorf("storage: %s: record is %d bytes, want %d", h.name, len(rec), h.recLen)
+	}
+	var live bool
+	err := h.pager.With(rid.Page, true, func(page []byte) {
+		if int(rid.Slot) < h.slots && bitmapGet(page, int(rid.Slot)) {
+			live = true
+			off := slotOffset(h.slots, h.recLen, int(rid.Slot))
+			copy(page[off:off+h.recLen], rec)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if !live {
+		return fmt.Errorf("storage: %s: no record at %s", h.name, rid)
+	}
+	return nil
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	var live bool
+	err := h.pager.With(rid.Page, true, func(page []byte) {
+		if int(rid.Slot) < h.slots && bitmapGet(page, int(rid.Slot)) {
+			live = true
+			bitmapSet(page, int(rid.Slot), false)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if !live {
+		return fmt.Errorf("storage: %s: no record at %s", h.name, rid)
+	}
+	h.mu.Lock()
+	h.liveCount--
+	// Make the page eligible for inserts again.
+	for i, p := range h.pages {
+		if p == rid.Page {
+			found := false
+			for _, f := range h.freePages {
+				if f == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				h.freePages = append(h.freePages, i)
+			}
+			break
+		}
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// Scan calls fn for every live record in page order; returning false stops
+// the scan. The record slice is only valid during the call.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
+	for _, pid := range h.PageIDs() {
+		stop := false
+		err := h.pager.With(pid, false, func(page []byte) {
+			for s := 0; s < h.slots; s++ {
+				if !bitmapGet(page, s) {
+					continue
+				}
+				off := slotOffset(h.slots, h.recLen, s)
+				if !fn(RID{Page: pid, Slot: uint16(s)}, page[off:off+h.recLen]) {
+					stop = true
+					return
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

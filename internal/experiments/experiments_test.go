@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/model"
+	"tpccmodel/internal/sim"
+)
+
+// tinyOptions runs fast enough for unit tests while keeping curve shape.
+func tinyOptions() Options {
+	return Options{
+		Warehouses: 1,
+		Seed:       7,
+		WarmupTxns: 2_000,
+		Batches:    3,
+		BatchTxns:  3_000,
+		Level:      0.90,
+		BufferMB:   []float64{2, 8, 16, 32, 48},
+		PageSize:   4096,
+	}
+}
+
+func TestSeriesWriteTSV(t *testing.T) {
+	s := Series{Name: "x", Comment: "c", Cols: []string{"a", "b"}}
+	s.Add(1, 2.5)
+	var buf bytes.Buffer
+	if err := s.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "# c\n") || !strings.Contains(got, "a\tb\n") ||
+		!strings.Contains(got, "1\t2.5\n") {
+		t.Errorf("TSV output:\n%s", got)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	s := Table1(20, 4096)
+	if len(s.Rows) != int(core.NumRelations) {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// Stock row: cardinality 2M, 306B, 13/page.
+	row := s.Rows[core.Stock]
+	if row[1] != 2_000_000 || row[2] != 306 || row[3] != 13 {
+		t.Errorf("stock row = %v", row)
+	}
+}
+
+func TestFig3And4PMFs(t *testing.T) {
+	s3 := Fig3(1000)
+	if len(s3.Rows) != 100 {
+		t.Errorf("fig3 with stride 1000: %d rows", len(s3.Rows))
+	}
+	var sum float64
+	full := Fig3(1)
+	for _, row := range full.Rows {
+		sum += row[1]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fig3 PMF sums to %v", sum)
+	}
+	s4 := Fig4(1)
+	if len(s4.Rows) != 10000 {
+		t.Errorf("fig4 rows = %d", len(s4.Rows))
+	}
+}
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	s := Fig5(100)
+	// Column order: data_fraction, tuple, seq4K, seq8K, opt4K.
+	// At 80% of the data, the paper's values: tuple ~16% of accesses
+	// (coldest 80%), 4K ~25%, 8K a bit more, optimized ~tuple.
+	var at80 []float64
+	for _, row := range s.Rows {
+		if math.Abs(row[0]-0.8) < 1e-9 {
+			at80 = row
+		}
+	}
+	if at80 == nil {
+		t.Fatal("no 0.8 row")
+	}
+	tuple, seq4, seq8, opt := at80[1], at80[2], at80[3], at80[4]
+	if math.Abs(tuple-0.16) > 0.03 {
+		t.Errorf("tuple CDF at 0.8 = %.3f, paper says ~0.16", tuple)
+	}
+	if math.Abs(seq4-0.25) > 0.04 {
+		t.Errorf("4K CDF at 0.8 = %.3f, paper says ~0.25", seq4)
+	}
+	if !(seq8 > seq4) {
+		t.Errorf("8K pages should dilute skew more: %.3f vs %.3f", seq8, seq4)
+	}
+	if math.Abs(opt-tuple) > 0.02 {
+		t.Errorf("optimized packing (%.3f) should track tuple level (%.3f)", opt, tuple)
+	}
+}
+
+func TestSkewHeadlines(t *testing.T) {
+	s := SkewHeadlines()
+	// Row 0: hottest 20%: tuple ~0.84, 4K ~0.75.
+	if math.Abs(s.Rows[0][1]-0.84) > 0.03 {
+		t.Errorf("tuple 20%% share = %.3f", s.Rows[0][1])
+	}
+	if math.Abs(s.Rows[0][2]-0.75) > 0.04 {
+		t.Errorf("4K 20%% share = %.3f", s.Rows[0][2])
+	}
+	// Row 2: hottest 2%: tuple ~0.39, 4K ~0.28.
+	if math.Abs(s.Rows[2][1]-0.39) > 0.04 {
+		t.Errorf("tuple 2%% share = %.3f", s.Rows[2][1])
+	}
+	if math.Abs(s.Rows[2][2]-0.28) > 0.04 {
+		t.Errorf("4K 2%% share = %.3f", s.Rows[2][2])
+	}
+}
+
+func TestFig8Fig9Fig10Pipeline(t *testing.T) {
+	st := NewStudy(tinyOptions())
+	fig8, err := Fig8(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8.Rows) != len(st.Opts.BufferMB) {
+		t.Fatalf("fig8 rows = %d", len(fig8.Rows))
+	}
+	// Monotone non-increasing miss rates per column.
+	for col := 1; col < len(fig8.Cols); col++ {
+		prev := 1.1
+		for _, row := range fig8.Rows {
+			if row[col] > prev+1e-9 {
+				t.Errorf("fig8 col %s not monotone", fig8.Cols[col])
+				break
+			}
+			prev = row[col]
+		}
+	}
+	// Optimized <= sequential for stock at every size (allowing batch noise).
+	for _, row := range fig8.Rows {
+		if row[4] > row[3]+0.02 {
+			t.Errorf("optimized stock miss %.4f above sequential %.4f at %vMB",
+				row[4], row[3], row[0])
+		}
+	}
+
+	sys := model.DefaultSystemParams()
+	fig9, err := Fig9(st, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput rises (weakly) with buffer size and optimized >= sequential.
+	prev := 0.0
+	for _, row := range fig9.Rows {
+		if row[1] < prev-1e-6 {
+			t.Error("fig9 sequential tpm decreased with more memory")
+			break
+		}
+		prev = row[1]
+	}
+	last := fig9.Rows[len(fig9.Rows)-1]
+	if last[2] < last[1]-1e-6 {
+		t.Errorf("optimized tpm %.2f below sequential %.2f", last[2], last[1])
+	}
+
+	fig10, err := Fig10(st, sys, model.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minima := Fig10Minima(fig10)
+	if len(minima.Rows) != 4 {
+		t.Fatalf("minima rows = %d", len(minima.Rows))
+	}
+	for _, row := range minima.Rows {
+		if row[2] <= 0 {
+			t.Errorf("non-positive optimal $/tpm: %v", row)
+		}
+	}
+	// The growth-storage curves cost at least as much as no-growth at
+	// the optimum (more disks for the same throughput).
+	if minima.Rows[2][2] < minima.Rows[0][2]-1e-9 {
+		t.Error("growth storage should not be cheaper than no-growth")
+	}
+}
+
+func TestTable3Measured(t *testing.T) {
+	s, err := Table3(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New-Order column (distinct tuples): warehouse U(1), district U(1)
+	// — the select+update pair touches one tuple — customer NU(1),
+	// stock NU(10), item NU(10), matching the paper's Table 3 row.
+	no := func(rel core.Relation) float64 { return s.Rows[rel][1] }
+	if no(core.Warehouse) != 1 || no(core.District) != 1 || no(core.Customer) != 1 {
+		t.Errorf("new-order tuples: wh %v dist %v cust %v",
+			no(core.Warehouse), no(core.District), no(core.Customer))
+	}
+	// Ten NU item draws occasionally collide, so distinct items per
+	// order sit just under 10.
+	if math.Abs(no(core.Item)-10) > 0.05 || math.Abs(no(core.Stock)-10) > 0.05 {
+		t.Errorf("new-order item/stock tuples = %v/%v, want ~10",
+			no(core.Item), no(core.Stock))
+	}
+	// Paper's stock average: 0.43*10 + 0.04*~200 ≈ 12.3 (printed 12.4).
+	if avg := s.Rows[core.Stock][6]; math.Abs(avg-12.3) > 0.6 {
+		t.Errorf("stock average tuples = %v, paper says ~12.4", avg)
+	}
+	// Item average: 0.43*10 = 4.3 (printed 4.4).
+	if avg := s.Rows[core.Item][6]; math.Abs(avg-4.3) > 0.3 {
+		t.Errorf("item average tuples = %v, paper says ~4.4", avg)
+	}
+}
+
+func TestFig11Fig12(t *testing.T) {
+	st := NewStudy(tinyOptions())
+	sys := model.DefaultSystemParams()
+	nodes := []int{1, 2, 10, 30}
+	fig11, err := Fig11(st, sys, 32, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range fig11.Rows {
+		if !(row[3] <= row[2] && row[2] <= row[1]+1e-9) {
+			t.Errorf("fig11 ordering violated at %v nodes: %v", row[0], row)
+		}
+	}
+	// Replicated within ~5% of ideal (paper: ~3%).
+	last := fig11.Rows[len(fig11.Rows)-1]
+	if eff := last[2] / last[1]; eff < 0.93 {
+		t.Errorf("replicated efficiency at 30 nodes = %.3f", eff)
+	}
+
+	fig12, err := Fig12(st, sys, 32, nodes, []float64{0.01, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRow := fig12.Rows[len(fig12.Rows)-1]
+	if !(lastRow[3] < lastRow[2] && lastRow[2] < lastRow[1]) {
+		t.Errorf("fig12 should fall with remote probability: %v", lastRow)
+	}
+	drop := 1 - lastRow[3]/lastRow[1]
+	if drop < 0.2 || drop > 0.6 {
+		t.Errorf("fig12 drop at p=1.0 = %.2f, paper says ~0.44", drop)
+	}
+}
+
+func TestTable4AndTables67(t *testing.T) {
+	st := NewStudy(tinyOptions())
+	sys := model.DefaultSystemParams()
+	t4, err := Table4(st, sys, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 5 {
+		t.Fatalf("table4 rows = %d", len(t4.Rows))
+	}
+	// New-Order row: 23 selects, 11 updates, 12 inserts.
+	no := t4.Rows[core.TxnNewOrder]
+	if no[1] != 23 || no[2] != 11 || no[3] != 12 {
+		t.Errorf("table4 new-order = %v", no)
+	}
+
+	t67 := Tables6and7([]int{2, 10, 30})
+	if len(t67.Rows) != 3 {
+		t.Fatalf("tables6-7 rows = %d", len(t67.Rows))
+	}
+	// Partitioned send/receive always exceeds replicated.
+	for _, row := range t67.Rows {
+		if row[9] <= row[8] {
+			t.Errorf("partitioned send/receive should exceed replicated: %v", row)
+		}
+	}
+}
+
+func TestPolicyAblation(t *testing.T) {
+	opts := tinyOptions()
+	opts.Batches, opts.BatchTxns = 2, 1500
+	s, err := PolicyAblation(opts, 16, []string{"lru", "clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	for _, row := range s.Rows {
+		if row[1] <= 0 || row[1] >= 1 || row[2] <= 0 || row[2] >= 1 {
+			t.Errorf("implausible miss rates: %v", row)
+		}
+	}
+	if _, err := PolicyAblation(opts, 16, []string{"bogus"}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestStudyCachesCurves(t *testing.T) {
+	st := NewStudy(tinyOptions())
+	a, err := st.Curve(sim.PackSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Curve(sim.PackSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("study should cache curve results")
+	}
+}

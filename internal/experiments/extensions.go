@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpccmodel/internal/analytic"
+	"tpccmodel/internal/buffer"
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/model"
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/packing"
+	"tpccmodel/internal/queuesim"
+	"tpccmodel/internal/sim"
+	"tpccmodel/internal/tpcc"
+	"tpccmodel/internal/workload"
+)
+
+// OptimalityGap measures how far LRU sits from Belady's offline-optimal
+// policy on the TPC-C reference stream — a bound the paper's Section 4
+// hypothesis ("more sophisticated replacement policies could result in an
+// even larger difference") implies but never quantifies. The trace is
+// capped at maxTxns transactions.
+func OptimalityGap(opts Options, bufferMBs []float64, maxTxns int64) (Series, error) {
+	gen, err := workload.New(opts.workload())
+	if err != nil {
+		return Series{}, err
+	}
+	mappers := sim.BuildMappers(opts.workload().DB, sim.PackSequential, opts.Seed)
+	var trace []core.PageID
+	var txn workload.Txn
+	for i := int64(0); i < maxTxns; i++ {
+		gen.Next(&txn)
+		for _, a := range txn.Accesses {
+			trace = append(trace, core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple)))
+		}
+	}
+
+	s := Series{
+		Name:    "optimality-gap",
+		Comment: fmt.Sprintf("LRU vs Belady OPT over %d transactions (%d accesses), sequential packing", maxTxns, len(trace)),
+		Cols:    []string{"buffer_MB", "lru_miss", "opt_miss", "lru_over_opt"},
+	}
+	for _, mb := range bufferMBs {
+		pages := sim.PagesForBytes(int64(mb*(1<<20)), opts.PageSize)
+		lru := buffer.NewLRU(pages)
+		opt := buffer.NewOPT(pages, trace)
+		var lruMiss, optMiss int64
+		for _, p := range trace {
+			if !lru.Access(p) {
+				lruMiss++
+			}
+			if !opt.Access(p) {
+				optMiss++
+			}
+		}
+		n := float64(len(trace))
+		ratio := 0.0
+		if optMiss > 0 {
+			ratio = float64(lruMiss) / float64(optMiss)
+		}
+		s.Add(mb, float64(lruMiss)/n, float64(optMiss)/n, ratio)
+	}
+	return s, nil
+}
+
+// AnalyticVsSimulated compares Che's IRM approximation (package analytic)
+// against the trace-driven simulation for the three NURand-skewed
+// relations, under sequential packing. The analytic model knows only the
+// exact access distributions — no trace — so agreement here means the
+// paper's Figure 8 curves for customer/stock/item are predictable in
+// closed form. The growing relations are recency-driven and excluded from
+// the model; their buffer footprint is not deducted from the capacity, so
+// the analytic hit ratios run slightly optimistic at small buffers.
+func AnalyticVsSimulated(st *Study) (Series, error) {
+	res, err := st.Curve(sim.PackSequential)
+	if err != nil {
+		return Series{}, err
+	}
+	opts := st.Opts
+	db := opts.workload().DB
+
+	pagePMF := func(pmf []float64, perPage int64) []float64 {
+		return packing.PagePMF(pmf, packing.NewGroupedSequential(int64(len(pmf)), perPage))
+	}
+	stockPMF := nurand.ExactPMF(nurand.ItemID)
+	custPMF := nurand.CustomerMixture().ExactPMF()
+	classes := []analytic.Class{
+		{
+			Name:    "customer",
+			Weight:  float64(res.RelAccesses(core.Customer)),
+			PagePMF: pagePMF(custPMF, db.TuplesPerPage(core.Customer)),
+			Copies:  opts.Warehouses * tpcc.DistrictsPerWarehouse,
+		},
+		{
+			Name:    "stock",
+			Weight:  float64(res.RelAccesses(core.Stock)),
+			PagePMF: pagePMF(stockPMF, db.TuplesPerPage(core.Stock)),
+			Copies:  opts.Warehouses,
+		},
+		{
+			Name:    "item",
+			Weight:  float64(res.RelAccesses(core.Item)),
+			PagePMF: pagePMF(stockPMF, db.TuplesPerPage(core.Item)),
+			Copies:  1,
+		},
+	}
+	m, err := analytic.NewModel(classes)
+	if err != nil {
+		return Series{}, err
+	}
+
+	// Unit adjustment: the IRM predicts the miss probability of a
+	// DISTINCT tuple reference, while the simulation counts every call —
+	// and a transaction's repeated calls to a tuple it already touched
+	// (select+update pairs, the delivery read-modify-write loops) always
+	// hit. Scaling the closed form by unique/calls puts both on the
+	// per-call basis. The ratios are measured from a short generator run.
+	uniqueRatio, err := uniquePerCallRatio(opts)
+	if err != nil {
+		return Series{}, err
+	}
+
+	s := Series{
+		Name: "analytic-vs-sim",
+		Comment: "Che/IRM closed-form miss rates (per-call adjusted) vs " +
+			"trace-driven simulation, sequential packing",
+		Cols: []string{"buffer_MB", "customer_sim", "customer_che",
+			"stock_sim", "stock_che", "item_sim", "item_che"},
+	}
+	caps := opts.capacities()
+	for i, mb := range opts.BufferMB {
+		che := m.MissRates(caps[i])
+		s.Add(mb,
+			res.MissRate(core.Customer, caps[i]), che[0]*uniqueRatio[core.Customer],
+			res.MissRate(core.Stock, caps[i]), che[1]*uniqueRatio[core.Stock],
+			res.MissRate(core.Item, caps[i]), che[2]*uniqueRatio[core.Item])
+	}
+	return s, nil
+}
+
+// uniquePerCallRatio measures, per relation, the ratio of distinct tuples
+// touched to total calls made across the workload.
+func uniquePerCallRatio(opts Options) ([core.NumRelations]float64, error) {
+	var ratio [core.NumRelations]float64
+	gen, err := workload.New(opts.workload())
+	if err != nil {
+		return ratio, err
+	}
+	var calls, unique [core.NumRelations]int64
+	seen := make(map[core.Access]struct{}, 512)
+	var txn workload.Txn
+	for i := 0; i < 50_000; i++ {
+		gen.Next(&txn)
+		clear(seen)
+		for _, a := range txn.Accesses {
+			calls[a.Rel]++
+			key := core.Access{Rel: a.Rel, Tuple: a.Tuple}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			unique[a.Rel]++
+		}
+	}
+	for rel := range ratio {
+		if calls[rel] > 0 {
+			ratio[rel] = float64(unique[rel]) / float64(calls[rel])
+		} else {
+			ratio[rel] = 1
+		}
+	}
+	return ratio, nil
+}
+
+// ResponseValidation cross-checks the analytic response-time model against
+// the discrete-event queueing simulation across load levels: the classic
+// hockey-stick latency curve, analytic and simulated side by side. Demands
+// come from the study's sequential-packing buffer run at capIdx.
+func ResponseValidation(st *Study, sys model.SystemParams, capIdx, diskArms int,
+	fractions []float64) (Series, error) {
+	res, err := st.Curve(sim.PackSequential)
+	if err != nil {
+		return Series{}, err
+	}
+	d := model.DemandsFromCurve(res, capIdx)
+	tp := model.MaxThroughput(sys, d, nil)
+	satLambda := tp.TotalPerSec / sys.MaxCPUUtil
+
+	s := Series{
+		Name: "response-validation",
+		Comment: fmt.Sprintf("Mean response time (ms) vs load: analytic vs discrete-event sim, %d disk arms",
+			diskArms),
+		Cols: []string{"load_fraction", "lambda_per_sec", "analytic_ms", "simulated_ms",
+			"cpu_util", "disk_util"},
+	}
+	for _, f := range fractions {
+		lambda := f * satLambda
+		ana, err := model.ResponseTime(sys, d, lambda, diskArms)
+		if err != nil {
+			return Series{}, fmt.Errorf("load %.2f: %w", f, err)
+		}
+		simr, err := queuesim.Run(queuesim.Config{
+			Sys: sys, Demands: d, Lambda: lambda, DiskArms: diskArms,
+			Transactions: 20_000, WarmupTransactions: 2_000, Seed: st.Opts.Seed,
+		})
+		if err != nil {
+			return Series{}, fmt.Errorf("load %.2f: %w", f, err)
+		}
+		s.Add(f, lambda, ana.MeanMs, simr.MeanResponseMs, simr.CPUUtil, simr.DiskUtil)
+	}
+	return s, nil
+}
+
+// AppendixAValidation cross-checks the Appendix A closed-form expectations
+// against the workload generator: the generator draws remote warehouses
+// exactly as the benchmark specifies, so measuring remote stock/customer
+// calls and distinct remote nodes per transaction over many transactions
+// must reproduce E[R_s], RC_stock, L_stock, U_stock, RC_cust, and U_cust.
+// Warehouses are partitioned round-robin over nodes (warehousesPerNode
+// each); the paper's 20-per-node layout is nodes*20 warehouses.
+func AppendixAValidation(warehousesPerNode, nodes int, txns int64, seed uint64) (Series, error) {
+	cfg := workload.DefaultConfig(warehousesPerNode*nodes, seed)
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return Series{}, err
+	}
+	nodeOf := func(wh int64) int { return int(wh) / warehousesPerNode }
+
+	var txn workload.Txn
+	var newOrders, payments int64
+	var remoteStockCalls, remoteCustCalls float64
+	var allLocalStock int64
+	var uStockSum, uCustSum float64
+	remoteNodes := make(map[int]struct{}, nodes)
+	for i := int64(0); i < txns; i++ {
+		gen.Next(&txn)
+		switch txn.Type {
+		case core.TxnNewOrder, core.TxnPayment:
+		default:
+			continue
+		}
+		home := nodeOf(txn.Accesses[0].Tuple) // warehouse select comes first
+		clear(remoteNodes)
+		var remoteCalls int
+		for _, a := range txn.Accesses {
+			var wh int64
+			switch a.Rel {
+			case core.Stock:
+				if txn.Type != core.TxnNewOrder {
+					continue
+				}
+				wh = a.Tuple / tpcc.StockPerWarehouse
+			case core.Customer:
+				if txn.Type != core.TxnPayment {
+					continue
+				}
+				wh = a.Tuple / tpcc.CustomersPerWarehouse
+			default:
+				continue
+			}
+			if n := nodeOf(wh); n != home {
+				remoteCalls++
+				remoteNodes[n] = struct{}{}
+			}
+		}
+		switch txn.Type {
+		case core.TxnNewOrder:
+			newOrders++
+			remoteStockCalls += float64(remoteCalls)
+			if len(remoteNodes) == 0 {
+				allLocalStock++
+			}
+			uStockSum += float64(len(remoteNodes))
+		case core.TxnPayment:
+			payments++
+			// The customer select(s)+update count as calls; Appendix A
+			// counts 0.4*1 + 0.6*3 reads + 1 write-back = measured
+			// accesses directly.
+			remoteCustCalls += float64(remoteCalls)
+			uCustSum += float64(len(remoteNodes))
+		}
+	}
+	if newOrders == 0 || payments == 0 {
+		return Series{}, fmt.Errorf("experiments: no transactions measured")
+	}
+
+	// The paper's (N-1)/N factor approximates the probability that a
+	// uniformly chosen OTHER warehouse lives on a remote node; the exact
+	// value is (W - perNode)/(W - 1), which the approximation reaches
+	// only for many warehouses per node (at the paper's 20 per node the
+	// two differ by < 0.2%). Report both: the validation must match the
+	// exact form tightly and shows how coarse the approximation gets at
+	// small scales.
+	paper := model.DefaultDistConfig(nodes, true).Expect()
+	w := float64(warehousesPerNode * nodes)
+	exactNodeFrac := (w - float64(warehousesPerNode)) / (w - 1)
+	adj := model.DefaultDistConfig(nodes, true)
+	scale := exactNodeFrac * float64(nodes) / float64(nodes-1)
+	adj.RemoteStockProb *= scale
+	adj.RemotePaymentProb *= scale
+	exact := adj.Expect()
+
+	s := Series{
+		Name: "appendix-a-validation",
+		Comment: fmt.Sprintf("Appendix A closed forms vs generator measurement (%d nodes, %d wh/node, %d txns); paper uses (N-1)/N, exact is (W-perNode)/(W-1)",
+			nodes, warehousesPerNode, txns),
+		Cols: []string{"quantity", "paper_form", "exact_form", "measured"},
+	}
+	s.Add(0, 2*paper.ERs, 2*exact.ERs, remoteStockCalls/float64(newOrders)) // RC_stock
+	s.Add(1, paper.LStock, exact.LStock, float64(allLocalStock)/float64(newOrders))
+	s.Add(2, paper.UStock, exact.UStock, uStockSum/float64(newOrders))
+	s.Add(3, paper.RCCust, exact.RCCust, remoteCustCalls/float64(payments))
+	s.Add(4, paper.UCust, exact.UCust, uCustSum/float64(payments))
+	return s, nil
+}
+
+// PageSizeStudy carries the paper's Section 3 page-size observation into
+// the Section 4 buffer simulation: at equal memory, 4K pages preserve more
+// skew than 8K pages (more pages fit, hot tuples dilute less), so the
+// skewed relations should miss less under 4K at the same buffer size in
+// bytes — quantified here for sequential packing.
+func PageSizeStudy(opts Options) (Series, error) {
+	s := Series{
+		Name:    "page-size",
+		Comment: "Stock/customer miss rates at equal memory: 4K vs 8K pages, sequential packing",
+		Cols: []string{"buffer_MB", "stock_4K", "stock_8K",
+			"customer_4K", "customer_8K", "overall_4K", "overall_8K"},
+	}
+	type out struct {
+		res *sim.CurveResult
+		cap []int64
+	}
+	runs := make(map[int]out, 2)
+	for _, pageSize := range []int{4096, 8192} {
+		o := opts
+		o.PageSize = pageSize
+		res, err := sim.RunCurve(sim.CurveConfig{
+			Workload:        o.workload(),
+			Packing:         sim.PackSequential,
+			CapacitiesPages: o.capacities(),
+			WarmupTxns:      o.WarmupTxns,
+			Batches:         o.Batches,
+			BatchTxns:       o.BatchTxns,
+			Level:           o.Level,
+		})
+		if err != nil {
+			return Series{}, err
+		}
+		runs[pageSize] = out{res: res, cap: o.capacities()}
+	}
+	r4, r8 := runs[4096], runs[8192]
+	for i, mb := range opts.BufferMB {
+		s.Add(mb,
+			r4.res.MissRate(core.Stock, r4.cap[i]), r8.res.MissRate(core.Stock, r8.cap[i]),
+			r4.res.MissRate(core.Customer, r4.cap[i]), r8.res.MissRate(core.Customer, r8.cap[i]),
+			r4.res.Overall.MissRate(r4.cap[i]), r8.res.Overall.MissRate(r8.cap[i]))
+	}
+	return s, nil
+}
+
+// MixSensitivity quantifies the paper's Section 2.1 warning: with 45%
+// New-Order and only 4% Delivery the New-Order relation grows without
+// bound, "causing more misses on the New-Order relation to occur and a
+// need for more storage". It compares the paper's draining 43/44/4/5/4
+// mix against the non-draining 45/43/4/4/4 minimum mix at one buffer size.
+func MixSensitivity(opts Options, bufferMB float64) (Series, error) {
+	pages := sim.PagesForBytes(int64(bufferMB*(1<<20)), opts.PageSize)
+	s := Series{
+		Name:    "mix-sensitivity",
+		Comment: fmt.Sprintf("Draining (43/5) vs non-draining (45/4) mix at %.0fMB", bufferMB),
+		Cols: []string{"mix", "pending_new_orders", "new_order_miss",
+			"order_line_miss", "overall_miss"},
+	}
+	for i, mix := range []tpcc.Mix{tpcc.DefaultMix(), tpcc.MinimumMix()} {
+		wl := opts.workload()
+		wl.Mix = mix
+		gen, err := workload.New(wl)
+		if err != nil {
+			return Series{}, err
+		}
+		mappers := sim.BuildMappers(wl.DB, sim.PackSequential, wl.Seed)
+		lru := buffer.NewLRU(pages)
+		var txn workload.Txn
+		var acc, miss [core.NumRelations]int64
+		var accAll, missAll int64
+		total := int64(opts.Batches) * opts.BatchTxns
+		for n := int64(0); n < total; n++ {
+			gen.Next(&txn)
+			for _, a := range txn.Accesses {
+				hit := lru.Access(core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple)))
+				acc[a.Rel]++
+				accAll++
+				if !hit {
+					miss[a.Rel]++
+					missAll++
+				}
+			}
+		}
+		_, pending, _, _ := gen.Sizes()
+		rate := func(rel core.Relation) float64 {
+			if acc[rel] == 0 {
+				return 0
+			}
+			return float64(miss[rel]) / float64(acc[rel])
+		}
+		s.Add(float64(i), float64(pending), rate(core.NewOrder),
+			rate(core.OrderLine), float64(missAll)/float64(accAll))
+	}
+	return s, nil
+}

@@ -1,0 +1,240 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/tpcc"
+)
+
+// DistConfig describes a distributed configuration for the Section 5.3 /
+// Appendix A model: N symmetric nodes, each holding 20 warehouses (or
+// whatever the workload config says) and all data pertaining to them, with
+// the Item relation either replicated everywhere or partitioned equally.
+type DistConfig struct {
+	// Nodes is N.
+	Nodes int
+	// RemoteStockProb is the benchmark's 1% chance an ordered item is
+	// stocked by a remote warehouse (Figure 12 sweeps this).
+	RemoteStockProb float64
+	// RemotePaymentProb is the benchmark's 15% remote-payment chance.
+	RemotePaymentProb float64
+	// ItemReplicated selects between Table 6 (replicated, read-only
+	// sharing CC with no remote calls for item) and Table 7
+	// (partitioned: item fetches go remote with probability (N-1)/N).
+	ItemReplicated bool
+}
+
+// DefaultDistConfig returns the benchmark probabilities.
+func DefaultDistConfig(nodes int, replicated bool) DistConfig {
+	return DistConfig{
+		Nodes:             nodes,
+		RemoteStockProb:   tpcc.RemoteStockProb,
+		RemotePaymentProb: tpcc.RemotePaymentProb,
+		ItemReplicated:    replicated,
+	}
+}
+
+// Validate checks the configuration.
+func (d DistConfig) Validate() error {
+	if d.Nodes < 1 {
+		return fmt.Errorf("model: nodes must be >= 1")
+	}
+	if d.RemoteStockProb < 0 || d.RemoteStockProb > 1 {
+		return fmt.Errorf("model: remote stock probability %v out of [0,1]", d.RemoteStockProb)
+	}
+	if d.RemotePaymentProb < 0 || d.RemotePaymentProb > 1 {
+		return fmt.Errorf("model: remote payment probability %v out of [0,1]", d.RemotePaymentProb)
+	}
+	return nil
+}
+
+// Expectations are the Appendix A quantities (Table 5 notation).
+type Expectations struct {
+	// PS is the per-item probability of a remote-node stock supplier:
+	// RemoteStockProb * (N-1)/N.
+	PS float64
+	// ERs is E[R_s], the expected remote stock fetches per New-Order.
+	ERs float64
+	// RCStock is the expected remote calls for reading and writing stock
+	// tuples (2 per remote tuple).
+	RCStock float64
+	// LStock is the probability all ten stock tuples are local.
+	LStock float64
+	// UStock is the expected number of unique remote sites supplying
+	// stock tuples.
+	UStock float64
+	// RCCust and UCust are the Payment analogues.
+	RCCust float64
+	UCust  float64
+	// PI, ERi, RCItem, UItem, UStockItem apply only when the Item
+	// relation is partitioned (Table 7).
+	PI         float64
+	ERi        float64
+	RCItem     float64
+	UItem      float64
+	UStockItem float64
+}
+
+// binomialPMF returns P[j successes in n trials at probability p].
+func binomialPMF(n int, p float64) []float64 {
+	out := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		out[j] = float64(choose(n, j)) * math.Pow(p, float64(j)) * math.Pow(1-p, float64(n-j))
+	}
+	return out
+}
+
+func choose(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
+}
+
+// uniqueSites returns the Appendix A theorem's expectation: given the
+// distribution pj of the number of remote requests, the expected number of
+// distinct remote sites is sum_j pj (N-1)(1 - ((N-2)/(N-1))^j).
+func uniqueSites(pj []float64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	ratio := float64(n-2) / float64(n-1)
+	var u float64
+	for j, p := range pj {
+		u += p * float64(n-1) * (1 - math.Pow(ratio, float64(j)))
+	}
+	return u
+}
+
+// Expect computes the Appendix A expectations for this configuration.
+func (d DistConfig) Expect() Expectations {
+	n := d.Nodes
+	var e Expectations
+	if n <= 1 {
+		e.LStock = 1
+		return e
+	}
+	frac := float64(n-1) / float64(n)
+
+	// Stock (Appendix A.1).
+	e.PS = d.RemoteStockProb * frac
+	pS := binomialPMF(tpcc.ItemsPerOrder, e.PS)
+	for j, p := range pS {
+		e.ERs += float64(j) * p
+	}
+	e.RCStock = 2 * e.ERs
+	e.LStock = math.Pow(1-e.PS, tpcc.ItemsPerOrder)
+	e.UStock = uniqueSites(pS, n)
+
+	// Customer (Payment): remote with probability 0.15·(N-1)/N; 0.4·1 +
+	// 0.6·3 tuples selected plus one write-back (equation 8).
+	e.RCCust = d.RemotePaymentProb * frac * (0.4*1 + 0.6*3 + 1)
+	e.UCust = d.RemotePaymentProb * frac
+
+	// Item (Appendix A.2), meaningful only when not replicated.
+	if !d.ItemReplicated {
+		e.PI = frac
+		pI := binomialPMF(tpcc.ItemsPerOrder, e.PI)
+		for j, p := range pI {
+			e.ERi += float64(j) * p
+		}
+		e.RCItem = e.ERi // read-only: no write-back
+		e.UItem = uniqueSites(pI, n)
+		// U_{stock+item}: uncondition over both request counts
+		// (equation 13).
+		ratio := float64(n-2) / float64(n-1)
+		for j, pj := range pI {
+			for k, pk := range pS {
+				e.UStockItem += pj * pk * float64(n-1) *
+					(1 - math.Pow(ratio, float64(j+k)))
+			}
+		}
+	}
+	return e
+}
+
+// RemoteVisitCounts returns the Tables 6/7 visit-count deltas for each
+// transaction type. Only New-Order and Payment change; the other three
+// transactions are purely local by benchmark construction.
+func (d DistConfig) RemoteVisitCounts() [core.NumTxnTypes]RemoteVisits {
+	var rv [core.NumTxnTypes]RemoteVisits
+	if d.Nodes <= 1 {
+		return rv
+	}
+	e := d.Expect()
+
+	// Payment (identical in Tables 6 and 7).
+	rv[core.TxnPayment] = RemoteVisits{
+		CommitExtra: e.UCust,
+		SendReceive: 2*e.RCCust + 4*e.UCust,
+		PrepCommit:  e.UCust,
+		InitIOExtra: e.UCust,
+	}
+
+	if d.ItemReplicated {
+		// Table 6: only stock tuples go remote.
+		rv[core.TxnNewOrder] = RemoteVisits{
+			CommitExtra: e.UStock,
+			SendReceive: 4*e.UStock + 2*e.RCStock,
+			PrepCommit:  e.UStock + 1 - e.LStock,
+			InitIOExtra: e.UStock,
+		}
+		return rv
+	}
+	// Table 7: item fetches also go remote; nodes supplying only item
+	// tuples participate in a one-phase commit.
+	uOnePhase := e.UStockItem - e.UStock
+	rv[core.TxnNewOrder] = RemoteVisits{
+		CommitExtra: e.UStockItem,
+		SendReceive: 2*e.RCStock + 2*e.RCItem + 4*e.UStock + 2*uOnePhase,
+		PrepCommit:  e.UStock + 1 - e.LStock,
+		InitIOExtra: e.UStock,
+	}
+	return rv
+}
+
+// ScaleupPoint is one point of Figure 11/12.
+type ScaleupPoint struct {
+	Nodes int
+	// PerNode is the per-node throughput.
+	PerNode Throughput
+	// TotalNewOrderPerMin is N x the per-node new-order rate.
+	TotalNewOrderPerMin float64
+	// IdealNewOrderPerMin is N x the single-node rate (linear scale-up).
+	IdealNewOrderPerMin float64
+	// ScaleupEfficiency is total/ideal.
+	ScaleupEfficiency float64
+}
+
+// Scaleup evaluates total throughput for each node count, holding per-node
+// demands fixed (each node runs the same 20-warehouse share, as in
+// Section 5.3).
+func Scaleup(p SystemParams, d Demands, base DistConfig, nodeCounts []int) []ScaleupPoint {
+	single := MaxThroughput(p, d, nil)
+	out := make([]ScaleupPoint, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		cfg := base
+		cfg.Nodes = n
+		rv := cfg.RemoteVisitCounts()
+		tp := MaxThroughput(p, d, &rv)
+		total := tp.NewOrderPerMin * float64(n)
+		ideal := single.NewOrderPerMin * float64(n)
+		out = append(out, ScaleupPoint{
+			Nodes:               n,
+			PerNode:             tp,
+			TotalNewOrderPerMin: total,
+			IdealNewOrderPerMin: ideal,
+			ScaleupEfficiency:   total / ideal,
+		})
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/core"
+)
+
+func TestDistConfigValidate(t *testing.T) {
+	if err := DefaultDistConfig(10, true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultDistConfig(0, true)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	bad = DefaultDistConfig(2, true)
+	bad.RemoteStockProb = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("probability > 1 should fail")
+	}
+}
+
+func TestExpectationsSingleNode(t *testing.T) {
+	e := DefaultDistConfig(1, true).Expect()
+	if e.UStock != 0 || e.RCStock != 0 || e.UCust != 0 || e.LStock != 1 {
+		t.Errorf("single node must have no remote work: %+v", e)
+	}
+}
+
+func TestExpectationsKnownValues(t *testing.T) {
+	// N=2, remote stock 1%: P_S = 0.01*0.5 = 0.005; E[R_s] = 0.05;
+	// RC_stock = 0.1; L_stock = 0.995^10.
+	e := DefaultDistConfig(2, true).Expect()
+	if math.Abs(e.PS-0.005) > 1e-12 {
+		t.Errorf("PS = %v", e.PS)
+	}
+	if math.Abs(e.ERs-0.05) > 1e-9 {
+		t.Errorf("ERs = %v, want 0.05", e.ERs)
+	}
+	if math.Abs(e.RCStock-0.1) > 1e-9 {
+		t.Errorf("RCStock = %v, want 0.1", e.RCStock)
+	}
+	if math.Abs(e.LStock-math.Pow(0.995, 10)) > 1e-12 {
+		t.Errorf("LStock = %v", e.LStock)
+	}
+	// With N=2 there is exactly one remote site, so U_stock =
+	// P[at least one remote request] = 1 - L_stock.
+	if math.Abs(e.UStock-(1-e.LStock)) > 1e-12 {
+		t.Errorf("UStock = %v, want %v", e.UStock, 1-e.LStock)
+	}
+	// RC_cust = 0.15 * 0.5 * (0.4 + 1.8 + 1) = 0.24; U_cust = 0.075.
+	if math.Abs(e.RCCust-0.24) > 1e-12 {
+		t.Errorf("RCCust = %v, want 0.24", e.RCCust)
+	}
+	if math.Abs(e.UCust-0.075) > 1e-12 {
+		t.Errorf("UCust = %v, want 0.075", e.UCust)
+	}
+}
+
+// TestPaperRemoteCallBreakdown checks the Section 6 summary numbers: "In
+// the New-Order transaction on average 0.1 stock tuples accessed and
+// updated are from a remote warehouse" (E[R_s] -> 0.1 as N -> inf) and
+// "In the Payment transaction 0.33 (0.15 x 2.2) customer tuples accessed"
+// (RC_cust minus the write-back -> 0.33).
+func TestPaperRemoteCallBreakdown(t *testing.T) {
+	e := DefaultDistConfig(1000, true).Expect()
+	if math.Abs(e.ERs-0.1) > 0.001 {
+		t.Errorf("E[R_s] at large N = %v, want ~0.1", e.ERs)
+	}
+	reads := e.RCCust / (0.4*1 + 0.6*3 + 1) * (0.4*1 + 0.6*3)
+	if math.Abs(reads-0.33) > 0.001 {
+		t.Errorf("remote customer reads = %v, want ~0.33", reads)
+	}
+}
+
+func TestUniqueSitesProperties(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		p := float64(pRaw%100) / 100
+		cfg := DistConfig{Nodes: n, RemoteStockProb: p, RemotePaymentProb: 0.15, ItemReplicated: false}
+		e := cfg.Expect()
+		// Unique sites can't exceed expected requests or N-1.
+		if e.UStock > e.ERs+1e-9 || e.UStock > float64(n-1)+1e-9 || e.UStock < 0 {
+			return false
+		}
+		if e.UItem > e.ERi+1e-9 || e.UItem > float64(n-1)+1e-9 {
+			return false
+		}
+		// Union bound structure: max(U_stock, U_item) <= U_stock+item
+		// <= U_stock + U_item.
+		lo := math.Max(e.UStock, e.UItem)
+		return e.UStockItem >= lo-1e-9 && e.UStockItem <= e.UStock+e.UItem+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoteVisitCountsReplication(t *testing.T) {
+	rep := DefaultDistConfig(10, true).RemoteVisitCounts()
+	part := DefaultDistConfig(10, false).RemoteVisitCounts()
+	// Payment is identical under both (it never touches Item).
+	if rep[core.TxnPayment] != part[core.TxnPayment] {
+		t.Error("Payment visit counts must not depend on item replication")
+	}
+	// Non-replication strictly increases New-Order messaging and commits.
+	if part[core.TxnNewOrder].SendReceive <= rep[core.TxnNewOrder].SendReceive {
+		t.Error("partitioned item must add send/receive work")
+	}
+	if part[core.TxnNewOrder].CommitExtra <= rep[core.TxnNewOrder].CommitExtra {
+		t.Error("partitioned item must add commit work")
+	}
+	// Local-only transactions never acquire remote visit counts.
+	for _, tt := range []core.TxnType{core.TxnOrderStatus, core.TxnDelivery, core.TxnStockLevel} {
+		if rep[tt] != (RemoteVisits{}) || part[tt] != (RemoteVisits{}) {
+			t.Errorf("%s should have no remote visits", tt)
+		}
+	}
+}
+
+// TestScaleupShape reproduces Figure 11's qualitative content: replicated
+// scale-up is close to linear (the paper quotes ~3% off ideal), the
+// partitioned case is clearly worse, and the replicated advantage grows
+// with node count (the paper quotes 10/30/39% at 2/10/30 nodes).
+func TestScaleupShape(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	nodes := []int{1, 2, 10, 30}
+	rep := Scaleup(p, d, DefaultDistConfig(0, true), nodes)
+	part := Scaleup(p, d, DefaultDistConfig(0, false), nodes)
+
+	for i, pt := range rep {
+		if pt.Nodes == 1 {
+			if math.Abs(pt.ScaleupEfficiency-1) > 1e-9 {
+				t.Errorf("1 node efficiency = %v", pt.ScaleupEfficiency)
+			}
+			continue
+		}
+		if pt.ScaleupEfficiency < 0.90 || pt.ScaleupEfficiency > 1 {
+			t.Errorf("replicated efficiency at %d nodes = %v, want near-linear",
+				pt.Nodes, pt.ScaleupEfficiency)
+		}
+		if part[i].TotalNewOrderPerMin >= pt.TotalNewOrderPerMin {
+			t.Errorf("partitioned should underperform replicated at %d nodes", pt.Nodes)
+		}
+	}
+	// Replication advantage grows with N.
+	adv := func(i int) float64 {
+		return rep[i].TotalNewOrderPerMin/part[i].TotalNewOrderPerMin - 1
+	}
+	if !(adv(1) < adv(2) && adv(2) < adv(3)) {
+		t.Errorf("replication advantage should grow with N: %v %v %v", adv(1), adv(2), adv(3))
+	}
+	if a := adv(3); a < 0.15 || a > 0.8 {
+		t.Errorf("replication advantage at 30 nodes = %.2f, paper says ~0.39", a)
+	}
+}
+
+// TestRemoteSensitivity reproduces Figure 12's qualitative content: raising
+// the remote-stock probability to 1.0 cuts scale-up substantially (the
+// paper quotes ~44%), while most accesses remain local.
+func TestRemoteSensitivity(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	at := func(prob float64) float64 {
+		cfg := DefaultDistConfig(10, true)
+		cfg.RemoteStockProb = prob
+		rv := cfg.RemoteVisitCounts()
+		return MaxThroughput(p, d, &rv).NewOrderPerMin
+	}
+	base := at(0.01)
+	mid := at(0.5)
+	full := at(1.0)
+	if !(full < mid && mid < base) {
+		t.Errorf("throughput should fall with remote probability: %v %v %v", base, mid, full)
+	}
+	drop := 1 - full/base
+	if drop < 0.2 || drop > 0.6 {
+		t.Errorf("drop at p=1.0 is %.2f, paper says ~0.44", drop)
+	}
+}
+
+func TestScaleupMonotoneInNodesOverhead(t *testing.T) {
+	// Per-node throughput decreases (weakly) as N grows, since remote
+	// probabilities (N-1)/N increase.
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	pts := Scaleup(p, d, DefaultDistConfig(0, false), []int{2, 4, 8, 16, 32})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PerNode.NewOrderPerMin > pts[i-1].PerNode.NewOrderPerMin+1e-9 {
+			t.Errorf("per-node throughput rose from %d to %d nodes",
+				pts[i-1].Nodes, pts[i].Nodes)
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{10, 0, 1}, {10, 10, 1}, {10, 1, 10}, {10, 3, 120}, {10, 5, 252},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := choose(c.n, c.k); got != c.want {
+			t.Errorf("choose(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPMFSums(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := float64(pRaw%101) / 100
+		pmf := binomialPMF(10, p)
+		var sum, mean float64
+		for j, v := range pmf {
+			if v < -1e-12 {
+				return false
+			}
+			sum += v
+			mean += float64(j) * v
+		}
+		return math.Abs(sum-1) < 1e-9 && math.Abs(mean-10*p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel/internal/core"
+)
+
+// paperIOs is a plausible read-I/O vector at a mid-size buffer, used where
+// tests need demands without running a simulation.
+func paperIOs() [core.NumTxnTypes]float64 {
+	return AnalyticReadIOs(AnalyticMissRates{
+		MC: 0.5, MI: 0.01, MS: 0.3, MO: 0.2, ML: 0.1, MNO: 0.01,
+	})
+}
+
+func TestSystemParamsValidate(t *testing.T) {
+	if err := DefaultSystemParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultSystemParams()
+	bad.MIPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MIPS should fail")
+	}
+	bad = DefaultSystemParams()
+	bad.MaxCPUUtil = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("util > 1 should fail")
+	}
+}
+
+func TestStaticCallCountsMatchTable2(t *testing.T) {
+	c := StaticCallCounts()
+	// Table 2 rows (selects include the 3-way name fetches).
+	checks := []struct {
+		t                        core.TxnType
+		sel, upd, ins, del, join float64
+	}{
+		{core.TxnNewOrder, 23, 11, 12, 0, 0},
+		{core.TxnPayment, 4.2, 3, 1, 0, 0},
+		{core.TxnDelivery, 130, 120, 0, 10, 0},
+		{core.TxnStockLevel, 1, 0, 0, 0, 1},
+	}
+	for _, ch := range checks {
+		got := c[ch.t]
+		if got.Selects != ch.sel || got.Updates != ch.upd || got.Inserts != ch.ins ||
+			got.Deletes != ch.del || got.Joins != ch.join {
+			t.Errorf("%s: %+v, want sel %v upd %v ins %v del %v join %v",
+				ch.t, got, ch.sel, ch.upd, ch.ins, ch.del, ch.join)
+		}
+	}
+	// Order-Status: 2.2 customer + 1 order + 10 order-lines.
+	if got := c[core.TxnOrderStatus].Selects; got != 13.2 {
+		t.Errorf("Order-Status selects = %v, want 13.2", got)
+	}
+}
+
+func TestCPUInstructionsComposition(t *testing.T) {
+	p := DefaultCPUParams()
+	d := Demand{Calls: CallCounts{Selects: 2, SQLCalls: 2, Locks: 2}, ReadIOs: 1}
+	got := CPUInstructions(p, d, RemoteVisits{})
+	want := 2*p.Select + p.Commit + p.InitTxn + 3*p.Application +
+		2*p.ReleaseLock + 2*p.InitIO
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CPUInstructions = %v, want %v", got, want)
+	}
+	// Remote extras add linearly.
+	rv := RemoteVisits{CommitExtra: 1, SendReceive: 4, PrepCommit: 2, InitIOExtra: 1}
+	got2 := CPUInstructions(p, d, rv)
+	want2 := want + p.Commit + 4*p.SendReceive + 2*p.PrepCommit + p.InitIO
+	if math.Abs(got2-want2) > 1e-9 {
+		t.Errorf("with remote: %v, want %v", got2, want2)
+	}
+}
+
+func TestMaxThroughputBallpark(t *testing.T) {
+	// Paper context: ~20 warehouses on a 10 MIPS processor at 80%
+	// utilization, i.e. roughly 100-400 new-order tpm.
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	tp := MaxThroughput(p, d, nil)
+	if tp.NewOrderPerMin < 100 || tp.NewOrderPerMin > 400 {
+		t.Errorf("new-order tpm = %v, expected O(10^2) for 10 MIPS", tp.NewOrderPerMin)
+	}
+	// Utilization equation must invert exactly.
+	if u := CPUUtilAt(p, d, nil, tp.TotalPerSec); math.Abs(u-p.MaxCPUUtil) > 1e-9 {
+		t.Errorf("CPU util at max throughput = %v, want %v", u, p.MaxCPUUtil)
+	}
+}
+
+func TestThroughputScalesWithMIPS(t *testing.T) {
+	d := StaticDemands(paperIOs())
+	p := DefaultSystemParams()
+	t1 := MaxThroughput(p, d, nil)
+	p.MIPS = 20
+	t2 := MaxThroughput(p, d, nil)
+	if math.Abs(t2.TotalPerSec/t1.TotalPerSec-2) > 1e-9 {
+		t.Error("throughput should scale linearly with MIPS")
+	}
+}
+
+func TestLowerMissRatesRaiseThroughput(t *testing.T) {
+	p := DefaultSystemParams()
+	hi := MaxThroughput(p, StaticDemands(paperIOs()), nil)
+	var zero [core.NumTxnTypes]float64
+	lo := MaxThroughput(p, StaticDemands(zero), nil)
+	if lo.NewOrderPerMin <= hi.NewOrderPerMin {
+		t.Error("zero miss rates must increase throughput")
+	}
+}
+
+func TestBandwidthDisks(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	tp := MaxThroughput(p, d, nil)
+	n := BandwidthDisks(p, tp)
+	if n < 1 {
+		t.Fatalf("disks = %d", n)
+	}
+	// Utilization with n arms must be <= 50%, with n-1 arms > 50%.
+	if u := DiskUtilAt(p, d, tp.TotalPerSec, n); u > p.MaxDiskUtil+1e-9 {
+		t.Errorf("util with %d arms = %v > %v", n, u, p.MaxDiskUtil)
+	}
+	if n > 1 {
+		if u := DiskUtilAt(p, d, tp.TotalPerSec, n-1); u <= p.MaxDiskUtil {
+			t.Errorf("util with %d arms = %v should exceed %v", n-1, u, p.MaxDiskUtil)
+		}
+	}
+}
+
+func TestAnalyticReadIOsShapes(t *testing.T) {
+	ios := AnalyticReadIOs(AnalyticMissRates{MC: 1, MI: 1, MS: 1, MO: 1, ML: 1, MNO: 1})
+	// With all miss rates 1 the row shapes give their access counts.
+	want := [core.NumTxnTypes]float64{
+		core.TxnNewOrder:    21, // 1 + 10(1+1)
+		core.TxnPayment:     2.2,
+		core.TxnOrderStatus: 13.2,
+		core.TxnDelivery:    130, // 10(1+1+10+1)
+		core.TxnStockLevel:  400,
+	}
+	for t2 := range ios {
+		if math.Abs(ios[t2]-want[t2]) > 1e-9 {
+			t.Errorf("%s: ios = %v, want %v", core.TxnType(t2), ios[t2], want[t2])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tpccmodel/internal/tpcc"
+)
+
+// CostModel is the Figure 10 hardware cost model. The paper stresses these
+// are hypothetical hardware costs only — no software, maintenance, or
+// terminal costs as the full TPC-C pricing rules would require.
+type CostModel struct {
+	// DiskPrice is the price of one disk (paper: $5000).
+	DiskPrice float64
+	// DiskBytes is one disk's capacity (paper: 3 GB; the sensitivity
+	// discussion also uses 6 GB and 12 GB).
+	DiskBytes float64
+	// CPUPrice is the processor price (paper: $10000).
+	CPUPrice float64
+	// MemPerMB is the memory price per megabyte (paper: $100).
+	MemPerMB float64
+}
+
+// DefaultCostModel returns the paper's Section 5.2 prices.
+func DefaultCostModel() CostModel {
+	return CostModel{DiskPrice: 5000, DiskBytes: 3e9, CPUPrice: 10000, MemPerMB: 100}
+}
+
+// Validate checks the cost model.
+func (c CostModel) Validate() error {
+	if c.DiskPrice <= 0 || c.DiskBytes <= 0 || c.CPUPrice < 0 || c.MemPerMB <= 0 {
+		return fmt.Errorf("model: cost parameters must be positive")
+	}
+	return nil
+}
+
+// StorageParams size the database on disk.
+type StorageParams struct {
+	// DB is the database scale.
+	DB tpcc.Config
+	// IncludeGrowth adds the benchmark's required space for the growing
+	// order/order-line/history relations: Days of HoursPerDay operation
+	// at the modeled new-order rate (paper: 180 days of 8 hours).
+	IncludeGrowth bool
+	Days          float64
+	HoursPerDay   float64
+	// Mix supplies the payment/new-order ratio for history growth.
+	Mix tpcc.Mix
+}
+
+// DefaultStorageParams returns the paper's sizing rules at the given scale.
+func DefaultStorageParams(db tpcc.Config, includeGrowth bool) StorageParams {
+	return StorageParams{
+		DB: db, IncludeGrowth: includeGrowth,
+		Days: 180, HoursPerDay: 8, Mix: tpcc.DefaultMix(),
+	}
+}
+
+// Bytes returns the storage requirement at the given new-order rate
+// (transactions per minute).
+func (s StorageParams) Bytes(newOrderPerMin float64) float64 {
+	b := float64(s.DB.StaticBytes())
+	if s.IncludeGrowth {
+		minutes := s.Days * s.HoursPerDay * 60
+		b += minutes * newOrderPerMin * tpcc.GrowthBytesPerNewOrder(s.Mix)
+	}
+	return b
+}
+
+// PricePoint is one point of the Figure 10 curve.
+type PricePoint struct {
+	// BufferMB is the database buffer size.
+	BufferMB float64
+	// Throughput is the CPU-bound operating point at this buffer size.
+	Throughput Throughput
+	// BandwidthDisks and CapacityDisks are the two sizing constraints;
+	// Disks is their maximum (the configured count).
+	BandwidthDisks int
+	CapacityDisks  int
+	Disks          int
+	// CostDollars is CPU + disks + buffer memory.
+	CostDollars float64
+	// CostPerTpm is dollars per new-order transaction per minute, the
+	// paper's Figure 10 y-axis.
+	CostPerTpm float64
+}
+
+// PricePerformance evaluates the cost model at one buffer size with the
+// given demands (whose ReadIOs must correspond to that buffer size).
+func PricePerformance(p SystemParams, cost CostModel, storage StorageParams,
+	bufferMB float64, d Demands) PricePoint {
+	tp := MaxThroughput(p, d, nil)
+	bw := BandwidthDisks(p, tp)
+	capDisks := int(math.Ceil(storage.Bytes(tp.NewOrderPerMin) / cost.DiskBytes))
+	if capDisks < 1 {
+		capDisks = 1
+	}
+	disks := bw
+	if capDisks > disks {
+		disks = capDisks
+	}
+	dollars := cost.CPUPrice + float64(disks)*cost.DiskPrice + bufferMB*cost.MemPerMB
+	return PricePoint{
+		BufferMB:       bufferMB,
+		Throughput:     tp,
+		BandwidthDisks: bw,
+		CapacityDisks:  capDisks,
+		Disks:          disks,
+		CostDollars:    dollars,
+		CostPerTpm:     dollars / tp.NewOrderPerMin,
+	}
+}
+
+// BestPricePoint returns the point with the lowest CostPerTpm, which the
+// paper reads off as the optimal memory/disk trade-off.
+func BestPricePoint(points []PricePoint) PricePoint {
+	if len(points) == 0 {
+		return PricePoint{}
+	}
+	best := points[0]
+	for _, pt := range points[1:] {
+		if pt.CostPerTpm < best.CostPerTpm {
+			best = pt
+		}
+	}
+	return best
+}

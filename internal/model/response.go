@@ -1,0 +1,87 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tpccmodel/internal/core"
+)
+
+// ResponseTimes holds per-transaction-type mean response times in
+// milliseconds at one operating point, decomposed by resource.
+type ResponseTimes struct {
+	// PerTxnMs[t] is the mean response time of transaction type t.
+	PerTxnMs [core.NumTxnTypes]float64
+	// MeanMs is the mix-weighted mean.
+	MeanMs float64
+	// CPUUtil and DiskUtil are the underlying utilizations.
+	CPUUtil  float64
+	DiskUtil float64
+}
+
+// ResponseTime extends the paper's utilization-only model with an open
+// queueing estimate: the CPU is a processor-sharing station (per-class
+// mean response = demand/(1-rho), exact for M/G/1-PS) and each of the
+// transaction's ReadIOs is a sequential visit to one FCFS disk arm with
+// exponential service (per-I/O response = S/(1-rho_arm), exact for
+// M/M/1), so
+//
+//	R_t = CPU_t/(1-rho_cpu) + ReadIOs_t * S_disk/(1-rho_arm).
+//
+// The discrete-event simulation in package queuesim reproduces exactly
+// this station model; the two are cross-validated in its tests. The
+// transaction rate lambda is in transactions/second across all types;
+// diskArms is the number of data-disk arms sharing the I/O load (more
+// arms lower rho_arm). An error is returned if either resource would
+// saturate.
+func ResponseTime(p SystemParams, d Demands, lambda float64, diskArms int) (ResponseTimes, error) {
+	if lambda <= 0 {
+		return ResponseTimes{}, fmt.Errorf("model: lambda must be positive")
+	}
+	if diskArms < 1 {
+		return ResponseTimes{}, fmt.Errorf("model: need at least one disk arm")
+	}
+	var rt ResponseTimes
+	rt.CPUUtil = CPUUtilAt(p, d, nil, lambda)
+	rt.DiskUtil = DiskUtilAt(p, d, lambda, diskArms)
+	if rt.CPUUtil >= 1 {
+		return rt, fmt.Errorf("model: CPU saturated (util %.3f)", rt.CPUUtil)
+	}
+	if rt.DiskUtil >= 1 {
+		return rt, fmt.Errorf("model: disks saturated (util %.3f)", rt.DiskUtil)
+	}
+	for t := range d {
+		cpuMs := CPUInstructions(p.CPU, d[t], RemoteVisits{}) / (p.MIPS * 1e6) * 1000
+		// A transaction's I/Os are sequential: each waits at one arm
+		// whose utilization is the per-arm DiskUtil. Spreading across
+		// arms lowers rho, not the per-I/O service time.
+		diskMs := d[t].ReadIOs * p.CPU.DiskMs / (1 - rt.DiskUtil)
+		r := cpuMs/(1-rt.CPUUtil) + diskMs
+		rt.PerTxnMs[t] = r
+		rt.MeanMs += p.Mix.Fraction(core.TxnType(t)) * r
+	}
+	return rt, nil
+}
+
+// ResponseCurve evaluates ResponseTime at fractions of the maximum
+// throughput, producing the classic hockey-stick latency curve. The
+// fractions must lie in (0, 1); points where a resource saturates are
+// reported as +Inf.
+func ResponseCurve(p SystemParams, d Demands, diskArms int, fractions []float64) []ResponseTimes {
+	maxTp := MaxThroughput(p, d, nil)
+	// MaxThroughput fixes CPU util at p.MaxCPUUtil; the true saturation
+	// rate is that over MaxCPUUtil.
+	satLambda := maxTp.TotalPerSec / p.MaxCPUUtil
+	out := make([]ResponseTimes, len(fractions))
+	for i, f := range fractions {
+		rt, err := ResponseTime(p, d, f*satLambda, diskArms)
+		if err != nil {
+			rt.MeanMs = math.Inf(1)
+			for t := range rt.PerTxnMs {
+				rt.PerTxnMs[t] = math.Inf(1)
+			}
+		}
+		out[i] = rt
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel/internal/core"
+)
+
+func TestResponseTimeLowLoadEqualsDemand(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	// At vanishing load, response time -> service demand.
+	rt, err := ResponseTime(p, d, 1e-9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range d {
+		cpuMs := CPUInstructions(p.CPU, d[tt], RemoteVisits{}) / (p.MIPS * 1e6) * 1000
+		diskMs := d[tt].ReadIOs * p.CPU.DiskMs // sequential I/Os, idle arms
+		want := cpuMs + diskMs
+		if math.Abs(rt.PerTxnMs[tt]-want) > want*1e-6 {
+			t.Errorf("%s: low-load response %v, want demand %v",
+				core.TxnType(tt), rt.PerTxnMs[tt], want)
+		}
+	}
+}
+
+func TestResponseTimeGrowsWithLoad(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	tp := MaxThroughput(p, d, nil)
+	low, err := ResponseTime(p, d, tp.TotalPerSec*0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ResponseTime(p, d, tp.TotalPerSec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MeanMs <= low.MeanMs {
+		t.Errorf("response time should grow with load: %v -> %v", low.MeanMs, high.MeanMs)
+	}
+	// Delivery (the heaviest transaction) must dominate Payment.
+	if high.PerTxnMs[core.TxnDelivery] <= high.PerTxnMs[core.TxnPayment] {
+		t.Error("delivery should be slower than payment")
+	}
+}
+
+func TestResponseTimeSaturation(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	tp := MaxThroughput(p, d, nil)
+	sat := tp.TotalPerSec / p.MaxCPUUtil // CPU util 1.0
+	if _, err := ResponseTime(p, d, sat*1.01, 100); err == nil {
+		t.Error("past saturation should error")
+	}
+	if _, err := ResponseTime(p, d, -1, 4); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := ResponseTime(p, d, 1, 0); err == nil {
+		t.Error("zero disks should error")
+	}
+}
+
+func TestResponseCurveHockeyStick(t *testing.T) {
+	p := DefaultSystemParams()
+	d := StaticDemands(paperIOs())
+	fractions := []float64{0.1, 0.5, 0.8, 0.95, 0.999}
+	pts := ResponseCurve(p, d, 16, fractions)
+	prev := 0.0
+	for i, rt := range pts {
+		if math.IsInf(rt.MeanMs, 1) {
+			t.Fatalf("fraction %v saturated unexpectedly", fractions[i])
+		}
+		if rt.MeanMs <= prev {
+			t.Fatalf("curve not increasing at fraction %v", fractions[i])
+		}
+		prev = rt.MeanMs
+	}
+	// The knee: 99.9% load must cost far more than 10% load.
+	if pts[4].MeanMs < 5*pts[0].MeanMs {
+		t.Errorf("hockey stick too flat: %v vs %v", pts[4].MeanMs, pts[0].MeanMs)
+	}
+}

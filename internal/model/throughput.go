@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+
+	"tpccmodel/internal/core"
+)
+
+// RemoteVisits are the extra distributed-system visit counts of Tables 6/7,
+// all zero for a single-node system.
+type RemoteVisits struct {
+	// CommitExtra is added to the single commit (commits at remote
+	// participants, modeled at the coordinator by symmetry).
+	CommitExtra float64
+	// SendReceive is the message-endpoint visit count (4·U per 2PC
+	// participant, 2 per remote call, 2 per 1PC participant).
+	SendReceive float64
+	// PrepCommit is the prepare-phase visit count.
+	PrepCommit float64
+	// InitIOExtra adds the remote participants' commit log writes.
+	InitIOExtra float64
+}
+
+// CPUInstructions returns the expected CPU path length (instructions) of
+// one transaction with demand d and distributed extras r — the product of
+// the Table 4 visit counts and overheads:
+//
+//	sum over operations n of V_{t,n} * o_n   (paper equation for Util_CPU)
+func CPUInstructions(p CPUParams, d Demand, r RemoteVisits) float64 {
+	c := d.Calls
+	instr := c.Selects*p.Select +
+		c.Updates*p.Update +
+		c.Inserts*p.Insert +
+		c.Deletes*p.Delete +
+		(1+r.CommitExtra)*p.Commit +
+		p.InitTxn +
+		(1+c.SQLCalls)*p.Application +
+		c.NonUnique*p.NonUniqueSelect +
+		c.Joins*p.Join +
+		c.Locks*p.ReleaseLock +
+		(d.ReadIOs+1+r.InitIOExtra)*p.InitIO + // +1: the commit log write
+		r.SendReceive*p.SendReceive +
+		r.PrepCommit*p.PrepCommit
+	return instr
+}
+
+// Throughput is a model operating point.
+type Throughput struct {
+	// TotalPerSec is the all-types transaction throughput.
+	TotalPerSec float64
+	// NewOrderPerMin is the benchmark metric (new-order transactions per
+	// minute).
+	NewOrderPerMin float64
+	// AvgInstrPerTxn is the mix-weighted CPU path length.
+	AvgInstrPerTxn float64
+	// AvgReadIOsPerTxn is the mix-weighted data-disk read count.
+	AvgReadIOsPerTxn float64
+	// DiskMsPerTxn is the mix-weighted data-disk service demand (ms).
+	DiskMsPerTxn float64
+}
+
+// MaxThroughput solves the paper's primary metric: fix CPU utilization at
+// p.MaxCPUUtil and invert the utilization equation
+//
+//	Util_CPU = lambda * (sum_t alpha_t * sum_n V_{t,n} o_n) / MIPS
+//
+// for lambda. remote may be nil for a single-node system.
+func MaxThroughput(p SystemParams, d Demands, remote *[core.NumTxnTypes]RemoteVisits) Throughput {
+	var rv [core.NumTxnTypes]RemoteVisits
+	if remote != nil {
+		rv = *remote
+	}
+	var instr, ios float64
+	for t := range d {
+		alpha := p.Mix.Fraction(core.TxnType(t))
+		instr += alpha * CPUInstructions(p.CPU, d[t], rv[t])
+		ios += alpha * d[t].ReadIOs
+	}
+	lambda := p.MaxCPUUtil * p.MIPS * 1e6 / instr
+	return Throughput{
+		TotalPerSec:      lambda,
+		NewOrderPerMin:   lambda * p.Mix.Fraction(core.TxnNewOrder) * 60,
+		AvgInstrPerTxn:   instr,
+		AvgReadIOsPerTxn: ios,
+		DiskMsPerTxn:     ios * p.CPU.DiskMs,
+	}
+}
+
+// BandwidthDisks returns the minimum number of data-disk arms keeping
+// per-arm utilization at or below p.MaxDiskUtil at throughput tp:
+//
+//	Util_disk = lambda * (sum_t alpha_t V_{t,14} o_14) / DA
+func BandwidthDisks(p SystemParams, tp Throughput) int {
+	demandPerSec := tp.TotalPerSec * tp.DiskMsPerTxn / 1000
+	n := int(math.Ceil(demandPerSec / p.MaxDiskUtil))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CPUUtilAt returns the CPU utilization at an arbitrary throughput
+// lambda (transactions/second), for sensitivity studies.
+func CPUUtilAt(p SystemParams, d Demands, remote *[core.NumTxnTypes]RemoteVisits, lambda float64) float64 {
+	var rv [core.NumTxnTypes]RemoteVisits
+	if remote != nil {
+		rv = *remote
+	}
+	var instr float64
+	for t := range d {
+		instr += p.Mix.Fraction(core.TxnType(t)) * CPUInstructions(p.CPU, d[t], rv[t])
+	}
+	return lambda * instr / (p.MIPS * 1e6)
+}
+
+// DiskUtilAt returns the per-arm disk utilization at throughput lambda
+// with da arms.
+func DiskUtilAt(p SystemParams, d Demands, lambda float64, da int) float64 {
+	var ios float64
+	for t := range d {
+		ios += p.Mix.Fraction(core.TxnType(t)) * d[t].ReadIOs
+	}
+	return lambda * ios * p.CPU.DiskMs / 1000 / float64(da)
+}

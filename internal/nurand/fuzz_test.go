@@ -1,0 +1,36 @@
+package nurand
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzExactPMFPaths cross-checks the digit-DP exact PMF against brute
+// force over arbitrary small parameterizations.
+func FuzzExactPMFPaths(f *testing.F) {
+	f.Add(uint16(255), uint16(1), uint16(999), uint16(0))
+	f.Add(uint16(7), uint16(0), uint16(63), uint16(3))
+	f.Fuzz(func(t *testing.T, aRaw, xRaw, spanRaw, cRaw uint16) {
+		p := Params{
+			A: int64(aRaw%300) + 1,
+			X: int64(xRaw % 150),
+		}
+		p.Y = p.X + int64(spanRaw%400)
+		p.C = int64(cRaw) % (p.A + 1)
+		if err := p.Validate(); err != nil {
+			t.Skip()
+		}
+		brute := exactPMFBrute(p)
+		dp := exactPMFDP(p)
+		var sum float64
+		for i := range brute {
+			if math.Abs(brute[i]-dp[i]) > 1e-12 {
+				t.Fatalf("%v: pmf[%d] brute %v != dp %v", p, i, brute[i], dp[i])
+			}
+			sum += dp[i]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%v: PMF sums to %v", p, sum)
+		}
+	})
+}

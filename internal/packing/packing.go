@@ -1,0 +1,172 @@
+// Package packing maps logical tuple ordinals to page ordinals, modeling the
+// paper's Section 3 tuple-to-page packing strategies:
+//
+//   - Sequential: tuples are loaded in key order, TuplesPerPage whole tuples
+//     per page (the remainder of each page is wasted). This spreads hot
+//     tuples across all pages of the relation.
+//   - Optimized: tuples are first sorted from hottest to coldest by their a
+//     priori access probability and then packed in that order, clustering
+//     hot tuples into the same pages. The paper shows this recovers the
+//     tuple-level skew at the page level.
+//   - Shuffled: a seeded random permutation, as a control.
+//
+// TPC-C relations that scale with warehouses repeat the same access
+// distribution in every group (every warehouse's stock, every district's
+// customers), so mappers operate on groups: a tuple ordinal is decomposed
+// into (group, offset) and the within-group layout is shared.
+package packing
+
+import (
+	"fmt"
+	"sort"
+
+	"tpccmodel/internal/rng"
+)
+
+// Mapper maps a zero-based tuple ordinal within a relation to a zero-based
+// page ordinal within that relation.
+type Mapper interface {
+	// Page returns the page ordinal holding the tuple.
+	Page(tuple int64) int64
+	// Name identifies the strategy for reports.
+	Name() string
+}
+
+// Sequential packs tuples in key order, perPage whole tuples per page. It
+// also serves the append-only relations (order, order-line, history,
+// new-order), whose tuple ordinals increase monotonically.
+type Sequential struct {
+	perPage int64
+}
+
+// NewSequential returns a sequential mapper; perPage must be positive.
+func NewSequential(perPage int64) *Sequential {
+	if perPage <= 0 {
+		panic("packing: perPage must be positive")
+	}
+	return &Sequential{perPage: perPage}
+}
+
+// Page implements Mapper.
+func (s *Sequential) Page(tuple int64) int64 { return tuple / s.perPage }
+
+// Name implements Mapper.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Grouped applies a shared within-group tuple permutation to every
+// fixed-size group of the relation, then packs sequentially. Group g
+// occupies pages [g*pagesPerGroup, (g+1)*pagesPerGroup).
+type Grouped struct {
+	name          string
+	groupSize     int64
+	perPage       int64
+	pagesPerGroup int64
+	// slot[offset] is the packed position of within-group ordinal offset.
+	slot []int32
+}
+
+// Page implements Mapper.
+func (g *Grouped) Page(tuple int64) int64 {
+	group := tuple / g.groupSize
+	off := tuple % g.groupSize
+	return group*g.pagesPerGroup + int64(g.slot[off])/g.perPage
+}
+
+// Name implements Mapper.
+func (g *Grouped) Name() string { return g.name }
+
+// PagesPerGroup returns how many pages one group occupies.
+func (g *Grouped) PagesPerGroup() int64 { return g.pagesPerGroup }
+
+func newGrouped(name string, groupSize, perPage int64) *Grouped {
+	if groupSize <= 0 || perPage <= 0 {
+		panic("packing: groupSize and perPage must be positive")
+	}
+	return &Grouped{
+		name:          name,
+		groupSize:     groupSize,
+		perPage:       perPage,
+		pagesPerGroup: (groupSize + perPage - 1) / perPage,
+		slot:          make([]int32, groupSize),
+	}
+}
+
+// NewOptimized builds the paper's optimized packing for a relation whose
+// within-group access probabilities are pmf (length = group size): tuples
+// are sorted hottest-first and packed in that order. Ties are broken by
+// ordinal for determinism.
+func NewOptimized(pmf []float64, perPage int64) *Grouped {
+	g := newGrouped("optimized", int64(len(pmf)), perPage)
+	order := make([]int32, len(pmf))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return pmf[order[a]] > pmf[order[b]]
+	})
+	for pos, ord := range order {
+		g.slot[ord] = int32(pos)
+	}
+	return g
+}
+
+// NewShuffled builds a seeded random within-group permutation, as a control
+// against accidental alignment between key order and hotness.
+func NewShuffled(groupSize, perPage int64, seed uint64) *Grouped {
+	g := newGrouped("shuffled", groupSize, perPage)
+	perm := make([]int64, groupSize)
+	rng.New(seed).Perm(perm)
+	for ord, pos := range perm {
+		g.slot[ord] = int32(pos)
+	}
+	return g
+}
+
+// NewGroupedSequential builds a grouped mapper with the identity
+// within-group layout. It is equivalent to Sequential when the group size
+// is a multiple of perPage, but keeps groups page-aligned otherwise (each
+// warehouse's stock starts on a fresh page), matching how a DBMS would lay
+// out per-warehouse partitions.
+func NewGroupedSequential(groupSize, perPage int64) *Grouped {
+	g := newGrouped("sequential", groupSize, perPage)
+	for i := range g.slot {
+		g.slot[i] = int32(i)
+	}
+	return g
+}
+
+// PagePMF aggregates a within-group tuple PMF to the page level under the
+// given mapper restricted to one group: out[p] is the total access
+// probability of page p. Used for the Figure 5/7 page-level skew curves.
+func PagePMF(pmf []float64, m Mapper) []float64 {
+	var maxPage int64 = -1
+	pages := make(map[int64]float64, len(pmf))
+	for i, p := range pmf {
+		pg := m.Page(int64(i))
+		pages[pg] += p
+		if pg > maxPage {
+			maxPage = pg
+		}
+	}
+	out := make([]float64, maxPage+1)
+	for pg, p := range pages {
+		out[pg] = p
+	}
+	return out
+}
+
+// Validate checks that a grouped mapper's within-group layout is a
+// bijection, returning an error naming the first duplicate slot found.
+func (g *Grouped) Validate() error {
+	seen := make([]bool, g.groupSize)
+	for ord, pos := range g.slot {
+		if pos < 0 || int64(pos) >= g.groupSize {
+			return fmt.Errorf("packing: ordinal %d maps to out-of-range slot %d", ord, pos)
+		}
+		if seen[pos] {
+			return fmt.Errorf("packing: slot %d assigned twice", pos)
+		}
+		seen[pos] = true
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package packing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/stats"
+)
+
+func TestSequentialMapping(t *testing.T) {
+	s := NewSequential(13)
+	cases := []struct{ tuple, page int64 }{
+		{0, 0}, {12, 0}, {13, 1}, {25, 1}, {26, 2}, {129999, 9999},
+	}
+	for _, c := range cases {
+		if got := s.Page(c.tuple); got != c.page {
+			t.Errorf("Page(%d) = %d, want %d", c.tuple, got, c.page)
+		}
+	}
+	if s.Name() != "sequential" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestGroupedSequentialAlignsGroups(t *testing.T) {
+	// Groups of 30 tuples, 7 per page -> 5 pages per group (ceil 30/7),
+	// each group page-aligned.
+	g := NewGroupedSequential(30, 7)
+	if g.PagesPerGroup() != 5 {
+		t.Fatalf("PagesPerGroup = %d, want 5", g.PagesPerGroup())
+	}
+	if got := g.Page(0); got != 0 {
+		t.Errorf("first tuple page = %d", got)
+	}
+	if got := g.Page(29); got != 4 {
+		t.Errorf("last tuple of group 0 page = %d, want 4", got)
+	}
+	if got := g.Page(30); got != 5 {
+		t.Errorf("first tuple of group 1 page = %d, want 5", got)
+	}
+}
+
+func TestOptimizedPacksHottestFirst(t *testing.T) {
+	// Hotness increases with ordinal: optimized layout must reverse.
+	pmf := []float64{0.1, 0.2, 0.3, 0.4}
+	g := NewOptimized(pmf, 2)
+	// Hottest two tuples (ordinals 3, 2) share page 0.
+	if g.Page(3) != 0 || g.Page(2) != 0 {
+		t.Errorf("hot tuples on pages %d,%d, want 0,0", g.Page(3), g.Page(2))
+	}
+	if g.Page(1) != 1 || g.Page(0) != 1 {
+		t.Errorf("cold tuples on pages %d,%d, want 1,1", g.Page(1), g.Page(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizedTieBreakDeterministic(t *testing.T) {
+	pmf := []float64{0.25, 0.25, 0.25, 0.25}
+	a, b := NewOptimized(pmf, 2), NewOptimized(pmf, 2)
+	for i := int64(0); i < 4; i++ {
+		if a.Page(i) != b.Page(i) {
+			t.Fatal("optimized packing must be deterministic under ties")
+		}
+	}
+	// Stable sort on equal keys preserves ordinal order = sequential.
+	for i := int64(0); i < 4; i++ {
+		if a.Page(i) != i/2 {
+			t.Errorf("uniform pmf should degenerate to sequential; Page(%d)=%d", i, a.Page(i))
+		}
+	}
+}
+
+func TestShuffledIsBijection(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewShuffled(100, 7, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedMappersShareLayoutAcrossGroups(t *testing.T) {
+	pmf := make([]float64, 50)
+	for i := range pmf {
+		pmf[i] = float64(i + 1)
+	}
+	g := NewOptimized(pmf, 10)
+	ppg := g.PagesPerGroup()
+	for i := int64(0); i < 50; i++ {
+		if g.Page(i+50) != g.Page(i)+ppg {
+			t.Fatalf("group 1 must mirror group 0 shifted by %d pages", ppg)
+		}
+	}
+}
+
+func TestPagePMFAggregates(t *testing.T) {
+	pmf := []float64{0.1, 0.2, 0.3, 0.4}
+	seq := NewGroupedSequential(4, 2)
+	pp := PagePMF(pmf, seq)
+	if len(pp) != 2 {
+		t.Fatalf("page pmf length = %d, want 2", len(pp))
+	}
+	if math.Abs(pp[0]-0.3) > 1e-12 || math.Abs(pp[1]-0.7) > 1e-12 {
+		t.Errorf("page pmf = %v, want [0.3, 0.7]", pp)
+	}
+}
+
+// TestOptimizedRecoversTupleSkew reproduces the paper's core Section 3
+// finding: sequential packing dilutes skew at the page level, while
+// optimized (hotness-sorted) packing makes the page-level Lorenz curve
+// nearly identical to the tuple-level curve.
+func TestOptimizedRecoversTupleSkew(t *testing.T) {
+	p := nurand.Params{A: 255, X: 1, Y: 3000}
+	pmf := nurand.ExactPMF(p)
+	const perPage = 13
+
+	tupleShare := stats.NewLorenz(pmf).AccessShareOfHottest(0.20)
+
+	seqPP := PagePMF(pmf, NewGroupedSequential(int64(len(pmf)), perPage))
+	seqShare := stats.NewLorenz(seqPP).AccessShareOfHottest(0.20)
+
+	optPP := PagePMF(pmf, NewOptimized(pmf, perPage))
+	optShare := stats.NewLorenz(optPP).AccessShareOfHottest(0.20)
+
+	if !(seqShare < tupleShare) {
+		t.Errorf("sequential page share %.3f should be below tuple share %.3f", seqShare, tupleShare)
+	}
+	if math.Abs(optShare-tupleShare) > 0.02 {
+		t.Errorf("optimized page share %.3f should track tuple share %.3f", optShare, tupleShare)
+	}
+}
+
+// TestSmallerPagesMoreSkew verifies the paper's observation that a smaller
+// page size preserves more of the tuple-level skew under sequential packing.
+func TestSmallerPagesMoreSkew(t *testing.T) {
+	p := nurand.Params{A: 255, X: 1, Y: 3000}
+	pmf := nurand.ExactPMF(p)
+	small := PagePMF(pmf, NewGroupedSequential(int64(len(pmf)), 13)) // "4K"
+	large := PagePMF(pmf, NewGroupedSequential(int64(len(pmf)), 26)) // "8K"
+	sSmall := stats.NewLorenz(small).AccessShareOfHottest(0.20)
+	sLarge := stats.NewLorenz(large).AccessShareOfHottest(0.20)
+	if !(sSmall > sLarge) {
+		t.Errorf("4K-page skew (%.3f) should exceed 8K-page skew (%.3f)", sSmall, sLarge)
+	}
+}
+
+// TestOptimizedInsensitiveToPageSize verifies the paper's note that the
+// optimized packing's page-level skew is insensitive to page size.
+func TestOptimizedInsensitiveToPageSize(t *testing.T) {
+	p := nurand.Params{A: 255, X: 1, Y: 3000}
+	pmf := nurand.ExactPMF(p)
+	s13 := stats.NewLorenz(PagePMF(pmf, NewOptimized(pmf, 13))).AccessShareOfHottest(0.20)
+	s26 := stats.NewLorenz(PagePMF(pmf, NewOptimized(pmf, 26))).AccessShareOfHottest(0.20)
+	if math.Abs(s13-s26) > 0.02 {
+		t.Errorf("optimized packing page-size sensitivity: %.3f vs %.3f", s13, s26)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"seq zero perPage":   func() { NewSequential(0) },
+		"grouped zero group": func() { NewGroupedSequential(0, 5) },
+		"grouped zero page":  func() { NewGroupedSequential(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,322 @@
+// Package queuesim is a discrete-event simulation of the paper's
+// single-node resource model: Poisson arrivals of the five-type TPC-C mix
+// served by one processor-sharing CPU and a bank of FCFS disk arms. It
+// exists to validate the analytic throughput and response-time model
+// (package model) — the classic model-vs-simulation cross-check the paper
+// performs only for the buffer pool.
+//
+// Station disciplines are chosen so the analytic formulas are exact for
+// the simulated system: a processor-sharing M/G/1 queue has per-class mean
+// response demand/(1-rho) regardless of the service distribution, and the
+// disks see class-independent exponential service, so each is an M/M/1
+// FCFS queue. Agreement between the two is therefore a correctness check
+// on both implementations, not a lucky approximation.
+package queuesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/model"
+	"tpccmodel/internal/rng"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Sys supplies the CPU speed and service constants.
+	Sys model.SystemParams
+	// Demands are the per-type CPU path lengths and read-I/O counts.
+	Demands model.Demands
+	// Lambda is the Poisson arrival rate (transactions/second, all
+	// types; the type of each arrival is drawn from Sys.Mix).
+	Lambda float64
+	// DiskArms is the number of data-disk FCFS servers.
+	DiskArms int
+	// Transactions to simulate after warmup.
+	Transactions int
+	// WarmupTransactions complete before measurement starts.
+	WarmupTransactions int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Sys.Validate(); err != nil {
+		return err
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("queuesim: lambda must be positive")
+	}
+	if c.DiskArms < 1 {
+		return fmt.Errorf("queuesim: need at least one disk arm")
+	}
+	if c.Transactions <= 0 {
+		return fmt.Errorf("queuesim: need a positive transaction count")
+	}
+	return nil
+}
+
+// Result reports measured quantities.
+type Result struct {
+	// Completed transactions measured (excludes warmup).
+	Completed int64
+	// ThroughputPerSec is completions per simulated second.
+	ThroughputPerSec float64
+	// MeanResponseMs per type and overall (mix-weighted by completion).
+	PerTxnResponseMs [core.NumTxnTypes]float64
+	MeanResponseMs   float64
+	// CPUUtil and DiskUtil are time-averaged busy fractions.
+	CPUUtil  float64
+	DiskUtil float64
+}
+
+// job is one in-flight transaction.
+type job struct {
+	typ     core.TxnType
+	arrival float64
+	// remaining CPU work in seconds (under processor sharing).
+	cpuRemaining float64
+	// ios left to perform after the CPU stage.
+	iosLeft  int
+	measured bool
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evDiskDone
+	evCPUCheck // virtual-time checkpoint for the PS station
+)
+
+type event struct {
+	at   float64
+	kind int
+	j    *job
+	arm  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := rng.New(cfg.Seed)
+	exp := func(mean float64) float64 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return -mean * math.Log(u)
+	}
+	pickType := func() core.TxnType {
+		u := r.Float64()
+		var cum float64
+		for t := core.TxnType(0); t < core.NumTxnTypes; t++ {
+			cum += cfg.Sys.Mix.Fraction(t)
+			if u < cum {
+				return t
+			}
+		}
+		return core.TxnStockLevel
+	}
+
+	// Precompute per-type means.
+	var cpuMean [core.NumTxnTypes]float64 // seconds
+	var ioMean [core.NumTxnTypes]float64  // expected I/O count
+	for t := range cfg.Demands {
+		cpuMean[t] = model.CPUInstructions(cfg.Sys.CPU, cfg.Demands[t], model.RemoteVisits{}) /
+			(cfg.Sys.MIPS * 1e6)
+		ioMean[t] = cfg.Demands[t].ReadIOs
+	}
+	diskService := cfg.Sys.CPU.DiskMs / 1000
+
+	// Processor-sharing CPU state: the set of jobs in service; work
+	// drains at rate 1/len(set) each. lastAdvance is the wall time of
+	// the last drain.
+	cpuJobs := make(map[*job]struct{})
+	lastAdvance := 0.0
+	var cpuBusy float64
+
+	// FCFS disk arms.
+	diskQ := make([][]*job, cfg.DiskArms)
+	diskBusyUntil := make([]float64, cfg.DiskArms)
+	var diskBusy float64
+
+	var events eventHeap
+	push := func(e event) { heap.Push(&events, e) }
+
+	// advanceCPU drains processor-sharing work up to time now.
+	advanceCPU := func(now float64) {
+		dt := now - lastAdvance
+		lastAdvance = now
+		n := len(cpuJobs)
+		if n == 0 || dt <= 0 {
+			return
+		}
+		cpuBusy += dt
+		per := dt / float64(n)
+		for j := range cpuJobs {
+			j.cpuRemaining -= per
+		}
+	}
+	// nextCPUDeparture returns the earliest PS completion time from now.
+	nextCPUDeparture := func(now float64) (float64, bool) {
+		n := len(cpuJobs)
+		if n == 0 {
+			return 0, false
+		}
+		minRem := math.Inf(1)
+		for j := range cpuJobs {
+			if j.cpuRemaining < minRem {
+				minRem = j.cpuRemaining
+			}
+		}
+		if minRem < 0 {
+			minRem = 0
+		}
+		return now + minRem*float64(n), true
+	}
+
+	var res Result
+	var measuredStart float64
+	var lastCompletion float64
+	var totalResp [core.NumTxnTypes]float64
+	var counts [core.NumTxnTypes]int64
+	target := cfg.Transactions + cfg.WarmupTransactions
+	started := 0
+
+	startIO := func(now float64, j *job) {
+		arm := int(r.Int63n(int64(cfg.DiskArms)))
+		diskQ[arm] = append(diskQ[arm], j)
+		if len(diskQ[arm]) == 1 {
+			s := exp(diskService)
+			diskBusy += s
+			diskBusyUntil[arm] = now + s
+			push(event{at: now + s, kind: evDiskDone, arm: arm, j: j})
+		}
+	}
+	var complete func(now float64, j *job)
+	complete = func(now float64, j *job) {
+		if j.measured {
+			res.Completed++
+			totalResp[j.typ] += now - j.arrival
+			counts[j.typ]++
+			lastCompletion = now
+		}
+	}
+	finishCPUStage := func(now float64, j *job) {
+		delete(cpuJobs, j)
+		if j.iosLeft > 0 {
+			j.iosLeft--
+			startIO(now, j)
+		} else {
+			complete(now, j)
+		}
+	}
+	scheduleCPUCheck := func(now float64) {
+		if at, ok := nextCPUDeparture(now); ok {
+			// Guarantee forward progress: the check must land at a
+			// strictly later float timestamp than `now`.
+			if min := now + now*1e-13 + 1e-12; at < min {
+				at = min
+			}
+			push(event{at: at, kind: evCPUCheck})
+		}
+	}
+	enterCPU := func(now float64, j *job) {
+		advanceCPU(now)
+		j.cpuRemaining = exp(cpuMean[j.typ])
+		cpuJobs[j] = struct{}{}
+		scheduleCPUCheck(now)
+	}
+
+	push(event{at: exp(1 / cfg.Lambda), kind: evArrival})
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		now := e.at
+		switch e.kind {
+		case evArrival:
+			if started < target {
+				j := &job{typ: pickType(), arrival: now}
+				j.measured = started >= cfg.WarmupTransactions
+				if j.measured && measuredStart == 0 {
+					measuredStart = now
+				}
+				// Draw the integer I/O count with the right mean.
+				base := math.Floor(ioMean[j.typ])
+				j.iosLeft = int(base)
+				if r.Float64() < ioMean[j.typ]-base {
+					j.iosLeft++
+				}
+				started++
+				enterCPU(now, j)
+				push(event{at: now + exp(1/cfg.Lambda), kind: evArrival})
+			}
+		case evCPUCheck:
+			advanceCPU(now)
+			// Complete every job whose PS work has drained. The
+			// threshold is relative to the clock: once a job's
+			// remaining share falls below the float resolution of
+			// `now`, time can no longer advance past it.
+			eps := 1e-12 + now*1e-13
+			for j := range cpuJobs {
+				if j.cpuRemaining*float64(len(cpuJobs)) <= eps {
+					finishCPUStage(now, j)
+				}
+			}
+			scheduleCPUCheck(now)
+		case evDiskDone:
+			// Ignore stale completions (queue head changed).
+			q := diskQ[e.arm]
+			if len(q) == 0 || q[0] != e.j || diskBusyUntil[e.arm] > now+1e-12 {
+				break
+			}
+			diskQ[e.arm] = q[1:]
+			j := e.j
+			if len(diskQ[e.arm]) > 0 {
+				next := diskQ[e.arm][0]
+				s := exp(diskService)
+				diskBusy += s
+				diskBusyUntil[e.arm] = now + s
+				push(event{at: now + s, kind: evDiskDone, arm: e.arm, j: next})
+			}
+			if j.iosLeft > 0 {
+				j.iosLeft--
+				startIO(now, j)
+			} else {
+				complete(now, j)
+			}
+		}
+		if res.Completed >= int64(cfg.Transactions) {
+			break
+		}
+	}
+
+	span := lastCompletion - measuredStart
+	if span <= 0 || res.Completed == 0 {
+		return res, fmt.Errorf("queuesim: system did not reach steady state (overloaded?)")
+	}
+	res.ThroughputPerSec = float64(res.Completed) / span
+	var weighted float64
+	for t := range counts {
+		if counts[t] > 0 {
+			res.PerTxnResponseMs[t] = totalResp[t] / float64(counts[t]) * 1000
+		}
+		weighted += totalResp[t] * 1000
+	}
+	res.MeanResponseMs = weighted / float64(res.Completed)
+	res.CPUUtil = cpuBusy / lastCompletion
+	res.DiskUtil = diskBusy / lastCompletion / float64(cfg.DiskArms)
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/model"
+	"tpccmodel/internal/tpcc"
+)
+
+// singleClassConfig builds a degenerate mix (all New-Order) with the given
+// CPU seconds and I/O count per transaction, by reverse-engineering the
+// demand into instruction counts.
+func singleClassConfig(cpuSeconds, ios float64, lambda float64, arms int) Config {
+	sys := model.DefaultSystemParams()
+	sys.Mix = tpcc.Mix{core.TxnNewOrder: 1}
+	var d model.Demands
+	// Zero out everything except an application path of the right size.
+	cpu := model.CPUParams{Application: 1, DiskMs: sys.CPU.DiskMs}
+	sys.CPU = cpu
+	instr := cpuSeconds * sys.MIPS * 1e6
+	for t := range d {
+		d[t] = model.Demand{
+			Calls:   model.CallCounts{SQLCalls: instr - 1},
+			ReadIOs: ios,
+		}
+	}
+	// CPUInstructions adds (1+SQLCalls)*Application + (ReadIOs+1)*InitIO
+	// + commit + initTxn; with only Application nonzero the path is
+	// exactly instr.
+	return Config{
+		Sys: sys, Demands: d, Lambda: lambda, DiskArms: arms,
+		Transactions: 30000, WarmupTransactions: 3000, Seed: 11,
+	}
+}
+
+func TestMM1PSMatchesTheory(t *testing.T) {
+	// Pure CPU (no I/O): M/M/1-PS with service S and utilization rho has
+	// mean response S/(1-rho).
+	const s = 0.010 // 10ms
+	const lambda = 50.0
+	rho := lambda * s
+	cfg := singleClassConfig(s, 0, lambda, 1)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s / (1 - rho) * 1000
+	if math.Abs(res.MeanResponseMs-want)/want > 0.08 {
+		t.Errorf("PS response = %.2fms, theory %.2fms", res.MeanResponseMs, want)
+	}
+	if math.Abs(res.CPUUtil-rho)/rho > 0.05 {
+		t.Errorf("CPU util = %.3f, theory %.3f", res.CPUUtil, rho)
+	}
+	if math.Abs(res.ThroughputPerSec-lambda)/lambda > 0.05 {
+		t.Errorf("throughput = %.1f, arrivals %.1f", res.ThroughputPerSec, lambda)
+	}
+}
+
+func TestMM1FCFSDiskMatchesTheory(t *testing.T) {
+	// CPU nearly free, one I/O per txn on one arm: M/M/1 FCFS with
+	// service 25ms; response = S/(1-rho).
+	const lambda = 16.0
+	s := 0.025
+	rho := lambda * s
+	cfg := singleClassConfig(1e-7, 1, lambda, 1)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s / (1 - rho) * 1000
+	if math.Abs(res.MeanResponseMs-want)/want > 0.08 {
+		t.Errorf("disk response = %.2fms, theory %.2fms", res.MeanResponseMs, want)
+	}
+	if math.Abs(res.DiskUtil-rho)/rho > 0.06 {
+		t.Errorf("disk util = %.3f, theory %.3f", res.DiskUtil, rho)
+	}
+}
+
+// TestValidatesAnalyticModel is the headline cross-check: the discrete-
+// event simulation of the full TPC-C mix must agree with the analytic
+// response-time model (PS and M/M/1 formulas) per transaction type.
+func TestValidatesAnalyticModel(t *testing.T) {
+	sys := model.DefaultSystemParams()
+	d := model.StaticDemands(model.AnalyticReadIOs(model.AnalyticMissRates{
+		MC: 0.5, MI: 0.01, MS: 0.3, MO: 0.2, ML: 0.1, MNO: 0.01,
+	}))
+	tp := model.MaxThroughput(sys, d, nil)
+	lambda := tp.TotalPerSec * 0.75 // 60% CPU utilization
+	arms := 16
+
+	analytic, err := model.ResponseTime(sys, d, lambda, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Sys: sys, Demands: d, Lambda: lambda, DiskArms: arms,
+		Transactions: 60000, WarmupTransactions: 6000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CPUUtil-analytic.CPUUtil)/analytic.CPUUtil > 0.05 {
+		t.Errorf("CPU util: sim %.3f vs analytic %.3f", res.CPUUtil, analytic.CPUUtil)
+	}
+	for tt := core.TxnType(0); tt < core.NumTxnTypes; tt++ {
+		simMs := res.PerTxnResponseMs[tt]
+		anaMs := analytic.PerTxnMs[tt]
+		if simMs == 0 {
+			continue
+		}
+		if math.Abs(simMs-anaMs)/anaMs > 0.15 {
+			t.Errorf("%s: sim %.1fms vs analytic %.1fms", tt, simMs, anaMs)
+		}
+	}
+	if math.Abs(res.MeanResponseMs-analytic.MeanMs)/analytic.MeanMs > 0.12 {
+		t.Errorf("mean: sim %.1fms vs analytic %.1fms", res.MeanResponseMs, analytic.MeanMs)
+	}
+}
+
+func TestResponseGrowsWithLoad(t *testing.T) {
+	low, err := Run(singleClassConfig(0.005, 2, 20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(singleClassConfig(0.005, 2, 70, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MeanResponseMs <= low.MeanResponseMs {
+		t.Errorf("response should grow with load: %.2f -> %.2f",
+			low.MeanResponseMs, high.MeanResponseMs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := singleClassConfig(0.01, 1, 10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Lambda = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero lambda should fail")
+	}
+	bad = good
+	bad.DiskArms = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero arms should fail")
+	}
+	bad = good
+	bad.Transactions = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero transactions should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := singleClassConfig(0.01, 1, 30, 2)
+	cfg.Transactions = 5000
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponseMs != b.MeanResponseMs || a.Completed != b.Completed {
+		t.Error("same seed must reproduce the same result")
+	}
+}

@@ -1,0 +1,100 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by every stochastic component of the model. Determinism
+// across platforms and Go releases matters here: the paper's experiments are
+// regenerated bit-for-bit from a seed, so we implement xoshiro256** with a
+// SplitMix64 seeder rather than depending on math/rand internals.
+package rng
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from a single 64-bit seed via SplitMix64,
+// which guarantees a well-mixed non-zero state for any seed value.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63n returns a uniformly distributed integer in [0, n). n must be
+// positive. Rejection sampling removes modulo bias.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n bound must be positive")
+	}
+	un := uint64(n)
+	// Fast path for powers of two.
+	if un&(un-1) == 0 {
+		return int64(r.Uint64() & (un - 1))
+	}
+	limit := -un % un // (2^64 - n) % n, per Lemire
+	for {
+		v := r.Uint64()
+		if v >= limit {
+			return int64(v % un)
+		}
+	}
+}
+
+// IntRange returns a uniformly distributed integer in the closed interval
+// [lo, hi]. This matches the paper's rand(x, y) notation.
+func (r *RNG) IntRange(lo, hi int64) int64 {
+	if hi < lo {
+		panic("rng: IntRange requires lo <= hi")
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// Float64 returns a uniformly distributed float in [0, 1) with 53 bits of
+// precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Perm fills out with a uniformly random permutation of [0, len(out)) using
+// the Fisher-Yates shuffle.
+func (r *RNG) Perm(out []int64) {
+	for i := range out {
+		out[i] = int64(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Int63n(int64(i + 1))
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Split returns a new generator deterministically derived from this one,
+// for handing independent streams to sub-components without sharing state.
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }

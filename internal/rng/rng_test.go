@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Errorf("seed 0 produced %d zero outputs; state not mixed", zeros)
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	f := func(seed uint64, bound int64) bool {
+		n := bound%1000 + 1
+		if n <= 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt63nUniformity(t *testing.T) {
+	r := New(123)
+	const n, draws = 10, 100000
+	counts := make([]int64, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Int63n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := New(7)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(5, 8)
+		if v < 5 || v > 8 {
+			t.Fatalf("IntRange(5,8) = %d out of range", v)
+		}
+		sawLo = sawLo || v == 5
+		sawHi = sawHi || v == 8
+	}
+	if !sawLo || !sawHi {
+		t.Error("IntRange should include both endpoints")
+	}
+	if got := r.IntRange(3, 3); got != 3 {
+		t.Errorf("degenerate range = %d, want 3", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var hits int
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.15) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.15) > 0.01 {
+		t.Errorf("Bernoulli(0.15) frequency = %v", p)
+	}
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		out := make([]int64, 64)
+		r.Perm(out)
+		seen := make([]bool, len(out))
+		for _, v := range out {
+			if v < 0 || v >= int64(len(out)) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams collided %d/1000 times", same)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := New(1)
+	for name, fn := range map[string]func(){
+		"Int63n(0)":     func() { r.Int63n(0) },
+		"Int63n(-1)":    func() { r.Int63n(-1) },
+		"IntRange(5,4)": func() { r.IntRange(5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width bucket histogram over non-negative integer
+// values, with an explicit overflow bucket. It is used for stack-distance
+// distributions and transaction-size distributions.
+type Histogram struct {
+	width    int64
+	counts   []int64
+	overflow int64
+	total    int64
+	sum      float64
+	max      int64
+}
+
+// NewHistogram creates a histogram with the given bucket width and bucket
+// count; values >= width*buckets land in the overflow bucket.
+func NewHistogram(width int64, buckets int) *Histogram {
+	if width <= 0 || buckets <= 0 {
+		panic("stats: histogram width and buckets must be positive")
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets)}
+}
+
+// Add records one observation of value v (must be non-negative).
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		panic("stats: histogram values must be non-negative")
+	}
+	b := v / h.width
+	if b >= int64(len(h.counts)) {
+		h.overflow++
+	} else {
+		h.counts[b]++
+	}
+	h.total++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the maximum observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Overflow returns the number of observations beyond the bucketed range.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Bucket returns the count in bucket i (values [i*width, (i+1)*width)).
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of regular buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// CumulativeLE returns the number of observations with value <= v, assuming
+// v aligns with a bucket boundary minus one; for other v it returns the
+// count of full buckets at or below v (a lower bound).
+func (h *Histogram) CumulativeLE(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	nb := (v + 1) / h.width
+	if nb > int64(len(h.counts)) {
+		nb = int64(len(h.counts))
+	}
+	var c int64
+	for i := int64(0); i < nb; i++ {
+		c += h.counts[i]
+	}
+	return c
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) assuming values
+// are uniform within buckets; returns Max for q=1 and when the quantile
+// falls in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return float64(int64(i)*h.width) + frac*float64(h.width)
+		}
+		cum = next
+	}
+	return float64(h.max)
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int64
+	Mean, StdDev     float64
+	Min, Median, P90 float64
+	P99, Max         float64
+}
+
+// Summarize computes summary statistics of a float sample. It sorts a copy;
+// the input is not modified. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var w Welford
+	for _, x := range s {
+		w.Add(x)
+	}
+	q := func(p float64) float64 {
+		pos := p * float64(len(s)-1)
+		i := int(pos)
+		if i >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		f := pos - float64(i)
+		return s[i]*(1-f) + s[i+1]*f
+	}
+	return Summary{
+		N: int64(len(s)), Mean: w.Mean(), StdDev: w.StdDev(),
+		Min: s[0], Median: q(0.5), P90: q(0.9), P99: q(0.99), Max: s[len(s)-1],
+	}
+}
+
+// KLDivergence returns the Kullback-Leibler divergence D(p||q) in nats for
+// two distributions over the same support. Entries where p[i]==0 contribute
+// zero; q[i]==0 with p[i]>0 yields +Inf. Used to compare empirical PMFs
+// against the exact NURand PMF.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KL divergence requires equal-length distributions")
+	}
+	var d float64
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	return d
+}
+
+// TotalVariation returns the total-variation distance between two
+// distributions over the same support: 0 for identical, 1 for disjoint.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: total variation requires equal-length distributions")
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Lorenz represents the paper's Figure 5/7 skew curves: entities (tuples or
+// pages) are sorted by access probability and the cumulative probability of
+// access is plotted against the cumulative fraction of the data. The paper
+// orders entities coldest-first, so the curve is convex and lies below the
+// diagonal; the more convex, the more skew.
+type Lorenz struct {
+	// sortedProbs holds the access probabilities sorted ascending
+	// (coldest first), normalized to sum to 1.
+	sortedProbs []float64
+	// cumProb[i] is the cumulative access probability of the i+1 coldest
+	// entities.
+	cumProb []float64
+}
+
+// NewLorenz builds a Lorenz curve from unnormalized access weights (for
+// example a PMF, or raw access counts). Weights must be non-negative and
+// must not all be zero.
+func NewLorenz(weights []float64) *Lorenz {
+	if len(weights) == 0 {
+		panic("stats: Lorenz curve needs at least one weight")
+	}
+	probs := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: Lorenz weights must be non-negative")
+		}
+		probs[i] = w
+		total += w
+	}
+	if total == 0 {
+		panic("stats: Lorenz weights must not all be zero")
+	}
+	sort.Float64s(probs)
+	cum := make([]float64, len(probs))
+	var c float64
+	for i, p := range probs {
+		probs[i] = p / total
+		c += probs[i]
+		cum[i] = c
+	}
+	// Guard against rounding: force the final cumulative value to 1.
+	cum[len(cum)-1] = 1
+	return &Lorenz{sortedProbs: probs, cumProb: cum}
+}
+
+// N returns the number of entities in the curve.
+func (l *Lorenz) N() int { return len(l.sortedProbs) }
+
+// CumulativeAt returns the cumulative access probability of the coldest
+// dataFrac fraction of entities. dataFrac is clamped to [0,1]. This is the
+// y-value of the Figure 5 curve at x = dataFrac.
+func (l *Lorenz) CumulativeAt(dataFrac float64) float64 {
+	if dataFrac <= 0 {
+		return 0
+	}
+	if dataFrac >= 1 {
+		return 1
+	}
+	// The curve is piecewise linear between entity boundaries.
+	pos := dataFrac * float64(len(l.sortedProbs))
+	idx := int(pos)
+	frac := pos - float64(idx)
+	var base float64
+	if idx > 0 {
+		base = l.cumProb[idx-1]
+	}
+	if idx >= len(l.sortedProbs) {
+		return 1
+	}
+	return base + frac*l.sortedProbs[idx]
+}
+
+// AccessShareOfHottest returns the fraction of accesses that go to the
+// hottest dataFrac fraction of entities — the paper's headline numbers, e.g.
+// "84% of the accesses go to about 20% of the tuples" is
+// AccessShareOfHottest(0.20) ≈ 0.84 for the stock relation.
+func (l *Lorenz) AccessShareOfHottest(dataFrac float64) float64 {
+	return 1 - l.CumulativeAt(1-dataFrac)
+}
+
+// DataShareOfAccesses returns the smallest fraction of (hottest) entities
+// that capture at least accessFrac of the accesses. This inverts
+// AccessShareOfHottest.
+func (l *Lorenz) DataShareOfAccesses(accessFrac float64) float64 {
+	if accessFrac <= 0 {
+		return 0
+	}
+	if accessFrac >= 1 {
+		return 1
+	}
+	// Hottest entities are at the end of the sorted order. The suffix
+	// starting after index i has mass 1-cumProb[i], so the smallest
+	// sufficient suffix starts after the largest i with cumProb[i] <=
+	// target (within float tolerance).
+	target := 1 - accessFrac
+	i := sort.SearchFloat64s(l.cumProb, target)
+	for i < len(l.cumProb) && l.cumProb[i] <= target+1e-12 {
+		i++
+	}
+	return float64(len(l.cumProb)-i) / float64(len(l.cumProb))
+}
+
+// Gini returns the Gini coefficient of the access distribution: 0 for
+// uniform access, approaching 1 for extreme skew.
+func (l *Lorenz) Gini() float64 {
+	n := float64(len(l.sortedProbs))
+	var area float64
+	var prev float64
+	for _, c := range l.cumProb {
+		area += (prev + c) / 2 / n
+		prev = c
+	}
+	return 1 - 2*area
+}
+
+// Points returns up to maxPoints (cumulativeDataFraction,
+// cumulativeAccessFraction) samples of the curve, coldest-first, suitable
+// for plotting Figures 5 and 7. The first point is always (0,0) and the
+// last is (1,1).
+func (l *Lorenz) Points(maxPoints int) [][2]float64 {
+	if maxPoints < 2 {
+		maxPoints = 2
+	}
+	n := len(l.cumProb)
+	step := 1
+	if n > maxPoints-1 {
+		step = (n + maxPoints - 2) / (maxPoints - 1)
+	}
+	pts := [][2]float64{{0, 0}}
+	for i := step - 1; i < n; i += step {
+		pts = append(pts, [2]float64{float64(i+1) / float64(n), l.cumProb[i]})
+	}
+	if last := pts[len(pts)-1]; last[0] != 1 {
+		pts = append(pts, [2]float64{1, 1})
+	}
+	return pts
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/rng"
+)
+
+func TestLorenzUniform(t *testing.T) {
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = 1
+	}
+	l := NewLorenz(w)
+	// Uniform access: the curve is the diagonal and Gini is ~0.
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := l.CumulativeAt(f); math.Abs(got-f) > 1e-9 {
+			t.Errorf("CumulativeAt(%v) = %v, want %v", f, got, f)
+		}
+	}
+	if g := l.Gini(); math.Abs(g) > 0.011 {
+		t.Errorf("uniform Gini = %v, want ~0", g)
+	}
+	if got := l.AccessShareOfHottest(0.2); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("AccessShareOfHottest(0.2) = %v, want 0.2", got)
+	}
+}
+
+func TestLorenzExtremeSkew(t *testing.T) {
+	// One entity takes all accesses.
+	w := make([]float64, 100)
+	w[42] = 1
+	l := NewLorenz(w)
+	if got := l.AccessShareOfHottest(0.01); got != 1 {
+		t.Errorf("hottest 1%% should carry all accesses, got %v", got)
+	}
+	if got := l.CumulativeAt(0.5); got != 0 {
+		t.Errorf("coldest half carries %v, want 0", got)
+	}
+	if g := l.Gini(); g < 0.98 {
+		t.Errorf("extreme-skew Gini = %v, want ~1", g)
+	}
+}
+
+func TestLorenzEightyTwenty(t *testing.T) {
+	// Construct an exact 80/20 distribution: 20 hot entities with weight
+	// 4 each (80 total), 80 cold entities with weight 0.25 each (20 total).
+	w := make([]float64, 100)
+	for i := 0; i < 20; i++ {
+		w[i] = 4
+	}
+	for i := 20; i < 100; i++ {
+		w[i] = 0.25
+	}
+	l := NewLorenz(w)
+	if got := l.AccessShareOfHottest(0.20); math.Abs(got-0.80) > 1e-9 {
+		t.Errorf("80-20 rule: AccessShareOfHottest(0.2) = %v, want 0.8", got)
+	}
+	if got := l.DataShareOfAccesses(0.80); math.Abs(got-0.20) > 1e-9 {
+		t.Errorf("DataShareOfAccesses(0.8) = %v, want 0.2", got)
+	}
+}
+
+func TestLorenzMonotoneAndConvex(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		w := make([]float64, 200)
+		for i := range w {
+			w[i] = r.Float64() * 10
+		}
+		w[0] = 1 // ensure not all zero
+		l := NewLorenz(w)
+		prev := 0.0
+		prevSlope := -1.0
+		for i := 1; i <= 100; i++ {
+			x := float64(i) / 100
+			y := l.CumulativeAt(x)
+			if y < prev-1e-12 {
+				return false // must be monotone
+			}
+			slope := (y - prev) * 100
+			if slope < prevSlope-1e-9 {
+				return false // coldest-first ordering makes slopes nondecreasing
+			}
+			prev, prevSlope = y, slope
+		}
+		return math.Abs(l.CumulativeAt(1)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLorenzInverseConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		w := make([]float64, 150)
+		for i := range w {
+			w[i] = math.Pow(r.Float64(), 4) // skewed weights
+		}
+		w[0] = 0.5
+		l := NewLorenz(w)
+		for _, af := range []float64{0.1, 0.39, 0.5, 0.84} {
+			df := l.DataShareOfAccesses(af)
+			// The hottest df entities must carry at least af accesses.
+			if l.AccessShareOfHottest(df) < af-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLorenzPoints(t *testing.T) {
+	w := []float64{1, 2, 3, 4}
+	l := NewLorenz(w)
+	pts := l.Points(10)
+	if pts[0] != [2]float64{0, 0} {
+		t.Errorf("first point = %v, want (0,0)", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last[0] != 1 || math.Abs(last[1]-1) > 1e-12 {
+		t.Errorf("last point = %v, want (1,1)", last)
+	}
+	// Downsampled case.
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	pts = NewLorenz(big).Points(20)
+	if len(pts) > 22 {
+		t.Errorf("Points(20) returned %d points", len(pts))
+	}
+}
+
+func TestLorenzPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewLorenz(nil) },
+		"negative": func() { NewLorenz([]float64{1, -1}) },
+		"allzero":  func() { NewLorenz([]float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

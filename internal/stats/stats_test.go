@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/rng"
+)
+
+func TestWelfordMeanVariance(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Unbiased sample variance of the classic dataset is 32/7.
+	if got, want := w.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Error("single-sample Welford: mean 3.5, variance 0")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		r := rng.New(seed)
+		n := 50 + int(split%100)
+		k := int(split) % n
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := r.Float64()*100 - 50
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.05, -1.644854},
+		{0.995, 2.575829},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Mod(math.Abs(u), 0.98)/2 + 0.01 // p in (0.01, 0.5)
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Two-sided critical values from standard t tables.
+	cases := []struct {
+		level float64
+		df    int
+		want  float64
+	}{
+		{0.90, 29, 1.699}, // the paper's 30-batch configuration
+		{0.95, 29, 2.045},
+		{0.90, 9, 1.833},
+		{0.95, 4, 2.776},
+		{0.99, 29, 2.756},
+		{0.90, 1000, 1.6464},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.level, c.df)
+		if math.Abs(got-c.want)/c.want > 0.005 {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", c.level, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileExceedsNormal(t *testing.T) {
+	for _, df := range []int{2, 5, 10, 30, 100} {
+		tq := TQuantile(0.90, df)
+		z := NormalQuantile(0.95)
+		if tq <= z {
+			t.Errorf("t(df=%d) = %v should exceed z = %v", df, tq, z)
+		}
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	if _, err := b.Interval(0.9); err != ErrTooFewBatches {
+		t.Errorf("expected ErrTooFewBatches, got %v", err)
+	}
+	r := rng.New(7)
+	for i := 0; i < 300; i++ {
+		b.Add(5 + r.Float64()) // mean 5.5
+	}
+	if b.Batches() != 30 {
+		t.Fatalf("Batches = %d, want 30", b.Batches())
+	}
+	iv, err := b.Interval(0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean < 5.3 || iv.Mean > 5.7 {
+		t.Errorf("batch-means mean %v implausible for U(5,6)", iv.Mean)
+	}
+	if iv.Lo() > 5.5 || iv.Hi() < 5.5 {
+		t.Errorf("90%% CI [%v, %v] should cover true mean 5.5 (flaky only if t-quantile wrong)", iv.Lo(), iv.Hi())
+	}
+	if iv.N != 30 {
+		t.Errorf("interval N = %d, want 30", iv.N)
+	}
+}
+
+func TestBatchMeansPartialBatchExcluded(t *testing.T) {
+	b := NewBatchMeans(100)
+	for i := 0; i < 250; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 2 {
+		t.Errorf("Batches = %d, want 2 (partial batch must not count)", b.Batches())
+	}
+}
+
+func TestLag1Autocorrelation(t *testing.T) {
+	// Independent batches: r1 near zero, inside the white-noise band.
+	b := NewBatchMeans(1)
+	r := rng.New(21)
+	for i := 0; i < 200; i++ {
+		b.Add(r.Float64())
+	}
+	if r1 := b.Lag1Autocorrelation(); math.Abs(r1) > 0.2 {
+		t.Errorf("iid batches: r1 = %v, want near 0", r1)
+	}
+	if !b.BatchesIndependent() {
+		t.Error("iid batches flagged as correlated")
+	}
+
+	// Strongly trending batches: large positive r1, flagged.
+	c := NewBatchMeans(1)
+	for i := 0; i < 100; i++ {
+		c.Add(float64(i))
+	}
+	if r1 := c.Lag1Autocorrelation(); r1 < 0.8 {
+		t.Errorf("trending batches: r1 = %v, want near 1", r1)
+	}
+	if c.BatchesIndependent() {
+		t.Error("trending batches passed the independence check")
+	}
+
+	// Degenerate cases.
+	d := NewBatchMeans(1)
+	d.Add(1)
+	d.Add(1)
+	if r1 := d.Lag1Autocorrelation(); r1 != 0 {
+		t.Errorf("too few batches: r1 = %v, want 0", r1)
+	}
+	for i := 0; i < 10; i++ {
+		d.Add(1)
+	}
+	if r1 := d.Lag1Autocorrelation(); r1 != 0 {
+		t.Errorf("constant batches: r1 = %v, want 0 (zero variance)", r1)
+	}
+}
+
+func TestIntervalRelativeHalfWidth(t *testing.T) {
+	iv := Interval{Mean: 0.2, HalfWidth: 0.01}
+	if got := iv.RelativeHalfWidth(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("RelativeHalfWidth = %v, want 0.05", got)
+	}
+	if got := (Interval{}).RelativeHalfWidth(); got != 0 {
+		t.Errorf("zero interval RelativeHalfWidth = %v, want 0", got)
+	}
+	if got := (Interval{HalfWidth: 1}).RelativeHalfWidth(); !math.IsInf(got, 1) {
+		t.Errorf("zero-mean interval should be +Inf, got %v", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []int64{0, 9, 10, 49, 50, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(1) != 1 || h.Bucket(4) != 1 {
+		t.Errorf("bucket counts wrong: %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(4))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.CumulativeLE(9); got != 2 {
+		t.Errorf("CumulativeLE(9) = %d, want 2", got)
+	}
+	if got := h.CumulativeLE(49); got != 4 {
+		t.Errorf("CumulativeLE(49) = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 100)
+	for v := int64(0); v < 100; v++ {
+		h.Add(v)
+	}
+	med := h.Quantile(0.5)
+	if med < 48 || med > 52 {
+		t.Errorf("median = %v, want ~50", med)
+	}
+	if got := h.Quantile(1); got != 99 {
+		t.Errorf("Quantile(1) = %v, want max 99", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty Summarize should be zero, got %+v", z)
+	}
+}
+
+func TestDistancesMetrics(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.5, 0.5}
+	if d := KLDivergence(p, q); d != 0 {
+		t.Errorf("KL(p,p) = %v, want 0", d)
+	}
+	if d := TotalVariation(p, q); d != 0 {
+		t.Errorf("TV(p,p) = %v, want 0", d)
+	}
+	r := []float64{1, 0}
+	if d := TotalVariation(p, r); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("TV = %v, want 0.5", d)
+	}
+	if d := KLDivergence(r, []float64{0, 1}); !math.IsInf(d, 1) {
+		t.Errorf("KL with disjoint support should be +Inf, got %v", d)
+	}
+}

@@ -1,0 +1,208 @@
+// Package tpcc encodes the TPC-C logical database design used throughout
+// the paper: relation cardinalities and scaling rules (Table 1), tuple
+// lengths, tuples-per-page for a given page size, storage sizing including
+// the 180-day growth of the append-only relations, and the transaction mix
+// (Table 2).
+package tpcc
+
+import (
+	"fmt"
+
+	"tpccmodel/internal/core"
+)
+
+// TupleLen holds the paper's Table 1 tuple lengths in bytes.
+var TupleLen = [core.NumRelations]int{
+	core.Warehouse: 89,
+	core.District:  95,
+	core.Customer:  655,
+	core.Stock:     306,
+	core.Item:      82,
+	core.Order:     24,
+	core.NewOrder:  8,
+	core.OrderLine: 54,
+	core.History:   46,
+}
+
+// Fixed TPC-C scaling constants.
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+	CustomersPerWarehouse = DistrictsPerWarehouse * CustomersPerDistrict // 30K
+	StockPerWarehouse     = 100000
+	ItemCount             = 100000
+	// NamesPerDistrict is the number of distinct customer last names per
+	// district; 3000 customers share 1000 names so a select-by-name
+	// returns three tuples on average.
+	NamesPerDistrict = 1000
+)
+
+// Config fixes one model configuration: the database scale and page size.
+type Config struct {
+	// Warehouses is W in Table 1.
+	Warehouses int
+	// PageSize is the database page size in bytes; the paper uses 4096
+	// for all experiments and 8192 for one skew comparison.
+	PageSize int
+}
+
+// DefaultConfig returns the configuration used for the paper's buffer and
+// throughput experiments: 20 warehouses (what a 10 MIPS processor supports
+// at 80% utilization) and 4K pages.
+func DefaultConfig() Config { return Config{Warehouses: 20, PageSize: 4096} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Warehouses <= 0 {
+		return fmt.Errorf("tpcc: warehouses must be positive, got %d", c.Warehouses)
+	}
+	if c.PageSize < TupleLen[core.Customer] {
+		return fmt.Errorf("tpcc: page size %d smaller than largest tuple", c.PageSize)
+	}
+	return nil
+}
+
+// Cardinality returns the Table 1 cardinality of a relation for this scale.
+// The order, new-order, order-line, and history relations grow without
+// bound as transactions execute; their static cardinality is 0 and their
+// populated size is owned by the workload generator.
+func (c Config) Cardinality(r core.Relation) int64 {
+	w := int64(c.Warehouses)
+	switch r {
+	case core.Warehouse:
+		return w
+	case core.District:
+		return w * DistrictsPerWarehouse
+	case core.Customer:
+		return w * CustomersPerWarehouse
+	case core.Stock:
+		return w * StockPerWarehouse
+	case core.Item:
+		return ItemCount
+	default:
+		return 0
+	}
+}
+
+// TuplesPerPage returns how many whole tuples of relation r fit in one
+// page; the paper assumes the remainder of each page is wasted ("only
+// integral units of tuples fit per page").
+func (c Config) TuplesPerPage(r core.Relation) int64 {
+	return int64(c.PageSize / TupleLen[r])
+}
+
+// StaticPages returns the number of pages holding the statically sized
+// relations (0 for the growing relations), assuming sequential packing with
+// integral tuples per page.
+func (c Config) StaticPages(r core.Relation) int64 {
+	card := c.Cardinality(r)
+	if card == 0 {
+		return 0
+	}
+	tpp := c.TuplesPerPage(r)
+	return (card + tpp - 1) / tpp
+}
+
+// StaticBytes returns the page-granular storage in bytes for the statically
+// sized relations.
+func (c Config) StaticBytes() int64 {
+	var total int64
+	for _, r := range core.Relations() {
+		total += c.StaticPages(r) * int64(c.PageSize)
+	}
+	return total
+}
+
+// GrowthBytesPerNewOrder returns the storage appended per New-Order
+// transaction plus the share of History appended by the accompanying
+// Payment transactions, given the workload mix: each New-Order inserts one
+// order tuple and ten order-line tuples, and each Payment inserts one
+// history tuple. This matches the paper's 180-day sizing argument in
+// Section 5.2.
+func GrowthBytesPerNewOrder(mix Mix) float64 {
+	perNewOrder := float64(TupleLen[core.Order]) + 10*float64(TupleLen[core.OrderLine])
+	paymentsPerNewOrder := mix.Fraction(core.TxnPayment) / mix.Fraction(core.TxnNewOrder)
+	return perNewOrder + paymentsPerNewOrder*float64(TupleLen[core.History])
+}
+
+// Mix is the workload mix: the fraction of transactions of each type.
+type Mix [core.NumTxnTypes]float64
+
+// DefaultMix returns the paper's assumed mix (Table 2): 43% New-Order,
+// 44% Payment, 4% Order-Status, 5% Delivery, 4% Stock-Level. Delivery is
+// held at 5% so the New-Order relation drains (each Delivery removes ten
+// pending orders, so 0.05*10 = 0.5 > 0.43 inserted).
+func DefaultMix() Mix {
+	return Mix{
+		core.TxnNewOrder:    0.43,
+		core.TxnPayment:     0.44,
+		core.TxnOrderStatus: 0.04,
+		core.TxnDelivery:    0.05,
+		core.TxnStockLevel:  0.04,
+	}
+}
+
+// MinimumMix returns the benchmark's minimum percentages (Table 2) with the
+// New-Order share absorbing the remainder: 45/43/4/4/4.
+func MinimumMix() Mix {
+	return Mix{
+		core.TxnNewOrder:    0.45,
+		core.TxnPayment:     0.43,
+		core.TxnOrderStatus: 0.04,
+		core.TxnDelivery:    0.04,
+		core.TxnStockLevel:  0.04,
+	}
+}
+
+// Validate checks that the mix sums to 1 (within rounding) and is
+// non-negative.
+func (m Mix) Validate() error {
+	var sum float64
+	for t, f := range m {
+		if f < 0 {
+			return fmt.Errorf("tpcc: mix fraction for %s is negative", core.TxnType(t))
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("tpcc: mix sums to %.4f, want 1.0", sum)
+	}
+	return nil
+}
+
+// Fraction returns the fraction of transactions of type t.
+func (m Mix) Fraction(t core.TxnType) float64 { return m[t] }
+
+// Drains reports whether the New-Order relation drains under this mix:
+// Delivery removes up to ten pending orders per transaction while each
+// New-Order inserts one, so the relation stays bounded iff
+// 10*f(Delivery) >= f(NewOrder). The paper warns that 45% New-Order with
+// 4% Delivery grows without bound.
+func (m Mix) Drains() bool {
+	return 10*m[core.TxnDelivery] >= m[core.TxnNewOrder]
+}
+
+// Behavioral constants of the transaction definitions (Section 2.2).
+const (
+	// ItemsPerOrder is the fixed order size the paper assumes (the
+	// benchmark draws uniform 5..15 with mean 10; the paper fixes 10).
+	ItemsPerOrder = 10
+	// RemoteStockProb is the probability that one ordered item is
+	// supplied by a remote warehouse.
+	RemoteStockProb = 0.01
+	// RemotePaymentProb is the probability a Payment is made through a
+	// warehouse other than the customer's home warehouse.
+	RemotePaymentProb = 0.15
+	// PayByNameProb is the probability the customer is selected by last
+	// name (returning three tuples on average) rather than by id.
+	PayByNameProb = 0.60
+	// AvgTuplesPerNameSelect is the mean number of customer tuples
+	// qualifying for a select-by-name.
+	AvgTuplesPerNameSelect = 3
+	// StockLevelOrders is the number of recent orders per district
+	// examined by the Stock-Level transaction.
+	StockLevelOrders = 20
+	// DeliveriesPerTxn is the number of districts (hence orders)
+	// processed by one Delivery transaction.
+	DeliveriesPerTxn = DistrictsPerWarehouse
+)

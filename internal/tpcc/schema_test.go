@@ -1,0 +1,150 @@
+package tpcc
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel/internal/core"
+)
+
+func TestTable1TuplesPerPage(t *testing.T) {
+	// Paper Table 1, 4K pages.
+	c := Config{Warehouses: 1, PageSize: 4096}
+	want := map[core.Relation]int64{
+		core.Warehouse: 46,
+		core.District:  43,
+		core.Customer:  6,
+		core.Stock:     13,
+		core.Item:      49,
+		core.Order:     170,
+		core.NewOrder:  512,
+		core.OrderLine: 75,
+		core.History:   89,
+	}
+	for r, w := range want {
+		if got := c.TuplesPerPage(r); got != w {
+			t.Errorf("TuplesPerPage(%s) = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestTuplesPerPage8K(t *testing.T) {
+	// The paper's 8K comparison: 26 stock tuples and 99 item tuples.
+	c := Config{Warehouses: 1, PageSize: 8192}
+	if got := c.TuplesPerPage(core.Stock); got != 26 {
+		t.Errorf("8K stock tuples/page = %d, want 26", got)
+	}
+	if got := c.TuplesPerPage(core.Item); got != 99 {
+		t.Errorf("8K item tuples/page = %d, want 99", got)
+	}
+}
+
+func TestCardinalityScaling(t *testing.T) {
+	c := Config{Warehouses: 20, PageSize: 4096}
+	cases := map[core.Relation]int64{
+		core.Warehouse: 20,
+		core.District:  200,
+		core.Customer:  600000,
+		core.Stock:     2000000,
+		core.Item:      100000, // does not scale
+		core.Order:     0,      // grows without bound
+		core.NewOrder:  0,
+		core.OrderLine: 0,
+		core.History:   0,
+	}
+	for r, w := range cases {
+		if got := c.Cardinality(r); got != w {
+			t.Errorf("Cardinality(%s) = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestStaticStorageMatchesPaper(t *testing.T) {
+	// Section 5.2: "Assuming 20 warehouses per node ... the space required
+	// is 1.1 Gbytes" for Warehouse+District+Customer+Stock+Item.
+	c := DefaultConfig()
+	gb := float64(c.StaticBytes()) / 1e9 // decimal GB, as the paper uses
+	if gb < 0.95 || gb > 1.2 {
+		t.Errorf("static storage = %.3f GB, paper says ~1.1 GB", gb)
+	}
+}
+
+func TestStaticPagesRoundsUp(t *testing.T) {
+	c := Config{Warehouses: 1, PageSize: 4096}
+	// 30000 customers at 6 per page = 5000 pages exactly.
+	if got := c.StaticPages(core.Customer); got != 5000 {
+		t.Errorf("customer pages = %d, want 5000", got)
+	}
+	// 10 districts at 43 per page = 1 page (rounds up).
+	if got := c.StaticPages(core.District); got != 1 {
+		t.Errorf("district pages = %d, want 1", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{Warehouses: 0, PageSize: 4096}).Validate(); err == nil {
+		t.Error("zero warehouses should be invalid")
+	}
+	if err := (Config{Warehouses: 1, PageSize: 512}).Validate(); err == nil {
+		t.Error("page smaller than customer tuple should be invalid")
+	}
+}
+
+func TestMixes(t *testing.T) {
+	for name, m := range map[string]Mix{"default": DefaultMix(), "minimum": MinimumMix()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s mix invalid: %v", name, err)
+		}
+	}
+	d := DefaultMix()
+	if d.Fraction(core.TxnNewOrder) != 0.43 || d.Fraction(core.TxnDelivery) != 0.05 {
+		t.Errorf("default mix fractions wrong: %+v", d)
+	}
+	if !d.Drains() {
+		t.Error("paper's default mix (5% delivery) must drain the New-Order relation")
+	}
+	// The paper's warning case: 45% New-Order with 4% Delivery grows
+	// without bound.
+	bad := Mix{
+		core.TxnNewOrder:    0.45,
+		core.TxnPayment:     0.43,
+		core.TxnOrderStatus: 0.04,
+		core.TxnDelivery:    0.04,
+		core.TxnStockLevel:  0.04,
+	}
+	if bad.Drains() {
+		t.Error("45/4 mix should NOT drain (0.4 removals < 0.45 inserts)")
+	}
+}
+
+func TestMixValidateRejectsBad(t *testing.T) {
+	var m Mix
+	if err := m.Validate(); err == nil {
+		t.Error("zero mix should be invalid")
+	}
+	m = DefaultMix()
+	m[core.TxnPayment] = -0.1
+	if err := m.Validate(); err == nil {
+		t.Error("negative fraction should be invalid")
+	}
+}
+
+func TestGrowthBytesPerNewOrder(t *testing.T) {
+	// One order tuple (24B) + 10 order-lines (54B each) + Payment share of
+	// history (46B * 0.44/0.43).
+	got := GrowthBytesPerNewOrder(DefaultMix())
+	want := 24 + 10*54 + 46*(0.44/0.43)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("GrowthBytesPerNewOrder = %v, want %v", got, want)
+	}
+	// Paper check: ~11 GB for 180 8-hour days. The paper's throughput is
+	// roughly 200 new-order/min; 180*8h*60min*200tpm*611B/NO ≈ 10.6e9.
+	days := 180.0 * 8 * 60 // minutes
+	total := days * 200 * got / 1e9
+	if total < 9 || total > 14 {
+		t.Errorf("180-day growth at 200 tpm = %.1f GB, paper says ~11 GB", total)
+	}
+}

@@ -1,0 +1,190 @@
+// Package trace records and replays TPC-C reference streams in a compact
+// binary format, so the workload generator's output can be captured once
+// and fed to external cache simulators, or replayed deterministically
+// against any buffer policy without regenerating.
+//
+// Format (little endian):
+//
+//	magic "TPCCTRC1" (8 bytes)
+//	then per transaction:
+//	  0xFE, txnType uint8, accessCount uvarint
+//	  then per access:
+//	    rel uint8, op uint8, tuple uvarint
+//
+// Tuples are written as deltas from the previous tuple of the same
+// relation (zig-zag encoded), which keeps append-heavy streams small.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/workload"
+)
+
+var magic = [8]byte{'T', 'P', 'C', 'C', 'T', 'R', 'C', '1'}
+
+const txnMarker = 0xFE
+
+// Writer streams transactions to an io.Writer.
+type Writer struct {
+	w    *bufio.Writer
+	last [core.NumRelations]int64
+	buf  [binary.MaxVarintLen64]byte
+	txns int64
+	accs int64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteTxn appends one transaction.
+func (t *Writer) WriteTxn(txn *workload.Txn) error {
+	if err := t.w.WriteByte(txnMarker); err != nil {
+		return err
+	}
+	if err := t.w.WriteByte(byte(txn.Type)); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(t.buf[:], uint64(len(txn.Accesses)))
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return err
+	}
+	for _, a := range txn.Accesses {
+		if err := t.w.WriteByte(byte(a.Rel)); err != nil {
+			return err
+		}
+		if err := t.w.WriteByte(byte(a.Op)); err != nil {
+			return err
+		}
+		delta := a.Tuple - t.last[a.Rel]
+		t.last[a.Rel] = a.Tuple
+		n := binary.PutUvarint(t.buf[:], zigzag(delta))
+		if _, err := t.w.Write(t.buf[:n]); err != nil {
+			return err
+		}
+		t.accs++
+	}
+	t.txns++
+	return nil
+}
+
+// Flush flushes buffered output; call once at the end.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Counts returns transactions and accesses written.
+func (t *Writer) Counts() (txns, accesses int64) { return t.txns, t.accs }
+
+// Reader streams transactions from an io.Reader.
+type Reader struct {
+	r    *bufio.Reader
+	last [core.NumRelations]int64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, errors.New("trace: bad magic (not a TPCCTRC1 stream)")
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadTxn reads the next transaction into txn (reusing its slice). It
+// returns io.EOF at a clean end of stream.
+func (t *Reader) ReadTxn(txn *workload.Txn) error {
+	m, err := t.r.ReadByte()
+	if err != nil {
+		return err // io.EOF at a clean boundary
+	}
+	if m != txnMarker {
+		return fmt.Errorf("trace: expected transaction marker, got 0x%02x", m)
+	}
+	typ, err := t.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: truncated transaction: %w", err)
+	}
+	if typ >= byte(core.NumTxnTypes) {
+		return fmt.Errorf("trace: invalid transaction type %d", typ)
+	}
+	count, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return fmt.Errorf("trace: truncated access count: %w", err)
+	}
+	if count > 1<<20 {
+		return fmt.Errorf("trace: implausible access count %d", count)
+	}
+	txn.Type = core.TxnType(typ)
+	txn.Accesses = txn.Accesses[:0]
+	for i := uint64(0); i < count; i++ {
+		rel, err := t.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: truncated access: %w", err)
+		}
+		if rel >= byte(core.NumRelations) {
+			return fmt.Errorf("trace: invalid relation %d", rel)
+		}
+		op, err := t.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: truncated access: %w", err)
+		}
+		if op >= byte(core.NumOps) {
+			return fmt.Errorf("trace: invalid op %d", op)
+		}
+		u, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return fmt.Errorf("trace: truncated tuple id: %w", err)
+		}
+		tuple := t.last[rel] + unzig(u)
+		if tuple < 0 {
+			return fmt.Errorf("trace: negative tuple id for %s", core.Relation(rel))
+		}
+		t.last[rel] = tuple
+		txn.Accesses = append(txn.Accesses, core.Access{
+			Rel: core.Relation(rel), Tuple: tuple, Op: core.Op(op),
+		})
+	}
+	return nil
+}
+
+// Record generates txns transactions from the given workload configuration
+// and writes them to w, returning the access count.
+func Record(w io.Writer, cfg workload.Config, txns int64) (int64, error) {
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	var txn workload.Txn
+	for i := int64(0); i < txns; i++ {
+		gen.Next(&txn)
+		if err := tw.WriteTxn(&txn); err != nil {
+			return 0, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	_, accs := tw.Counts()
+	return accs, nil
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cfg := workload.DefaultConfig(1, 9)
+	var buf bytes.Buffer
+	accs, err := Record(&buf, cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accs == 0 {
+		t.Fatal("no accesses recorded")
+	}
+
+	// Replaying must reproduce the generator's stream exactly.
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got workload.Txn
+	n := 0
+	for {
+		err := r.ReadTxn(&got)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Next(&want)
+		if got.Type != want.Type || len(got.Accesses) != len(want.Accesses) {
+			t.Fatalf("txn %d: shape mismatch", n)
+		}
+		for i := range got.Accesses {
+			if got.Accesses[i] != want.Accesses[i] {
+				t.Fatalf("txn %d access %d: %+v != %+v",
+					n, i, got.Accesses[i], want.Accesses[i])
+			}
+		}
+		n++
+	}
+	if n != 500 {
+		t.Errorf("replayed %d transactions, want 500", n)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Delta+varint encoding should land well under the naive 10 bytes
+	// per access.
+	cfg := workload.DefaultConfig(1, 1)
+	var buf bytes.Buffer
+	accs, err := Record(&buf, cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAccess := float64(buf.Len()) / float64(accs)
+	if perAccess > 6 {
+		t.Errorf("trace uses %.1f bytes/access, want < 6", perAccess)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("short header should fail")
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	cfg := workload.DefaultConfig(1, 2)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, cfg, 5); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Truncations after the header must error, not panic.
+	for _, cut := range []int{9, 12, 20, len(data) - 1} {
+		if cut >= len(data) {
+			continue
+		}
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			continue
+		}
+		var txn workload.Txn
+		for {
+			if err := r.ReadTxn(&txn); err != nil {
+				break // any error (EOF or corruption) is acceptable
+			}
+		}
+	}
+
+	// Flip the marker byte: must be rejected.
+	bad := append([]byte(nil), data...)
+	bad[8] = 0x00
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txn workload.Txn
+	if err := r.ReadTxn(&txn); err == nil {
+		t.Error("corrupt marker should fail")
+	}
+}
+
+func TestZigZagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzig(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidFieldsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := workload.Txn{Type: core.TxnNewOrder, Accesses: []core.Access{
+		{Rel: core.Stock, Tuple: 5, Op: core.Select},
+	}}
+	if err := w.WriteTxn(&txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the relation byte (offset: 8 magic + 1 marker + 1 type +
+	// 1 count = 11).
+	data[11] = 0xEE
+	r, _ := NewReader(bytes.NewReader(data))
+	var out workload.Txn
+	if err := r.ReadTxn(&out); err == nil {
+		t.Error("invalid relation should fail")
+	}
+}

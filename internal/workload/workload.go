@@ -1,0 +1,487 @@
+// Package workload generates the TPC-C logical reference stream of
+// Section 2.2 of the paper: a sequence of transactions, each expanded into
+// the tuple-level database calls it makes, with the paper's access
+// distributions (NURand customer/item ids, uniform warehouse/district),
+// transaction mix, and stateful behaviour:
+//
+//   - the last order placed by every customer (used by Order-Status),
+//   - the last 20 orders of every district (used by Stock-Level),
+//   - the pending-order FIFO of every district (used by Delivery),
+//   - monotonically growing order/new-order/order-line/history relations.
+//
+// Tuple ordinals are zero-based and linearize the benchmark's composite
+// keys: stock (w,i) -> w*100000 + i, customer (w,d,c) -> (w*10+d)*3000 + c,
+// district (w,d) -> w*10 + d. The growing relations use global append
+// counters. A packing.Mapper later turns ordinals into pages.
+package workload
+
+import (
+	"fmt"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/nurand"
+	"tpccmodel/internal/rng"
+	"tpccmodel/internal/tpcc"
+)
+
+// Config parameterizes a workload stream.
+type Config struct {
+	// DB is the database scale (warehouses, page size).
+	DB tpcc.Config
+	// Mix is the transaction mix; defaults to tpcc.DefaultMix.
+	Mix tpcc.Mix
+	// Seed drives all randomness; the same seed reproduces the stream.
+	Seed uint64
+	// RemoteStockProb is the probability an ordered item is supplied by
+	// a remote warehouse (benchmark: 0.01). Figure 12 sweeps this.
+	RemoteStockProb float64
+	// RemotePaymentProb is the probability a Payment goes through a
+	// non-home warehouse (benchmark: 0.15).
+	RemotePaymentProb float64
+	// PayByNameProb is the probability a Payment or Order-Status selects
+	// the customer by last name (benchmark: 0.60).
+	PayByNameProb float64
+	// Prepopulate loads the database as the benchmark specifies: 3,000
+	// orders per district (one per customer), the most recent 900 of
+	// which are pending delivery. Without it the growing relations start
+	// empty and Order-Status/Delivery/Stock-Level have nothing to touch
+	// until New-Orders accumulate.
+	Prepopulate bool
+}
+
+// DefaultConfig returns the paper's configuration at the given scale and
+// seed.
+func DefaultConfig(warehouses int, seed uint64) Config {
+	return Config{
+		DB:                tpcc.Config{Warehouses: warehouses, PageSize: 4096},
+		Mix:               tpcc.DefaultMix(),
+		Seed:              seed,
+		RemoteStockProb:   tpcc.RemoteStockProb,
+		RemotePaymentProb: tpcc.RemotePaymentProb,
+		PayByNameProb:     tpcc.PayByNameProb,
+		Prepopulate:       true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.DB.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	for name, p := range map[string]float64{
+		"RemoteStockProb":   c.RemoteStockProb,
+		"RemotePaymentProb": c.RemotePaymentProb,
+		"PayByNameProb":     c.PayByNameProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("workload: %s = %v out of [0,1]", name, p)
+		}
+	}
+	return nil
+}
+
+// Txn is one generated transaction: its type and the tuple accesses it
+// makes, in call order. The Accesses slice is reused across calls to
+// Generator.Next; copy it to retain.
+type Txn struct {
+	Type     core.TxnType
+	Accesses []core.Access
+	// DeliverySkipped counts districts whose pending queue was empty
+	// when a Delivery transaction visited them (only set for Delivery).
+	DeliverySkipped int
+}
+
+// orderRef locates one order's tuples.
+type orderRef struct {
+	orderTuple int64
+	olStart    int64
+	olCount    uint8
+}
+
+// pendingOrder is an order awaiting Delivery.
+type pendingOrder struct {
+	orderRef
+	noTuple int64 // tuple ordinal in the New-Order relation
+	custTup int64 // customer tuple ordinal
+}
+
+// recentOrder is an entry in a district's last-20 ring, carrying the item
+// ordinals Stock-Level needs for its join against stock.
+type recentOrder struct {
+	orderRef
+	items [tpcc.ItemsPerOrder]int32
+}
+
+// districtState is the per-district bookkeeping.
+type districtState struct {
+	// pending is a FIFO of undelivered orders: pending[head:] are live.
+	pending []pendingOrder
+	head    int
+	// recent is a ring of the district's last 20 orders.
+	recent [tpcc.StockLevelOrders]recentOrder
+	nRec   int // number of valid entries (saturates at 20)
+	rPos   int // next write position
+}
+
+func (d *districtState) pushPending(p pendingOrder) {
+	// Compact the FIFO when the dead prefix dominates.
+	if d.head > 1024 && d.head*2 > len(d.pending) {
+		n := copy(d.pending, d.pending[d.head:])
+		d.pending = d.pending[:n]
+		d.head = 0
+	}
+	d.pending = append(d.pending, p)
+}
+
+func (d *districtState) popPending() (pendingOrder, bool) {
+	if d.head >= len(d.pending) {
+		return pendingOrder{}, false
+	}
+	p := d.pending[d.head]
+	d.head++
+	return p, true
+}
+
+func (d *districtState) pendingLen() int { return len(d.pending) - d.head }
+
+func (d *districtState) pushRecent(r recentOrder) {
+	d.recent[d.rPos] = r
+	d.rPos = (d.rPos + 1) % tpcc.StockLevelOrders
+	if d.nRec < tpcc.StockLevelOrders {
+		d.nRec++
+	}
+}
+
+// Generator produces the reference stream.
+type Generator struct {
+	cfg Config
+	r   *rng.RNG
+
+	custGen *nurand.Gen // NU(1023,1,3000)
+	itemGen *nurand.Gen // NU(8191,1,100000)
+	nameGen [3]*nurand.Gen
+
+	// Append counters (also the current cardinality of each growing
+	// relation; New-Order tracks live count separately).
+	orderCtr, noCtr, olCtr, histCtr int64
+	noLive                          int64
+
+	districts []districtState
+	// lastOrder[customer tuple ordinal] is the customer's most recent
+	// order, or orderTuple == -1 if none.
+	lastOrder []orderRef
+
+	txnCounts [core.NumTxnTypes]int64
+	skipped   int64
+}
+
+// New builds a generator; it prepopulates the database state if configured.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	g := &Generator{
+		cfg:     cfg,
+		r:       r,
+		custGen: nurand.NewGen(nurand.CustomerID, r),
+		itemGen: nurand.NewGen(nurand.ItemID, r),
+	}
+	thirds := nurand.NameThirds()
+	for i, p := range thirds {
+		g.nameGen[i] = nurand.NewGen(p, r)
+	}
+	nDist := cfg.DB.Warehouses * tpcc.DistrictsPerWarehouse
+	g.districts = make([]districtState, nDist)
+	g.lastOrder = make([]orderRef, cfg.DB.Cardinality(core.Customer))
+	for i := range g.lastOrder {
+		g.lastOrder[i].orderTuple = -1
+	}
+	if cfg.Prepopulate {
+		g.prepopulate()
+	}
+	return g, nil
+}
+
+// prepopulate loads 3,000 orders per district — one per customer in a
+// random permutation, as the benchmark's initial population specifies —
+// with the most recent 900 pending delivery. Item ids in the initial
+// orders are uniform (the load is not NURand-skewed).
+func (g *Generator) prepopulate() {
+	perm := make([]int64, tpcc.CustomersPerDistrict)
+	for dist := range g.districts {
+		ds := &g.districts[dist]
+		g.r.Perm(perm)
+		custBase := int64(dist) * tpcc.CustomersPerDistrict
+		for o := 0; o < tpcc.CustomersPerDistrict; o++ {
+			ref := orderRef{
+				orderTuple: g.orderCtr,
+				olStart:    g.olCtr,
+				olCount:    tpcc.ItemsPerOrder,
+			}
+			g.orderCtr++
+			g.olCtr += tpcc.ItemsPerOrder
+			custTup := custBase + perm[o]
+			g.lastOrder[custTup] = ref
+			var rec recentOrder
+			rec.orderRef = ref
+			for i := range rec.items {
+				rec.items[i] = int32(g.r.Int63n(tpcc.ItemCount))
+			}
+			ds.pushRecent(rec)
+			if o >= tpcc.CustomersPerDistrict-900 {
+				ds.pushPending(pendingOrder{
+					orderRef: ref,
+					noTuple:  g.noCtr,
+					custTup:  custTup,
+				})
+				g.noCtr++
+				g.noLive++
+			}
+		}
+	}
+}
+
+// Sizes reports the current cardinalities of the growing relations:
+// total orders, live new-order entries, order-lines, and history tuples.
+func (g *Generator) Sizes() (orders, newOrders, orderLines, history int64) {
+	return g.orderCtr, g.noLive, g.olCtr, g.histCtr
+}
+
+// TxnCounts returns how many transactions of each type have been generated.
+func (g *Generator) TxnCounts() [core.NumTxnTypes]int64 { return g.txnCounts }
+
+// SkippedDeliveries returns the total number of district deliveries skipped
+// because no order was pending.
+func (g *Generator) SkippedDeliveries() int64 { return g.skipped }
+
+func (g *Generator) pickType() core.TxnType {
+	u := g.r.Float64()
+	var cum float64
+	for t := core.TxnType(0); t < core.NumTxnTypes; t++ {
+		cum += g.cfg.Mix.Fraction(t)
+		if u < cum {
+			return t
+		}
+	}
+	return core.TxnStockLevel
+}
+
+// Next generates one transaction into t, reusing t.Accesses.
+func (g *Generator) Next(t *Txn) {
+	t.Accesses = t.Accesses[:0]
+	t.DeliverySkipped = 0
+	t.Type = g.pickType()
+	g.txnCounts[t.Type]++
+	switch t.Type {
+	case core.TxnNewOrder:
+		g.newOrder(t)
+	case core.TxnPayment:
+		g.payment(t)
+	case core.TxnOrderStatus:
+		g.orderStatus(t)
+	case core.TxnDelivery:
+		g.delivery(t)
+	case core.TxnStockLevel:
+		g.stockLevel(t)
+	}
+}
+
+func (t *Txn) add(rel core.Relation, tuple int64, op core.Op) {
+	t.Accesses = append(t.Accesses, core.Access{Rel: rel, Tuple: tuple, Op: op})
+}
+
+// pickWarehouse returns a uniform warehouse ordinal.
+func (g *Generator) pickWarehouse() int64 { return g.r.Int63n(int64(g.cfg.DB.Warehouses)) }
+
+// pickRemoteWarehouse returns a uniform warehouse other than home (or home
+// when only one warehouse exists).
+func (g *Generator) pickRemoteWarehouse(home int64) int64 {
+	w := int64(g.cfg.DB.Warehouses)
+	if w == 1 {
+		return home
+	}
+	v := g.r.Int63n(w - 1)
+	if v >= home {
+		v++
+	}
+	return v
+}
+
+// customerByID returns the customer tuple ordinal for an NU(1023,1,3000)
+// draw in the given district.
+func (g *Generator) customerByID(dist int64) int64 {
+	return dist*tpcc.CustomersPerDistrict + g.custGen.Next() - 1
+}
+
+// customerByName models the non-unique select: one of the three
+// (lbound,ubound) thirds is chosen with equal probability and three
+// qualifying customer tuples are drawn independently from that third's
+// NU(255,·,·) distribution (the three customers sharing a last name are
+// spread through the district, as the benchmark's population rule implies).
+// It returns the three tuple ordinals; the "middle" customer the
+// transaction proceeds with is the second.
+func (g *Generator) customerByName(dist int64) [3]int64 {
+	third := g.r.Int63n(3)
+	gen := g.nameGen[third]
+	var out [3]int64
+	for i := range out {
+		out[i] = dist*tpcc.CustomersPerDistrict + gen.Next() - 1
+	}
+	return out
+}
+
+// newOrder implements the New-Order access pattern of Section 2.2.
+func (g *Generator) newOrder(t *Txn) {
+	wh := g.pickWarehouse()
+	d := g.r.Int63n(tpcc.DistrictsPerWarehouse)
+	dist := wh*tpcc.DistrictsPerWarehouse + d
+	cust := g.customerByID(dist)
+
+	t.add(core.Warehouse, wh, core.Select)
+	t.add(core.District, dist, core.Select)
+	t.add(core.District, dist, core.Update)
+	t.add(core.Customer, cust, core.Select)
+
+	ref := orderRef{orderTuple: g.orderCtr, olStart: g.olCtr, olCount: tpcc.ItemsPerOrder}
+	t.add(core.Order, g.orderCtr, core.Insert)
+	g.orderCtr++
+	noTuple := g.noCtr
+	t.add(core.NewOrder, noTuple, core.Insert)
+	g.noCtr++
+	g.noLive++
+
+	var rec recentOrder
+	rec.orderRef = ref
+	for i := 0; i < tpcc.ItemsPerOrder; i++ {
+		item := g.itemGen.Next() - 1
+		rec.items[i] = int32(item)
+		supply := wh
+		if g.r.Bernoulli(g.cfg.RemoteStockProb) {
+			supply = g.pickRemoteWarehouse(wh)
+		}
+		t.add(core.Item, item, core.Select)
+		stockTup := supply*tpcc.StockPerWarehouse + item
+		t.add(core.Stock, stockTup, core.Select)
+		t.add(core.Stock, stockTup, core.Update)
+		t.add(core.OrderLine, g.olCtr, core.Insert)
+		g.olCtr++
+	}
+
+	g.lastOrder[cust] = ref
+	ds := &g.districts[dist]
+	ds.pushRecent(rec)
+	ds.pushPending(pendingOrder{orderRef: ref, noTuple: noTuple, custTup: cust})
+}
+
+// payment implements the Payment access pattern.
+func (g *Generator) payment(t *Txn) {
+	wh := g.pickWarehouse()
+	d := g.r.Int63n(tpcc.DistrictsPerWarehouse)
+
+	t.add(core.Warehouse, wh, core.Select)
+	t.add(core.District, wh*tpcc.DistrictsPerWarehouse+d, core.Select)
+
+	custWh := wh
+	if g.r.Bernoulli(g.cfg.RemotePaymentProb) {
+		custWh = g.pickRemoteWarehouse(wh)
+	}
+	custDist := custWh*tpcc.DistrictsPerWarehouse + g.r.Int63n(tpcc.DistrictsPerWarehouse)
+
+	var cust int64
+	if g.r.Bernoulli(g.cfg.PayByNameProb) {
+		three := g.customerByName(custDist)
+		for _, c := range three {
+			t.add(core.Customer, c, core.NonUniqueSelect)
+		}
+		cust = three[1]
+	} else {
+		cust = g.customerByID(custDist)
+		t.add(core.Customer, cust, core.Select)
+	}
+
+	t.add(core.Warehouse, wh, core.Update)
+	t.add(core.District, wh*tpcc.DistrictsPerWarehouse+d, core.Update)
+	t.add(core.Customer, cust, core.Update)
+	t.add(core.History, g.histCtr, core.Insert)
+	g.histCtr++
+}
+
+// orderStatus implements the Order-Status access pattern.
+func (g *Generator) orderStatus(t *Txn) {
+	wh := g.pickWarehouse()
+	dist := wh*tpcc.DistrictsPerWarehouse + g.r.Int63n(tpcc.DistrictsPerWarehouse)
+
+	var cust int64
+	if g.r.Bernoulli(g.cfg.PayByNameProb) {
+		three := g.customerByName(dist)
+		for _, c := range three {
+			t.add(core.Customer, c, core.NonUniqueSelect)
+		}
+		cust = three[1]
+	} else {
+		cust = g.customerByID(dist)
+		t.add(core.Customer, cust, core.Select)
+	}
+
+	ref := g.lastOrder[cust]
+	if ref.orderTuple < 0 {
+		return // customer has never ordered (only without prepopulation)
+	}
+	// Select(Max(order-id)): one indexed select on Order.
+	t.add(core.Order, ref.orderTuple, core.Select)
+	for i := int64(0); i < int64(ref.olCount); i++ {
+		t.add(core.OrderLine, ref.olStart+i, core.Select)
+	}
+}
+
+// delivery implements the Delivery access pattern: the oldest pending order
+// of each of the warehouse's ten districts.
+func (g *Generator) delivery(t *Txn) {
+	wh := g.pickWarehouse()
+	for d := int64(0); d < tpcc.DistrictsPerWarehouse; d++ {
+		dist := wh*tpcc.DistrictsPerWarehouse + d
+		ds := &g.districts[dist]
+		p, ok := ds.popPending()
+		if !ok {
+			t.DeliverySkipped++
+			g.skipped++
+			continue
+		}
+		g.noLive--
+		// Select(Min(order-id)) from New-Order via multi-keyed index,
+		// then delete it.
+		t.add(core.NewOrder, p.noTuple, core.Select)
+		t.add(core.NewOrder, p.noTuple, core.Delete)
+		t.add(core.Order, p.orderTuple, core.Select)
+		t.add(core.Order, p.orderTuple, core.Update)
+		for i := int64(0); i < int64(p.olCount); i++ {
+			t.add(core.OrderLine, p.olStart+i, core.Select)
+			t.add(core.OrderLine, p.olStart+i, core.Update)
+		}
+		t.add(core.Customer, p.custTup, core.Select)
+		t.add(core.Customer, p.custTup, core.Update)
+	}
+}
+
+// stockLevel implements the Stock-Level access pattern: the join touches
+// each order line of the district's last 20 orders and the corresponding
+// stock tuple at the district's home warehouse.
+func (g *Generator) stockLevel(t *Txn) {
+	wh := g.pickWarehouse()
+	d := g.r.Int63n(tpcc.DistrictsPerWarehouse)
+	dist := wh*tpcc.DistrictsPerWarehouse + d
+	t.add(core.District, dist, core.Select)
+
+	ds := &g.districts[dist]
+	for k := 0; k < ds.nRec; k++ {
+		rec := &ds.recent[k]
+		for i := int64(0); i < int64(rec.olCount); i++ {
+			t.add(core.OrderLine, rec.olStart+i, core.JoinFetch)
+			t.add(core.Stock, wh*tpcc.StockPerWarehouse+int64(rec.items[i]), core.JoinFetch)
+		}
+	}
+}

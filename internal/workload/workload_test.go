@@ -1,0 +1,433 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/tpcc"
+)
+
+func testConfig(warehouses int, seed uint64) Config {
+	return DefaultConfig(warehouses, seed)
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := testConfig(2, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := c
+	bad.PayByNameProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("probability > 1 should fail")
+	}
+	bad = c
+	bad.DB.Warehouses = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid DB config should fail")
+	}
+	bad = c
+	bad.Mix = Config{}.Mix
+	if err := bad.Validate(); err == nil {
+		t.Error("zero mix should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := New(testConfig(2, 99))
+	g2, _ := New(testConfig(2, 99))
+	var t1, t2 Txn
+	for i := 0; i < 500; i++ {
+		g1.Next(&t1)
+		g2.Next(&t2)
+		if t1.Type != t2.Type || len(t1.Accesses) != len(t2.Accesses) {
+			t.Fatal("same seed must generate identical streams")
+		}
+		for j := range t1.Accesses {
+			if t1.Accesses[j] != t2.Accesses[j] {
+				t.Fatal("access mismatch")
+			}
+		}
+	}
+}
+
+func TestPrepopulationState(t *testing.T) {
+	g, err := New(testConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, pending, ols, hist := g.Sizes()
+	wantOrders := int64(2 * 10 * 3000)
+	if orders != wantOrders {
+		t.Errorf("orders = %d, want %d", orders, wantOrders)
+	}
+	if pending != int64(2*10*900) {
+		t.Errorf("pending = %d, want %d", pending, 2*10*900)
+	}
+	if ols != wantOrders*10 {
+		t.Errorf("order-lines = %d, want %d", ols, wantOrders*10)
+	}
+	if hist != 0 {
+		t.Errorf("history = %d, want 0", hist)
+	}
+	// Every customer has a last order after prepopulation.
+	for i, ref := range g.lastOrder {
+		if ref.orderTuple < 0 {
+			t.Fatalf("customer %d has no last order after prepopulation", i)
+		}
+	}
+}
+
+func TestMixConvergence(t *testing.T) {
+	g, _ := New(testConfig(1, 7))
+	var txn Txn
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Next(&txn)
+	}
+	counts := g.TxnCounts()
+	mix := tpcc.DefaultMix()
+	for tt := core.TxnType(0); tt < core.NumTxnTypes; tt++ {
+		got := float64(counts[tt]) / n
+		want := mix.Fraction(tt)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s fraction = %.4f, want %.2f", tt, got, want)
+		}
+	}
+}
+
+func collect(t *testing.T, g *Generator, typ core.TxnType) Txn {
+	t.Helper()
+	var txn Txn
+	for i := 0; i < 100000; i++ {
+		g.Next(&txn)
+		if txn.Type == typ {
+			out := Txn{Type: txn.Type, DeliverySkipped: txn.DeliverySkipped}
+			out.Accesses = append(out.Accesses, txn.Accesses...)
+			return out
+		}
+	}
+	t.Fatalf("no %s transaction generated in 100000 draws", typ)
+	return Txn{}
+}
+
+func countOps(txn Txn) (sel, upd, ins, del, nus, join int) {
+	for _, a := range txn.Accesses {
+		switch a.Op {
+		case core.Select:
+			sel++
+		case core.Update:
+			upd++
+		case core.Insert:
+			ins++
+		case core.Delete:
+			del++
+		case core.NonUniqueSelect:
+			nus++
+		case core.JoinFetch:
+			join++
+		}
+	}
+	return
+}
+
+// TestNewOrderCallCounts verifies Table 2's New-Order row: 23 selects, 11
+// updates, 12 inserts.
+func TestNewOrderCallCounts(t *testing.T) {
+	g, _ := New(testConfig(2, 3))
+	txn := collect(t, g, core.TxnNewOrder)
+	sel, upd, ins, del, nus, join := countOps(txn)
+	if sel != 23 || upd != 11 || ins != 12 || del != 0 || nus != 0 || join != 0 {
+		t.Errorf("New-Order ops = sel %d upd %d ins %d del %d nus %d join %d; want 23/11/12/0/0/0",
+			sel, upd, ins, del, nus, join)
+	}
+}
+
+// TestPaymentCallCounts verifies Table 2's Payment row: 4.2 selects on
+// average (2 + 0.4*1 + 0.6*3), 3 updates, 1 insert.
+func TestPaymentCallCounts(t *testing.T) {
+	g, _ := New(testConfig(2, 3))
+	var selSum, n float64
+	var txn Txn
+	for i := 0; i < 60000; i++ {
+		g.Next(&txn)
+		if txn.Type != core.TxnPayment {
+			continue
+		}
+		sel, upd, ins, _, nus, _ := countOps(txn)
+		if upd != 3 || ins != 1 {
+			t.Fatalf("Payment upd %d ins %d; want 3/1", upd, ins)
+		}
+		if !(sel == 3 && nus == 0 || sel == 2 && nus == 3) {
+			t.Fatalf("Payment sel %d nus %d; want 3/0 (by id) or 2/3 (by name)", sel, nus)
+		}
+		selSum += float64(sel + nus)
+		n++
+	}
+	if avg := selSum / n; math.Abs(avg-4.2) > 0.05 {
+		t.Errorf("Payment average selects = %.3f, want 4.2", avg)
+	}
+}
+
+// TestOrderStatusCallCounts verifies the Order-Status access pattern:
+// 2.2 customer tuples on average plus 1 order and 10 order-lines.
+func TestOrderStatusCallCounts(t *testing.T) {
+	g, _ := New(testConfig(2, 3))
+	var total, n float64
+	var txn Txn
+	for i := 0; i < 100000; i++ {
+		g.Next(&txn)
+		if txn.Type != core.TxnOrderStatus {
+			continue
+		}
+		sel, upd, ins, del, nus, join := countOps(txn)
+		if upd+ins+del+join != 0 {
+			t.Fatal("Order-Status must be read-only")
+		}
+		total += float64(sel + nus)
+		n++
+	}
+	// 2.2 customer + 1 order + 10 order-lines = 13.2 tuple accesses.
+	if avg := total / n; math.Abs(avg-13.2) > 0.1 {
+		t.Errorf("Order-Status average accesses = %.3f, want 13.2", avg)
+	}
+}
+
+// TestDeliveryCallCounts verifies Table 2's Delivery row: 130 selects, 120
+// updates, 10 deletes when all ten districts have pending orders.
+func TestDeliveryCallCounts(t *testing.T) {
+	g, _ := New(testConfig(2, 3))
+	// Immediately after prepopulation every district has 900 pending.
+	txn := collect(t, g, core.TxnDelivery)
+	if txn.DeliverySkipped > 0 {
+		t.Skipf("delivery skipped %d districts (pending drained)", txn.DeliverySkipped)
+	}
+	sel, upd, ins, del, nus, join := countOps(txn)
+	if sel != 130 || upd != 120 || del != 10 || ins != 0 || nus != 0 || join != 0 {
+		t.Errorf("Delivery ops = sel %d upd %d del %d ins %d nus %d join %d; want 130/120/10/0/0/0",
+			sel, upd, del, ins, nus, join)
+	}
+}
+
+// TestStockLevelCallCounts verifies the Stock-Level join: 1 district select
+// plus 200 order-line and 200 stock fetches.
+func TestStockLevelCallCounts(t *testing.T) {
+	g, _ := New(testConfig(2, 3))
+	txn := collect(t, g, core.TxnStockLevel)
+	sel, upd, ins, del, _, join := countOps(txn)
+	if sel != 1 || join != 400 || upd+ins+del != 0 {
+		t.Errorf("Stock-Level ops = sel %d join %d; want 1 select + 400 join fetches", sel, join)
+	}
+}
+
+func TestAccessOrdinalsInRange(t *testing.T) {
+	cfg := testConfig(3, 11)
+	g, _ := New(cfg)
+	var txn Txn
+	for i := 0; i < 20000; i++ {
+		g.Next(&txn)
+		orders, _, ols, hist := g.Sizes()
+		for _, a := range txn.Accesses {
+			var limit int64
+			switch a.Rel {
+			case core.Order:
+				limit = orders
+			case core.OrderLine:
+				limit = ols
+			case core.History:
+				limit = hist
+			case core.NewOrder:
+				limit = 1 << 62 // append counter; bounded by orders*1
+			default:
+				limit = cfg.DB.Cardinality(a.Rel)
+			}
+			if a.Tuple < 0 || a.Tuple >= limit {
+				t.Fatalf("%s access to tuple %d outside [0, %d)", a.Rel, a.Tuple, limit)
+			}
+		}
+	}
+}
+
+// TestNewOrderRelationDrains verifies the paper's mix-tuning argument: with
+// 5% Delivery the New-Order relation shrinks from its initial 900-per-
+// district population toward a small steady state.
+func TestNewOrderRelationDrains(t *testing.T) {
+	g, _ := New(testConfig(1, 5))
+	_, before, _, _ := g.Sizes()
+	var txn Txn
+	for i := 0; i < 150000; i++ {
+		g.Next(&txn)
+	}
+	_, after, _, _ := g.Sizes()
+	if after >= before {
+		t.Errorf("pending new-orders grew from %d to %d under a draining mix", before, after)
+	}
+}
+
+// TestNewOrderRelationGrowsUnderBadMix verifies the paper's warning: 45%
+// New-Order with only 4% Delivery grows without bound.
+func TestNewOrderRelationGrowsUnderBadMix(t *testing.T) {
+	cfg := testConfig(1, 5)
+	cfg.Mix = tpcc.Mix{
+		core.TxnNewOrder:    0.45,
+		core.TxnPayment:     0.43,
+		core.TxnOrderStatus: 0.04,
+		core.TxnDelivery:    0.04,
+		core.TxnStockLevel:  0.04,
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before, _, _ := g.Sizes()
+	var txn Txn
+	for i := 0; i < 100000; i++ {
+		g.Next(&txn)
+	}
+	_, after, _, _ := g.Sizes()
+	if after <= before {
+		t.Errorf("pending new-orders should grow under 45/4 mix: %d -> %d", before, after)
+	}
+}
+
+func TestRemoteStockSelection(t *testing.T) {
+	cfg := testConfig(4, 13)
+	cfg.RemoteStockProb = 0.5 // exaggerate for test power
+	g, _ := New(cfg)
+	var local, remote int
+	var txn Txn
+	for i := 0; i < 20000; i++ {
+		g.Next(&txn)
+		if txn.Type != core.TxnNewOrder {
+			continue
+		}
+		// Home warehouse is the first access's tuple.
+		home := txn.Accesses[0].Tuple
+		for _, a := range txn.Accesses {
+			if a.Rel == core.Stock && a.Op == core.Select {
+				if a.Tuple/tpcc.StockPerWarehouse == home {
+					local++
+				} else {
+					remote++
+				}
+			}
+		}
+	}
+	frac := float64(remote) / float64(local+remote)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("remote stock fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSingleWarehouseNeverRemote(t *testing.T) {
+	cfg := testConfig(1, 17)
+	cfg.RemoteStockProb = 1.0
+	cfg.RemotePaymentProb = 1.0
+	g, _ := New(cfg)
+	var txn Txn
+	for i := 0; i < 5000; i++ {
+		g.Next(&txn)
+		for _, a := range txn.Accesses {
+			if a.Rel == core.Stock && a.Tuple >= tpcc.StockPerWarehouse {
+				t.Fatal("single-warehouse config accessed a remote stock tuple")
+			}
+		}
+	}
+}
+
+func TestDeliveryConsumesOldestFIFO(t *testing.T) {
+	g, _ := New(testConfig(1, 23))
+	// The oldest pending order per district was created during
+	// prepopulation; the first delivery of each district must touch
+	// order tuples from the prepopulated range in FIFO order.
+	var firstDelivery []int64
+	var txn Txn
+	for len(firstDelivery) == 0 {
+		g.Next(&txn)
+		if txn.Type == core.TxnDelivery {
+			for _, a := range txn.Accesses {
+				if a.Rel == core.Order && a.Op == core.Select {
+					firstDelivery = append(firstDelivery, a.Tuple)
+				}
+			}
+		}
+	}
+	orders, _, _, _ := g.Sizes()
+	for _, o := range firstDelivery {
+		if o >= orders {
+			t.Fatalf("delivered order %d out of range", o)
+		}
+	}
+	// Each district's first delivered order is its 2101st prepopulated
+	// order (index 2100 within the district block of 3000).
+	for i, o := range firstDelivery {
+		want := int64(i)*3000 + 2100
+		if o != want {
+			t.Errorf("district %d first delivery order = %d, want %d", i, o, want)
+		}
+	}
+}
+
+func TestStockLevelTouchesRecentOrderItems(t *testing.T) {
+	g, _ := New(testConfig(1, 29))
+	txn := collect(t, g, core.TxnStockLevel)
+	// Every stock fetch must pair with a preceding order-line fetch and
+	// belong to warehouse 0.
+	var ols, stocks int
+	for _, a := range txn.Accesses {
+		if a.Op != core.JoinFetch {
+			continue
+		}
+		switch a.Rel {
+		case core.OrderLine:
+			ols++
+		case core.Stock:
+			stocks++
+			if a.Tuple >= tpcc.StockPerWarehouse {
+				t.Fatal("stock-level fetched stock of a foreign warehouse")
+			}
+		}
+	}
+	if ols != stocks || ols != 200 {
+		t.Errorf("join fetched %d order-lines and %d stocks, want 200/200", ols, stocks)
+	}
+}
+
+func TestPendingFIFOCompaction(t *testing.T) {
+	var ds districtState
+	for i := int64(0); i < 5000; i++ {
+		ds.pushPending(pendingOrder{orderRef: orderRef{orderTuple: i}})
+	}
+	for i := int64(0); i < 4000; i++ {
+		p, ok := ds.popPending()
+		if !ok || p.orderTuple != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, p.orderTuple, ok)
+		}
+	}
+	// Trigger compaction and keep FIFO semantics.
+	ds.pushPending(pendingOrder{orderRef: orderRef{orderTuple: 5000}})
+	if ds.pendingLen() != 1001 {
+		t.Fatalf("pendingLen = %d, want 1001", ds.pendingLen())
+	}
+	p, _ := ds.popPending()
+	if p.orderTuple != 4000 {
+		t.Errorf("after compaction pop = %d, want 4000", p.orderTuple)
+	}
+}
+
+func TestNoPrepopulationOrderStatusSafe(t *testing.T) {
+	cfg := testConfig(1, 31)
+	cfg.Prepopulate = false
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txn Txn
+	for i := 0; i < 10000; i++ {
+		g.Next(&txn) // must not panic on customers without orders
+	}
+	if g.SkippedDeliveries() == 0 {
+		t.Error("without prepopulation early deliveries should skip empty districts")
+	}
+}

@@ -1,0 +1,122 @@
+package tpccmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"tpccmodel"
+)
+
+func TestFacadeSkewPipeline(t *testing.T) {
+	pmf := tpccmodel.ExactPMF(tpccmodel.StockItemDistribution())
+	if len(pmf) != 100000 {
+		t.Fatalf("stock PMF support = %d", len(pmf))
+	}
+	lz := tpccmodel.NewLorenz(pmf)
+	if got := lz.AccessShareOfHottest(0.20); math.Abs(got-0.84) > 0.03 {
+		t.Errorf("hottest-20%% share = %v, paper says ~0.84", got)
+	}
+	cust := tpccmodel.CustomerAccessPMF()
+	if len(cust) != 3000 {
+		t.Fatalf("customer PMF support = %d", len(cust))
+	}
+	if tpccmodel.NewLorenz(cust).AccessShareOfHottest(0.2) >= lz.AccessShareOfHottest(0.2) {
+		t.Error("customer must be less skewed than stock")
+	}
+}
+
+func TestFacadeSimToModelPipeline(t *testing.T) {
+	cfg := tpccmodel.MissCurveConfig{
+		Workload:        tpccmodel.DefaultWorkload(1, 3),
+		Packing:         tpccmodel.PackSequential,
+		CapacitiesPages: []int64{1024, 8192},
+		WarmupTxns:      1000,
+		Batches:         2,
+		BatchTxns:       2000,
+		Level:           0.9,
+	}
+	curve, err := tpccmodel.RunMissCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := tpccmodel.MaxThroughput(tpccmodel.DefaultSystemParams(), tpccmodel.DemandsAt(curve, 0))
+	large := tpccmodel.MaxThroughput(tpccmodel.DefaultSystemParams(), tpccmodel.DemandsAt(curve, 1))
+	if large.NewOrderPerMin < small.NewOrderPerMin {
+		t.Errorf("more memory lowered throughput: %v -> %v",
+			small.NewOrderPerMin, large.NewOrderPerMin)
+	}
+	pts := tpccmodel.Scaleup(tpccmodel.DefaultSystemParams(),
+		tpccmodel.DemandsAt(curve, 1), tpccmodel.DefaultDistConfig(0, true), []int{1, 8})
+	if pts[1].ScaleupEfficiency < 0.9 || pts[1].ScaleupEfficiency > 1 {
+		t.Errorf("replicated efficiency = %v", pts[1].ScaleupEfficiency)
+	}
+}
+
+func TestFacadeDirectSimPolicies(t *testing.T) {
+	res, err := tpccmodel.RunDirectSim(tpccmodel.DirectSimConfig{
+		Workload:    tpccmodel.DefaultWorkload(1, 5),
+		Packing:     tpccmodel.PackOptimized,
+		Policy:      "slru",
+		BufferPages: 2048,
+		WarmupTxns:  500,
+		Batches:     2,
+		BatchTxns:   1000,
+		Level:       0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Accesses == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	eng, err := tpccmodel.OpenEngine(tpccmodel.EngineConfig{
+		Warehouses: 1, PageSize: 4096, BufferPages: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpccmodel.RunEngineConcurrent(eng, 2, tpccmodel.DefaultMix(), 200, 2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Commits() < 200 {
+		t.Errorf("commits = %d", eng.Commits())
+	}
+	if err := eng.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// The engine keeps serving after recovery, through the facade types.
+	in := tpccmodel.EngineNewOrderInput{W: 0, D: 3, C: 7}
+	for i := 0; i < 5; i++ {
+		in.Items = append(in.Items, tpccmodel.EngineOrderItem{IID: int64(i), SupplyW: 0, Qty: 1})
+	}
+	if _, err := eng.NewOrder(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMixAndConfig(t *testing.T) {
+	mix := tpccmodel.DefaultMix()
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !mix.Drains() {
+		t.Error("default mix must drain the new-order relation")
+	}
+	opts := tpccmodel.ReducedOptions()
+	if opts.Warehouses <= 0 || len(opts.BufferMB) == 0 {
+		t.Errorf("reduced options malformed: %+v", opts)
+	}
+	full := tpccmodel.FullScaleOptions()
+	if full.Warehouses != 20 || full.Batches != 30 || full.BatchTxns != 100000 {
+		t.Errorf("full-scale options should match the paper: %+v", full)
+	}
+}
