@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench repro repro-full fuzz clean
+.PHONY: all build test race bench torture repro repro-full fuzz clean
 
 all: build test
 
@@ -9,10 +9,18 @@ build:
 	go vet ./...
 
 test:
+	go vet ./...
 	go test ./...
+	go test -race ./internal/engine/...
 
 race:
 	go test -race ./...
+
+# Seeded crash-torture campaign over the storage engine: 5 seeds x 10
+# crash schedules with transient I/O errors, bit flips, torn writes, and
+# power loss; fails on any lost commit, consistency or checksum violation.
+torture:
+	go run ./cmd/tpcc-torture -v
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -28,6 +36,7 @@ repro-full:
 # Short fuzzing passes over the parsers and core data structures.
 fuzz:
 	go test -fuzz FuzzDecodeRecord -fuzztime 30s ./internal/engine/wal/
+	go test -fuzz FuzzLogMutation -fuzztime 30s ./internal/engine/wal/
 	go test -fuzz FuzzBTreeOps -fuzztime 30s ./internal/engine/index/
 	go test -fuzz FuzzExactPMFPaths -fuzztime 30s ./internal/nurand/
 

@@ -60,6 +60,11 @@ type Manager struct {
 	// relation); nil means everything lands in class 0.
 	classOf    func(storage.PageID) int
 	classStats []Stats
+
+	// preFlush runs before any dirty page is written back (the WAL
+	// rule): the database installs the log's Force here so before-images
+	// of stolen pages are durable before the page image can reach disk.
+	preFlush func() error
 }
 
 // New creates a buffer manager with capacity frames over store.
@@ -84,6 +89,29 @@ func (m *Manager) SetClassifier(classes int, fn func(storage.PageID) int) {
 	defer m.mu.Unlock()
 	m.classOf = fn
 	m.classStats = make([]Stats, classes)
+}
+
+// SetPreFlush installs a hook that must succeed before any dirty page is
+// written back to the store (nil disables). Used to enforce the WAL rule.
+func (m *Manager) SetPreFlush(fn func() error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preFlush = fn
+}
+
+// flushFrame writes one dirty frame back, honoring the WAL rule.
+// Callers hold m.mu.
+func (m *Manager) flushFrame(f *frame) error {
+	if m.preFlush != nil {
+		if err := m.preFlush(); err != nil {
+			return err
+		}
+	}
+	if err := m.store.Flush(f.id, f.data); err != nil {
+		return err
+	}
+	m.stats.Flushes++
+	return nil
 }
 
 // Capacity returns the frame count.
@@ -145,10 +173,9 @@ func (m *Manager) pin(id storage.PageID) (*frame, error) {
 		if victim := m.lru.Back(); victim != nil {
 			f := victim.Value.(*frame)
 			if f.dirty {
-				if err := m.store.Flush(f.id, f.data); err != nil {
+				if err := m.flushFrame(f); err != nil {
 					return nil, err
 				}
-				m.stats.Flushes++
 			}
 			m.lru.Remove(victim)
 			delete(m.frames, f.id)
@@ -207,17 +234,19 @@ func (m *Manager) With(id storage.PageID, dirty bool, fn func(page []byte)) erro
 // otherwise attribute the inevitable cold miss before the caller can tag
 // the page's relation).
 func (m *Manager) Allocate() (storage.PageID, error) {
-	id := m.store.Allocate()
+	id, err := m.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.frames) >= m.capacity {
 		if victim := m.lru.Back(); victim != nil {
 			f := victim.Value.(*frame)
 			if f.dirty {
-				if err := m.store.Flush(f.id, f.data); err != nil {
+				if err := m.flushFrame(f); err != nil {
 					return 0, err
 				}
-				m.stats.Flushes++
 			}
 			m.lru.Remove(victim)
 			delete(m.frames, f.id)
@@ -240,13 +269,12 @@ func (m *Manager) FlushAll() error {
 	for _, f := range m.frames {
 		if f.dirty {
 			f.contentMu.Lock()
-			err := m.store.Flush(f.id, f.data)
+			err := m.flushFrame(f)
 			f.contentMu.Unlock()
 			if err != nil {
 				return err
 			}
 			f.dirty = false
-			m.stats.Flushes++
 		}
 	}
 	return nil

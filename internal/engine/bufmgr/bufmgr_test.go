@@ -8,8 +8,17 @@ import (
 	"tpccmodel/internal/rng"
 )
 
+func mustStore(t *testing.T, pageSize int) *storage.Store {
+	t.Helper()
+	s, err := storage.NewStore(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestHitMissAccounting(t *testing.T) {
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 4)
 	a, _ := m.Allocate()
 	b, _ := m.Allocate()
@@ -35,7 +44,7 @@ func TestHitMissAccounting(t *testing.T) {
 }
 
 func TestEvictionWritesBackDirty(t *testing.T) {
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 2)
 	a, _ := m.Allocate()
 	m.With(a, true, func(p []byte) { p[0] = 42 })
@@ -56,7 +65,7 @@ func TestEvictionWritesBackDirty(t *testing.T) {
 }
 
 func TestLRUVictimSelection(t *testing.T) {
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 2)
 	a, _ := m.Allocate()
 	_, _ = m.Allocate() // pool: a, b
@@ -72,7 +81,7 @@ func TestLRUVictimSelection(t *testing.T) {
 }
 
 func TestCrashDropsDirtyPages(t *testing.T) {
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 4)
 	a, _ := m.Allocate()
 	m.With(a, true, func(p []byte) { p[0] = 7 })
@@ -100,7 +109,7 @@ func TestCrashDropsDirtyPages(t *testing.T) {
 }
 
 func TestClassifierStats(t *testing.T) {
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 4)
 	a, _ := m.Allocate()
 	b, _ := m.Allocate()
@@ -121,7 +130,7 @@ func TestClassifierStats(t *testing.T) {
 }
 
 func TestConcurrentAccessStress(t *testing.T) {
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 8)
 	var ids []storage.PageID
 	for i := 0; i < 32; i++ {
@@ -157,7 +166,7 @@ func TestConcurrentAccessStress(t *testing.T) {
 func TestWriteVisibleAcrossEviction(t *testing.T) {
 	// Increment a counter on one page many times while other pages churn
 	// the pool; the count must survive every eviction cycle.
-	s := storage.NewStore(256)
+	s := mustStore(t, 256)
 	m := New(s, 2)
 	target, _ := m.Allocate()
 	var churn []storage.PageID

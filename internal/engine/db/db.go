@@ -1,6 +1,7 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"tpccmodel/internal/engine/lock"
 	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/engine/wal"
+	"tpccmodel/internal/rng"
 	"tpccmodel/internal/tpcc"
 )
 
@@ -145,20 +147,50 @@ type DB struct {
 	tick    atomic.Uint64
 	commits atomic.Int64
 	aborts  atomic.Int64
+
+	// lastRecovery holds the stats of the most recent Recover call; only
+	// read/written on the quiesced recovery path.
+	lastRecovery wal.RecoverStats
 }
 
-// Open creates an empty database instance (no data loaded).
-func Open(cfg Config) (*DB, error) {
+// Options customizes the engine's I/O substrate; the zero value gives a
+// fault-free in-memory device. The fault package supplies implementations
+// of both fields to inject disk and log-device failures.
+type Options struct {
+	// Disk backs the page store; nil means a private storage.MemDisk.
+	Disk storage.DiskIO
+	// LogHook intercepts log forces; nil means a perfect log device.
+	LogHook wal.FaultHook
+}
+
+// Open creates an empty database instance (no data loaded) on fault-free
+// in-memory devices.
+func Open(cfg Config) (*DB, error) { return OpenWith(cfg, Options{}) }
+
+// OpenWith creates an empty database instance over the given devices.
+func OpenWith(cfg Config, opts Options) (*DB, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	disk := opts.Disk
+	if disk == nil {
+		disk = storage.NewMemDisk()
+	}
+	store, err := storage.NewStoreOn(disk, cfg.PageSize)
+	if err != nil {
 		return nil, err
 	}
 	d := &DB{
 		cfg:   cfg,
-		store: storage.NewStore(cfg.PageSize),
+		store: store,
 		log:   wal.New(),
 		locks: lock.NewManager(),
 	}
+	d.log.SetFaultHook(opts.LogHook)
 	d.buf = bufmgr.New(d.store, cfg.BufferPages)
+	// The WAL rule: no dirty page reaches the store before the log
+	// records covering it are durable.
+	d.buf.SetPreFlush(d.log.Force)
 	d.buf.SetClassifier(int(core.NumRelations), func(id storage.PageID) int {
 		if rel, ok := d.pageRel.Load(id); ok {
 			return int(rel.(core.Relation))
@@ -235,6 +267,33 @@ func (d *DB) Checkpoint() error { return d.buf.FlushAll() }
 // is considered durable, as in a real system.
 func (d *DB) Crash() error { return d.buf.Crash() }
 
+// CrashPowerLoss simulates a full power loss: volatile buffers are lost
+// AND the unforced tail of the log may be partially written or torn (the
+// damage is drawn from r). Acknowledged commits are always inside the
+// forced prefix and survive.
+func (d *DB) CrashPowerLoss(r *rng.RNG) error {
+	d.log.CrashTail(r)
+	return d.buf.Crash()
+}
+
+// RecoveryStats reports what the most recent Recover did (how many rows
+// were materialized, how much damaged log tail was truncated).
+func (d *DB) RecoveryStats() wal.RecoverStats { return d.lastRecovery }
+
+// StoreStats exposes the page store's I/O and integrity counters.
+func (d *DB) StoreStats() storage.StoreStats { return d.store.Stats() }
+
+// VerifyPages checks the checksum of every page in the catalog (all heap
+// pages), repairing from the journal mirror where possible. Pages listed
+// in the result's Corrupt slice have no intact copy.
+func (d *DB) VerifyPages() (storage.VerifyResult, error) {
+	var ids []storage.PageID
+	for _, rel := range core.Relations() {
+		ids = append(ids, d.heaps[rel].PageIDs()...)
+	}
+	return d.store.Verify(ids)
+}
+
 // heapApplier adapts a HeapFile to wal.Applier: a nil image deletes the
 // row if present, anything else is written in place.
 type heapApplier struct{ h *storage.HeapFile }
@@ -246,7 +305,10 @@ func (a heapApplier) Apply(rid uint64, image []byte) error {
 	}
 	out := make([]byte, a.h.RecordLen())
 	if err := a.h.Read(r, out); err != nil {
-		return nil // already absent: idempotent
+		if errors.Is(err, storage.ErrNoRecord) {
+			return nil // already absent: idempotent
+		}
+		return err // real I/O failure, not an absent row
 	}
 	return a.h.Delete(r)
 }
@@ -262,7 +324,9 @@ func (d *DB) Recover() error {
 		}
 		appliers[uint32(rel)] = heapApplier{h: d.heaps[rel]}
 	}
-	if _, _, err := wal.Recover(d.log, appliers); err != nil {
+	st, err := wal.Recover(d.log, appliers)
+	d.lastRecovery = st
+	if err != nil {
 		return err
 	}
 	return d.RebuildIndexes()

@@ -196,7 +196,9 @@ func (d *DB) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	}
 
 	res.OID = oid
-	t.commit()
+	if err := t.commit(); err != nil {
+		return res, t.fail(err)
+	}
 	return res, nil
 }
 
@@ -310,7 +312,9 @@ func (d *DB) Payment(in PaymentInput) error {
 		return t.fail(err)
 	}
 
-	t.commit()
+	if err := t.commit(); err != nil {
+		return t.fail(err)
+	}
 	return nil
 }
 
@@ -393,7 +397,9 @@ func (d *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 	k, orid, ok := d.custOrderIdx.max(hi)
 	if !ok || k < lo {
 		// No order on record (cannot happen after a standard load).
-		t.commit()
+		if err := t.commit(); err != nil {
+			return res, t.fail(err)
+		}
 		return res, nil
 	}
 	oid := int64(k & (1<<28 - 1))
@@ -428,7 +434,9 @@ func (d *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 		res.Lines++
 	}
 
-	t.commit()
+	if err := t.commit(); err != nil {
+		return res, t.fail(err)
+	}
 	return res, nil
 }
 
@@ -464,7 +472,9 @@ func (d *DB) Delivery(in DeliveryInput) (DeliveryResult, error) {
 			res.Skipped++
 		}
 	}
-	t.commit()
+	if err := t.commit(); err != nil {
+		return res, t.fail(err)
+	}
 	return res, nil
 }
 
@@ -653,6 +663,8 @@ func (d *DB) StockLevel(in StockLevelInput) (int, error) {
 			}
 		}
 	}
-	t.commit()
+	if err := t.commit(); err != nil {
+		return 0, t.fail(err)
+	}
 	return low, nil
 }

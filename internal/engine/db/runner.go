@@ -1,17 +1,56 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/nurand"
 	"tpccmodel/internal/rng"
 	"tpccmodel/internal/tpcc"
 )
 
+// RetryPolicy governs how a Runner reacts to retriable failures —
+// deadlock victims (ErrAborted) and transient I/O errors
+// (storage.ErrTransientIO). Retries back off exponentially with jitter
+// drawn from the runner's seeded generator; a transaction that exhausts
+// its attempts is *shed* (counted and skipped) rather than failing the
+// whole run, so a fault burst degrades throughput instead of killing
+// workers.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per transaction.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; the delay doubles each
+	// attempt up to MaxDelay, with jitter in [delay/2, delay].
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff step.
+	MaxDelay time.Duration
+	// ShedBudget is the number of *consecutive* shed transactions
+	// tolerated before the run is declared wedged (0 = unlimited).
+	// Occasional sheds under fault pressure are expected; an unbroken
+	// run of them means the engine is no longer making progress.
+	ShedBudget int
+}
+
+// DefaultRetryPolicy returns the policy used when none is set.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   50 * time.Microsecond,
+		MaxDelay:    5 * time.Millisecond,
+		ShedBudget:  1000,
+	}
+}
+
 // Runner generates benchmark transaction inputs with the paper's
-// distributions and executes them against a DB, retrying deadlock victims.
+// distributions and executes them against a DB, retrying deadlock victims
+// and transient I/O faults per its RetryPolicy. Counters are atomic, so
+// Counts/Retries/Sheds may be read while the runner is executing on
+// another goroutine.
 type Runner struct {
 	d       *DB
 	r       *rng.RNG
@@ -25,8 +64,14 @@ type Runner struct {
 	RemoteStockProb   float64
 	RemotePaymentProb float64
 
-	counts  [core.NumTxnTypes]int64
-	retries int64
+	// Policy is the retry/shed policy (DefaultRetryPolicy by default).
+	Policy RetryPolicy
+
+	counts  [core.NumTxnTypes]atomic.Int64
+	retries atomic.Int64
+	sheds   atomic.Int64
+	// consecutiveSheds is only touched by the executing goroutine.
+	consecutiveSheds int
 }
 
 // NewRunner creates a runner over d with the given seed and mix.
@@ -41,14 +86,26 @@ func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
 		mix:               mix,
 		RemoteStockProb:   tpcc.RemoteStockProb,
 		RemotePaymentProb: tpcc.RemotePaymentProb,
+		Policy:            DefaultRetryPolicy(),
 	}
 }
 
-// Counts returns per-type executed transaction counts.
-func (rn *Runner) Counts() [core.NumTxnTypes]int64 { return rn.counts }
+// Counts returns per-type executed (acknowledged) transaction counts.
+func (rn *Runner) Counts() [core.NumTxnTypes]int64 {
+	var out [core.NumTxnTypes]int64
+	for i := range out {
+		out[i] = rn.counts[i].Load()
+	}
+	return out
+}
 
-// Retries returns the number of deadlock-victim retries performed.
-func (rn *Runner) Retries() int64 { return rn.retries }
+// Retries returns the number of retries performed (deadlock victims plus
+// transient I/O failures).
+func (rn *Runner) Retries() int64 { return rn.retries.Load() }
+
+// Sheds returns the number of transactions dropped after exhausting their
+// retry attempts.
+func (rn *Runner) Sheds() int64 { return rn.sheds.Load() }
 
 func (rn *Runner) pickType() core.TxnType {
 	u := rn.r.Float64()
@@ -76,8 +133,36 @@ func (rn *Runner) remoteWarehouse(home int64) int64 {
 	return v
 }
 
+// backoff sleeps the jittered exponential delay for the given attempt
+// (1-based). Jitter is drawn from the runner's seeded generator so the
+// delay sequence is reproducible.
+func (rn *Runner) backoff(attempt int) {
+	p := rn.Policy
+	if p.BaseDelay <= 0 {
+		return
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := int64(d / 2)
+	jittered := d/2 + time.Duration(rn.r.Int63n(half+1))
+	time.Sleep(jittered)
+}
+
+// retriable reports whether the failure is worth another attempt.
+func retriable(err error) bool {
+	return errors.Is(err, ErrAborted) || errors.Is(err, storage.ErrTransientIO)
+}
+
 // RunOne generates and executes one transaction, retrying deadlock aborts
-// (bounded). It returns the executed type.
+// and transient I/O errors per the policy. It returns the executed type.
+// A transaction that exhausts its attempts is shed (counted, nil error)
+// unless the consecutive-shed budget is blown. A simulated crash
+// (storage.ErrCrashed) is returned as-is: the worker must stop.
 func (rn *Runner) RunOne() (core.TxnType, error) {
 	typ := rn.pickType()
 	var exec func() error
@@ -136,18 +221,35 @@ func (rn *Runner) RunOne() (core.TxnType, error) {
 		exec = func() error { _, err := rn.d.StockLevel(in); return err }
 	}
 
-	const maxRetries = 10
-	for attempt := 0; ; attempt++ {
+	maxAttempts := rn.Policy.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
 		err := exec()
 		if err == nil {
-			rn.counts[typ]++
+			rn.counts[typ].Add(1)
+			rn.consecutiveSheds = 0
 			return typ, nil
 		}
-		if err == ErrAborted && attempt < maxRetries {
-			rn.retries++
-			continue
+		if errors.Is(err, storage.ErrCrashed) {
+			return typ, err
 		}
-		return typ, fmt.Errorf("db: %s failed: %w", typ, err)
+		if !retriable(err) {
+			return typ, fmt.Errorf("db: %s failed: %w", typ, err)
+		}
+		if attempt >= maxAttempts {
+			// Shed: drop this transaction, keep the worker alive.
+			rn.sheds.Add(1)
+			rn.consecutiveSheds++
+			if b := rn.Policy.ShedBudget; b > 0 && rn.consecutiveSheds > b {
+				return typ, fmt.Errorf("db: shed %d transactions in a row (last: %w)",
+					rn.consecutiveSheds, err)
+			}
+			return typ, nil
+		}
+		rn.retries.Add(1)
+		rn.backoff(attempt)
 	}
 }
 
@@ -161,18 +263,46 @@ func (rn *Runner) Run(n int) error {
 	return nil
 }
 
-// RunConcurrent executes total transactions across workers goroutines
-// (each with an independent derived seed) and returns the first error.
-func RunConcurrent(d *DB, seed uint64, mix tpcc.Mix, total, workers int) error {
+// RunStats aggregates the outcome of a concurrent run.
+type RunStats struct {
+	// Counts holds acknowledged executions per transaction type.
+	Counts [core.NumTxnTypes]int64
+	// Retries and Sheds sum the workers' retry-policy counters.
+	Retries int64
+	Sheds   int64
+	// Crashed reports that at least one worker observed a simulated
+	// power loss (storage.ErrCrashed) and stopped early.
+	Crashed bool
+}
+
+// Acknowledged returns the total number of acknowledged transactions.
+func (s RunStats) Acknowledged() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// RunConcurrentPolicy executes up to total transactions across workers
+// goroutines (each a Runner with an independent derived seed and the
+// given policy) and aggregates their counters. A simulated crash stops
+// the affected workers and is reported via RunStats.Crashed, not as an
+// error; any other failure is returned.
+func RunConcurrentPolicy(d *DB, seed uint64, mix tpcc.Mix, total, workers int, policy RetryPolicy) (RunStats, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	per := total / workers
 	base := rng.New(seed)
+	runners := make([]*Runner, workers)
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
+	var crashed atomic.Bool
 	for w := 0; w < workers; w++ {
 		rn := NewRunner(d, base.Uint64(), mix)
+		rn.Policy = policy
+		runners[w] = rn
 		n := per
 		if w == workers-1 {
 			n = total - per*(workers-1)
@@ -181,11 +311,39 @@ func RunConcurrent(d *DB, seed uint64, mix tpcc.Mix, total, workers int) error {
 		go func() {
 			defer wg.Done()
 			if err := rn.Run(n); err != nil {
+				if errors.Is(err, storage.ErrCrashed) {
+					crashed.Store(true)
+					return
+				}
 				errCh <- err
 			}
 		}()
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	var st RunStats
+	st.Crashed = crashed.Load()
+	for _, rn := range runners {
+		c := rn.Counts()
+		for i := range st.Counts {
+			st.Counts[i] += c[i]
+		}
+		st.Retries += rn.Retries()
+		st.Sheds += rn.Sheds()
+	}
+	return st, <-errCh
+}
+
+// RunConcurrent executes total transactions across workers goroutines
+// with the default retry policy and returns the first error (a simulated
+// crash surfaces as storage.ErrCrashed).
+func RunConcurrent(d *DB, seed uint64, mix tpcc.Mix, total, workers int) error {
+	st, err := RunConcurrentPolicy(d, seed, mix, total, workers, DefaultRetryPolicy())
+	if err != nil {
+		return err
+	}
+	if st.Crashed {
+		return storage.ErrCrashed
+	}
+	return nil
 }

@@ -1,0 +1,74 @@
+package db
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tpccmodel/internal/tpcc"
+)
+
+// TestRunnerCountersConcurrentReads reads a Runner's counters from other
+// goroutines while it executes, and checks the shed path keeps workers
+// alive. Run under -race this is the regression test for the atomic
+// counter conversion: the old int fields tore under concurrent Counts().
+func TestRunnerCountersConcurrentReads(t *testing.T) {
+	d := newLoaded(t, 2048)
+	rn := NewRunner(d, 7, tpcc.DefaultMix())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := rn.Counts()
+				var total int64
+				for _, n := range c {
+					total += n
+				}
+				total += rn.Retries() + rn.Sheds()
+				if total < last {
+					t.Error("counters went backwards")
+					return
+				}
+				last = total
+				time.Sleep(time.Microsecond)
+			}
+		}()
+	}
+	if err := rn.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	var total int64
+	for _, n := range rn.Counts() {
+		total += n
+	}
+	if total != 500 {
+		t.Errorf("acknowledged %d of 500 transactions", total)
+	}
+}
+
+// TestRunConcurrentPolicyAggregates runs workers concurrently and checks
+// the aggregated stats account for every transaction.
+func TestRunConcurrentPolicyAggregates(t *testing.T) {
+	d := newLoaded(t, 2048)
+	st, err := RunConcurrentPolicy(d, 11, tpcc.DefaultMix(), 600, 4, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Crashed {
+		t.Fatal("no faults injected, yet a crash was reported")
+	}
+	if got := st.Acknowledged() + st.Sheds; got != 600 {
+		t.Errorf("acked+shed = %d, want 600", got)
+	}
+}

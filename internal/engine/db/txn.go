@@ -36,11 +36,16 @@ func (t *txn) lockRow(rel core.Relation, row uint64, mode lock.Mode) error {
 	return nil
 }
 
-// commit forces a commit record and releases locks.
-func (t *txn) commit() {
-	t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit})
+// commit forces a commit record and releases locks. A force failure means
+// the commit never became durable: the caller must roll back and report
+// the transaction as failed (it was not acknowledged).
+func (t *txn) commit() error {
+	if _, err := t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit}); err != nil {
+		return err
+	}
 	t.d.locks.ReleaseAll(t.id)
 	t.d.commits.Add(1)
+	return nil
 }
 
 // rollback applies the undo list in reverse, logs an abort, and releases.
@@ -51,7 +56,9 @@ func (t *txn) rollback() error {
 			firstErr = err
 		}
 	}
-	t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecAbort})
+	// A failed abort force is benign: recovery treats the transaction as
+	// uncommitted either way and restores before-images.
+	_, _ = t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecAbort})
 	t.d.locks.ReleaseAll(t.id)
 	t.d.aborts.Add(1)
 	if firstErr != nil {
@@ -80,10 +87,12 @@ func (t *txn) readRec(rel core.Relation, rid storage.RID, out []byte) error {
 // queueing an undo that restores the before-image. before and after must
 // not be aliased or mutated afterwards.
 func (t *txn) updateRec(rel core.Relation, rid storage.RID, before, after []byte) error {
-	t.d.log.Append(wal.Record{
+	if _, err := t.d.log.Append(wal.Record{
 		Txn: uint64(t.id), Type: wal.RecUpdate, Table: uint32(rel),
 		RID: rid.Pack(), Before: before, After: after,
-	})
+	}); err != nil {
+		return err
+	}
 	if err := t.d.heaps[rel].Update(rid, after); err != nil {
 		return err
 	}
@@ -99,10 +108,12 @@ func (t *txn) insertRec(rel core.Relation, rec []byte) (storage.RID, error) {
 	if err != nil {
 		return storage.RID{}, err
 	}
-	t.d.log.Append(wal.Record{
+	if _, err := t.d.log.Append(wal.Record{
 		Txn: uint64(t.id), Type: wal.RecInsert, Table: uint32(rel),
 		RID: rid.Pack(), After: rec,
-	})
+	}); err != nil {
+		return storage.RID{}, err
+	}
 	h := t.d.heaps[rel]
 	t.undo = append(t.undo, func() error { return h.Delete(rid) })
 	return rid, nil
@@ -110,10 +121,12 @@ func (t *txn) insertRec(rel core.Relation, rec []byte) (storage.RID, error) {
 
 // deleteRec removes the record at rid, queueing reinsertion as undo.
 func (t *txn) deleteRec(rel core.Relation, rid storage.RID, before []byte) error {
-	t.d.log.Append(wal.Record{
+	if _, err := t.d.log.Append(wal.Record{
 		Txn: uint64(t.id), Type: wal.RecDelete, Table: uint32(rel),
 		RID: rid.Pack(), Before: before,
-	})
+	}); err != nil {
+		return err
+	}
 	if err := t.d.heaps[rel].Delete(rid); err != nil {
 		return err
 	}

@@ -95,7 +95,7 @@ type HeapFile struct {
 func NewHeapFile(name string, pager Pager, pageSize, recLen int) (*HeapFile, error) {
 	slots := SlotsPerPage(pageSize, recLen)
 	if slots <= 0 {
-		return nil, fmt.Errorf("storage: record length %d does not fit a %d-byte page", recLen, pageSize)
+		return nil, fmt.Errorf("storage: record length %d does not fit a %d-byte page: %w", recLen, pageSize, ErrInvalidArgument)
 	}
 	return &HeapFile{
 		name: name, pager: pager, recLen: recLen,
@@ -144,7 +144,7 @@ func (h *HeapFile) formatPage(page []byte) {
 // Insert stores rec (len must equal RecordLen) and returns its RID.
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	if len(rec) != h.recLen {
-		return RID{}, fmt.Errorf("storage: %s: record is %d bytes, want %d", h.name, len(rec), h.recLen)
+		return RID{}, fmt.Errorf("storage: %s: record is %d bytes, want %d: %w", h.name, len(rec), h.recLen, ErrInvalidArgument)
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -203,10 +203,10 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 // as needed. It exists for WAL redo, which must reproduce exact RIDs.
 func (h *HeapFile) InsertAt(rid RID, rec []byte) error {
 	if len(rec) != h.recLen {
-		return fmt.Errorf("storage: %s: record is %d bytes, want %d", h.name, len(rec), h.recLen)
+		return fmt.Errorf("storage: %s: record is %d bytes, want %d: %w", h.name, len(rec), h.recLen, ErrInvalidArgument)
 	}
 	if int(rid.Slot) >= h.slots {
-		return fmt.Errorf("storage: %s: slot %d out of range", h.name, rid.Slot)
+		return fmt.Errorf("storage: %s: slot %d out of range: %w", h.name, rid.Slot, ErrInvalidArgument)
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -279,7 +279,7 @@ func (h *HeapFile) knownPageLocked(pid PageID) bool {
 // Read copies the record at rid into out (len RecordLen).
 func (h *HeapFile) Read(rid RID, out []byte) error {
 	if len(out) != h.recLen {
-		return fmt.Errorf("storage: %s: read buffer is %d bytes, want %d", h.name, len(out), h.recLen)
+		return fmt.Errorf("storage: %s: read buffer is %d bytes, want %d: %w", h.name, len(out), h.recLen, ErrInvalidArgument)
 	}
 	var live bool
 	err := h.pager.With(rid.Page, false, func(page []byte) {
@@ -293,7 +293,7 @@ func (h *HeapFile) Read(rid RID, out []byte) error {
 		return err
 	}
 	if !live {
-		return fmt.Errorf("storage: %s: no record at %s", h.name, rid)
+		return fmt.Errorf("storage: %s: no record at %s: %w", h.name, rid, ErrNoRecord)
 	}
 	return nil
 }
@@ -301,7 +301,7 @@ func (h *HeapFile) Read(rid RID, out []byte) error {
 // Update overwrites the record at rid.
 func (h *HeapFile) Update(rid RID, rec []byte) error {
 	if len(rec) != h.recLen {
-		return fmt.Errorf("storage: %s: record is %d bytes, want %d", h.name, len(rec), h.recLen)
+		return fmt.Errorf("storage: %s: record is %d bytes, want %d: %w", h.name, len(rec), h.recLen, ErrInvalidArgument)
 	}
 	var live bool
 	err := h.pager.With(rid.Page, true, func(page []byte) {
@@ -315,7 +315,7 @@ func (h *HeapFile) Update(rid RID, rec []byte) error {
 		return err
 	}
 	if !live {
-		return fmt.Errorf("storage: %s: no record at %s", h.name, rid)
+		return fmt.Errorf("storage: %s: no record at %s: %w", h.name, rid, ErrNoRecord)
 	}
 	return nil
 }
@@ -333,7 +333,7 @@ func (h *HeapFile) Delete(rid RID) error {
 		return err
 	}
 	if !live {
-		return fmt.Errorf("storage: %s: no record at %s", h.name, rid)
+		return fmt.Errorf("storage: %s: no record at %s: %w", h.name, rid, ErrNoRecord)
 	}
 	h.mu.Lock()
 	h.liveCount--

@@ -2,11 +2,32 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"tpccmodel/internal/rng"
 )
+
+// mustStore and mustAlloc keep test setup terse now that the storage
+// constructors return errors instead of panicking on misuse.
+func mustStore(t testing.TB, pageSize int) *Store {
+	t.Helper()
+	s, err := NewStore(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustAlloc(t testing.TB, s *Store) PageID {
+	t.Helper()
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
 
 // directPager is a write-through Pager over the store, for testing the
 // heap layer without a buffer manager.
@@ -30,11 +51,11 @@ func (p *directPager) With(id PageID, dirty bool, fn func(page []byte)) error {
 	return nil
 }
 
-func (p *directPager) Allocate() (PageID, error) { return p.store.Allocate(), nil }
+func (p *directPager) Allocate() (PageID, error) { return p.store.Allocate() }
 
 func TestStoreReadWrite(t *testing.T) {
-	s := NewStore(4096)
-	id := s.Allocate()
+	s := mustStore(t, 4096)
+	id := mustAlloc(t, s)
 	buf := make([]byte, 4096)
 	if err := s.Read(id, buf); err != nil {
 		t.Fatal(err)
@@ -62,7 +83,7 @@ func TestStoreReadWrite(t *testing.T) {
 }
 
 func TestStoreErrors(t *testing.T) {
-	s := NewStore(1024)
+	s := mustStore(t, 1024)
 	buf := make([]byte, 1024)
 	if err := s.Read(PageID(99), buf); err == nil {
 		t.Error("read of unallocated page should fail")
@@ -70,7 +91,7 @@ func TestStoreErrors(t *testing.T) {
 	if err := s.Flush(PageID(99), buf); err == nil {
 		t.Error("flush of unallocated page should fail")
 	}
-	id := s.Allocate()
+	id := mustAlloc(t, s)
 	if err := s.Read(id, make([]byte, 10)); err == nil {
 		t.Error("short buffer should fail")
 	}
@@ -111,7 +132,7 @@ func TestRIDPackRoundTrip(t *testing.T) {
 }
 
 func TestHeapInsertReadUpdateDelete(t *testing.T) {
-	s := NewStore(512)
+	s := mustStore(t, 512)
 	h, err := NewHeapFile("t", newDirectPager(s), 512, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +172,7 @@ func TestHeapInsertReadUpdateDelete(t *testing.T) {
 }
 
 func TestHeapFillsPagesDensely(t *testing.T) {
-	s := NewStore(512)
+	s := mustStore(t, 512)
 	h, _ := NewHeapFile("t", newDirectPager(s), 512, 100)
 	slots := h.Slots()
 	if slots < 4 {
@@ -182,7 +203,7 @@ func TestHeapFillsPagesDensely(t *testing.T) {
 }
 
 func TestHeapScan(t *testing.T) {
-	s := NewStore(512)
+	s := mustStore(t, 512)
 	h, _ := NewHeapFile("t", newDirectPager(s), 512, 100)
 	want := map[RID]byte{}
 	for i := 0; i < 10; i++ {
@@ -212,7 +233,7 @@ func TestHeapScan(t *testing.T) {
 }
 
 func TestHeapInsertAtForRedo(t *testing.T) {
-	s := NewStore(512)
+	s := mustStore(t, 512)
 	h, _ := NewHeapFile("t", newDirectPager(s), 512, 100)
 	rid, _ := h.Insert(bytes.Repeat([]byte{1}, 100))
 	// Redo into a fresh heap reattached over the same store (the page
@@ -243,7 +264,7 @@ func TestHeapInsertAtForRedo(t *testing.T) {
 	}
 	// InsertAt can also extend the file to a brand-new page (redo of an
 	// insert whose page never got flushed).
-	pid := s.Allocate()
+	pid := mustAlloc(t, s)
 	if err := h2.InsertAt(RID{Page: pid, Slot: 2}, bytes.Repeat([]byte{4}, 100)); err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +274,7 @@ func TestHeapInsertAtForRedo(t *testing.T) {
 }
 
 func TestHeapRejectsBadSizes(t *testing.T) {
-	s := NewStore(512)
+	s := mustStore(t, 512)
 	if _, err := NewHeapFile("t", newDirectPager(s), 512, 5000); err == nil {
 		t.Error("oversized record should fail")
 	}
@@ -269,7 +290,7 @@ func TestHeapRejectsBadSizes(t *testing.T) {
 func TestHeapRandomizedAgainstReference(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
-		s := NewStore(256)
+		s := mustStore(t, 256)
 		h, _ := NewHeapFile("t", newDirectPager(s), 256, 40)
 		ref := map[RID]byte{}
 		var rids []RID
@@ -309,5 +330,181 @@ func TestHeapRandomizedAgainstReference(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestStoreMisuseReturnsTypedErrors(t *testing.T) {
+	if _, err := NewStore(0); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("NewStore(0) = %v, want ErrInvalidArgument", err)
+	}
+	if _, err := NewStoreOn(nil, 4096); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("NewStoreOn(nil) = %v, want ErrInvalidArgument", err)
+	}
+	s := mustStore(t, 512)
+	buf := make([]byte, 512)
+	if err := s.Read(PageID(99), buf); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("read of unallocated page = %v, want ErrInvalidArgument", err)
+	}
+	if err := s.Flush(PageID(99), buf); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("flush of unallocated page = %v, want ErrInvalidArgument", err)
+	}
+	id := mustAlloc(t, s)
+	if err := s.Read(id, make([]byte, 10)); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("short read buffer = %v, want ErrInvalidArgument", err)
+	}
+	h := &HeapFile{} // zero heap never used; just check sentinel plumbing below
+	_ = h
+	hf, err := NewHeapFile("t", newDirectPager(s), 512, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hf.Insert(make([]byte, 99)); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("short insert = %v, want ErrInvalidArgument", err)
+	}
+	rid, err := hf.Insert(bytes.Repeat([]byte{1}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hf.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := hf.Read(rid, make([]byte, 100)); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("read of deleted record = %v, want ErrNoRecord", err)
+	}
+}
+
+// corrupt flips one bit of the given area's stored image, bypassing the
+// store (simulating media decay).
+func corrupt(t *testing.T, disk *MemDisk, id PageID, area Area, physSize int, bit int) {
+	t.Helper()
+	img := make([]byte, physSize)
+	if err := disk.Read(id, area, img); err != nil {
+		t.Fatal(err)
+	}
+	img[bit/8] ^= 1 << uint(bit%8)
+	if err := disk.Write(id, area, img); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDetectsAndRepairsCorruption(t *testing.T) {
+	disk := NewMemDisk()
+	s, err := NewStoreOn(disk, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustAlloc(t, s)
+	img := bytes.Repeat([]byte{0x5A}, 512)
+	if err := s.Flush(id, img); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the primary copy: the read must detect it, repair
+	// from the journal mirror, and serve the correct image.
+	corrupt(t, disk, id, AreaData, 512+4, 1000)
+	got := make([]byte, 512)
+	if err := s.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Error("repaired read returned wrong image")
+	}
+	st := s.Stats()
+	if st.Detected != 1 || st.Repaired != 1 {
+		t.Errorf("stats = %+v, want Detected=1 Repaired=1", st)
+	}
+	// A subsequent read sees the repaired primary copy: no new detection.
+	if err := s.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Detected != 1 {
+		t.Errorf("detected = %d after repair, want 1", st.Detected)
+	}
+}
+
+func TestStoreReportsDoubleCorruption(t *testing.T) {
+	disk := NewMemDisk()
+	s, err := NewStoreOn(disk, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustAlloc(t, s)
+	if err := s.Flush(id, bytes.Repeat([]byte{3}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, disk, id, AreaData, 512+4, 7)
+	corrupt(t, disk, id, AreaJournal, 512+4, 7)
+	err = s.Read(id, make([]byte, 512))
+	if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("double corruption read = %v, want ErrCorruptPage", err)
+	}
+	var ce *CorruptPageError
+	if !errors.As(err, &ce) || ce.ID != id {
+		t.Errorf("corrupt page error = %v, want page %d", err, id)
+	}
+}
+
+func TestStoreVerify(t *testing.T) {
+	disk := NewMemDisk()
+	s, err := NewStoreOn(disk, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id := mustAlloc(t, s)
+		if err := s.Flush(id, bytes.Repeat([]byte{byte(i + 1)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	corrupt(t, disk, ids[1], AreaData, 256+4, 33)    // repairable
+	corrupt(t, disk, ids[3], AreaData, 256+4, 99)    // unrecoverable:
+	corrupt(t, disk, ids[3], AreaJournal, 256+4, 99) // both copies hit
+	res, err := s.Verify(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked != 5 || res.Repaired != 1 {
+		t.Errorf("verify = %+v, want Checked=5 Repaired=1", res)
+	}
+	if len(res.Corrupt) != 1 || res.Corrupt[0] != ids[3] {
+		t.Errorf("corrupt list = %v, want [%d]", res.Corrupt, ids[3])
+	}
+}
+
+func TestTornFlushLeavesOneIntactCopy(t *testing.T) {
+	// Model a torn in-place write directly: the journal holds the new
+	// image (it is written first), the data area holds a mix.
+	disk := NewMemDisk()
+	s, err := NewStoreOn(disk, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustAlloc(t, s)
+	oldImg := bytes.Repeat([]byte{0x11}, 256)
+	if err := s.Flush(id, oldImg); err != nil {
+		t.Fatal(err)
+	}
+	newImg := bytes.Repeat([]byte{0x22}, 256)
+	if err := s.Flush(id, newImg); err != nil {
+		t.Fatal(err)
+	}
+	// Tear: first 100 bytes of the data area revert to the old image
+	// (as if only the second part of the sector landed).
+	phys := make([]byte, 256+4)
+	if err := disk.Read(id, AreaData, phys); err != nil {
+		t.Fatal(err)
+	}
+	copy(phys[:100], oldImg[:100])
+	phys[0] ^= 0xFF // make the mix detectable regardless of content
+	if err := disk.Write(id, AreaData, phys); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := s.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newImg) {
+		t.Error("torn write not repaired to the journaled image")
 	}
 }

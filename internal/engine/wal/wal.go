@@ -1,9 +1,16 @@
-// Package wal implements a redo-only write-ahead log for the engine:
-// physiological records carrying full after-images, commit/abort records,
-// and recovery by replaying committed transactions in log order against
-// the durable page store (uncommitted work never reaches the store because
-// the buffer manager only flushes after-images that the log already
-// covers, and aborts are undone in place before commit-time flushes).
+// Package wal implements the engine's write-ahead log: physiological
+// records carrying full before/after images, commit/abort records, and
+// recovery by reconstructing each row's committed state in log order
+// against the durable page store.
+//
+// Durability boundary: commit and abort records *force* the log — bytes up
+// to and including them are durable and survive power loss. Records after
+// the force watermark live in the volatile log buffer; a crash may lose or
+// tear them (CrashTail models this). Every record carries a CRC32-C, so
+// recovery detects a torn or corrupted tail and truncates the log at the
+// first bad record instead of replaying garbage. The buffer manager calls
+// Force before stealing a dirty page, so any page image on disk is always
+// covered by durable log records (the WAL rule).
 //
 // The throughput model charges one log-write I/O per transaction (the
 // "1 +" term in Table 4's initIO row); the engine's log mirrors that: one
@@ -12,8 +19,12 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
+
+	"tpccmodel/internal/rng"
 )
 
 // RecType tags a log record.
@@ -46,6 +57,14 @@ func (t RecType) String() string {
 	}
 }
 
+// Log corruption sentinels.
+var (
+	// ErrCorrupt marks a record whose checksum failed.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrTruncated marks a record cut off by the end of the log.
+	ErrTruncated = errors.New("wal: truncated record")
+)
+
 // LSN is a log sequence number (1-based; 0 means "none").
 type LSN uint64
 
@@ -66,74 +85,142 @@ type Record struct {
 	After  []byte
 }
 
-const recHeader = 8 + 8 + 1 + 4 + 8 + 4 + 4
+// Header layout: crc32c | lsn | txn | type | table | rid | blen | alen.
+// The CRC covers everything after itself, including both images.
+const recHeader = 4 + 8 + 8 + 1 + 4 + 8 + 4 + 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // encode appends the serialized record to buf.
 func (r Record) encode(buf []byte) []byte {
+	start := len(buf)
 	var tmp [recHeader]byte
-	binary.LittleEndian.PutUint64(tmp[0:8], uint64(r.LSN))
-	binary.LittleEndian.PutUint64(tmp[8:16], r.Txn)
-	tmp[16] = byte(r.Type)
-	binary.LittleEndian.PutUint32(tmp[17:21], r.Table)
-	binary.LittleEndian.PutUint64(tmp[21:29], r.RID)
-	binary.LittleEndian.PutUint32(tmp[29:33], uint32(len(r.Before)))
-	binary.LittleEndian.PutUint32(tmp[33:37], uint32(len(r.After)))
+	binary.LittleEndian.PutUint64(tmp[4:12], uint64(r.LSN))
+	binary.LittleEndian.PutUint64(tmp[12:20], r.Txn)
+	tmp[20] = byte(r.Type)
+	binary.LittleEndian.PutUint32(tmp[21:25], r.Table)
+	binary.LittleEndian.PutUint64(tmp[25:33], r.RID)
+	binary.LittleEndian.PutUint32(tmp[33:37], uint32(len(r.Before)))
+	binary.LittleEndian.PutUint32(tmp[37:41], uint32(len(r.After)))
 	buf = append(buf, tmp[:]...)
 	buf = append(buf, r.Before...)
-	return append(buf, r.After...)
+	buf = append(buf, r.After...)
+	crc := crc32.Checksum(buf[start+4:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[start:start+4], crc)
+	return buf
 }
 
 // decodeRecord reads one record from buf, returning it and the remainder.
+// It fails with ErrTruncated when buf ends mid-record and ErrCorrupt when
+// the checksum does not match.
 func decodeRecord(buf []byte) (Record, []byte, error) {
 	if len(buf) < recHeader {
-		return Record{}, nil, fmt.Errorf("wal: truncated record header (%d bytes)", len(buf))
+		return Record{}, nil, fmt.Errorf("wal: record header cut at %d bytes: %w",
+			len(buf), ErrTruncated)
+	}
+	nb := int(binary.LittleEndian.Uint32(buf[33:37]))
+	na := int(binary.LittleEndian.Uint32(buf[37:41]))
+	total := recHeader + nb + na
+	if nb < 0 || na < 0 || total < recHeader || total > len(buf) {
+		return Record{}, nil, fmt.Errorf("wal: record body cut (%d of %d bytes): %w",
+			len(buf), total, ErrTruncated)
+	}
+	want := binary.LittleEndian.Uint32(buf[0:4])
+	if crc32.Checksum(buf[4:total], castagnoli) != want {
+		return Record{}, nil, fmt.Errorf("wal: checksum mismatch: %w", ErrCorrupt)
 	}
 	r := Record{
-		LSN:   LSN(binary.LittleEndian.Uint64(buf[0:8])),
-		Txn:   binary.LittleEndian.Uint64(buf[8:16]),
-		Type:  RecType(buf[16]),
-		Table: binary.LittleEndian.Uint32(buf[17:21]),
-		RID:   binary.LittleEndian.Uint64(buf[21:29]),
+		LSN:   LSN(binary.LittleEndian.Uint64(buf[4:12])),
+		Txn:   binary.LittleEndian.Uint64(buf[12:20]),
+		Type:  RecType(buf[20]),
+		Table: binary.LittleEndian.Uint32(buf[21:25]),
+		RID:   binary.LittleEndian.Uint64(buf[25:33]),
 	}
-	nb := binary.LittleEndian.Uint32(buf[29:33])
-	na := binary.LittleEndian.Uint32(buf[33:37])
-	buf = buf[recHeader:]
-	if len(buf) < int(nb)+int(na) {
-		return Record{}, nil, fmt.Errorf("wal: truncated record body")
-	}
+	body := buf[recHeader:total]
 	if nb > 0 {
-		r.Before = append([]byte(nil), buf[:nb]...)
+		r.Before = append([]byte(nil), body[:nb]...)
 	}
 	if na > 0 {
-		r.After = append([]byte(nil), buf[nb:nb+na]...)
+		r.After = append([]byte(nil), body[nb:nb+na]...)
 	}
-	return r, buf[nb+na:], nil
+	return r, buf[total:], nil
 }
 
-// Log is the in-memory durable log. It survives bufmgr.Crash (the log
-// device is separate from the data disks, as the paper assumes).
+// FaultHook intercepts log-device operations; the fault package installs
+// one to fail or crash commit forces. A nil hook means a perfect device.
+type FaultHook interface {
+	// BeforeForce runs before n buffered bytes become durable. Returning
+	// an error fails the force: the caller's record is not appended and
+	// the watermark does not advance.
+	BeforeForce(n int) error
+}
+
+// Log is the engine's log device. The forced prefix survives crashes (the
+// log device is separate from the data disks, as the paper assumes); the
+// unforced tail is volatile buffer contents.
 type Log struct {
-	mu     sync.Mutex
-	data   []byte
-	next   LSN
-	forces int64
+	mu        sync.Mutex
+	data      []byte
+	next      LSN
+	forces    int64 // commit/abort forces (the model's per-txn log I/O)
+	syncs     int64 // WAL-rule forces issued by the buffer manager
+	forcedLen int
+	hook      FaultHook
 }
 
 // New creates an empty log.
 func New() *Log { return &Log{next: 1} }
 
+// SetFaultHook installs a log-device fault hook (nil disables).
+func (l *Log) SetFaultHook(h FaultHook) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hook = h
+}
+
 // Append writes one record (assigning its LSN) and returns the LSN.
-func (l *Log) Append(r Record) LSN {
+// Commit and abort records force the log; a force failure drops the
+// record entirely and returns the error — the commit was never
+// acknowledged and must not become durable later.
+func (l *Log) Append(r Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	r.LSN = l.next
-	l.next++
-	l.data = r.encode(l.data)
+	encoded := r.encode(l.data)
 	if r.Type == RecCommit || r.Type == RecAbort {
-		// A commit forces the log: one log-device I/O.
+		if l.hook != nil {
+			if err := l.hook.BeforeForce(len(encoded)); err != nil {
+				return 0, fmt.Errorf("wal: force failed: %w", err)
+			}
+		}
+		l.data = encoded
+		l.next++
 		l.forces++
+		l.forcedLen = len(l.data)
+		return r.LSN, nil
 	}
-	return r.LSN
+	l.data = encoded
+	l.next++
+	return r.LSN, nil
+}
+
+// Force makes the whole buffered log durable. The buffer manager calls it
+// before flushing a dirty page (the WAL rule), so before-images of stolen
+// pages always survive a crash.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.forcedLen == len(l.data) {
+		return nil
+	}
+	if l.hook != nil {
+		if err := l.hook.BeforeForce(len(l.data)); err != nil {
+			return fmt.Errorf("wal: force failed: %w", err)
+		}
+	}
+	l.forcedLen = len(l.data)
+	l.syncs++
+	return nil
 }
 
 // Forces returns the number of forced (commit/abort) log writes — the
@@ -144,6 +231,13 @@ func (l *Log) Forces() int64 {
 	return l.forces
 }
 
+// Syncs returns the number of WAL-rule forces (page-steal protection).
+func (l *Log) Syncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
 // Size returns the log size in bytes.
 func (l *Log) Size() int64 {
 	l.mu.Lock()
@@ -151,21 +245,78 @@ func (l *Log) Size() int64 {
 	return int64(len(l.data))
 }
 
-// Records decodes the whole log (for recovery and tests).
-func (l *Log) Records() ([]Record, error) {
+// DurableSize returns the forced (crash-surviving) prefix length.
+func (l *Log) DurableSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.forcedLen)
+}
+
+// CrashTail simulates power loss on the log device: the forced prefix
+// survives; of the unforced tail, a random (seeded) prefix may reach the
+// platter, and the last sector of what landed may be torn — one of its
+// bits flips. Recovery's checksum scan truncates at the damage.
+func (l *Log) CrashTail(r *rng.RNG) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail := len(l.data) - l.forcedLen
+	if tail <= 0 {
+		return
+	}
+	keep := l.forcedLen + int(r.Int63n(int64(tail)+1))
+	if keep > l.forcedLen && r.Bernoulli(0.5) {
+		off := l.forcedLen + int(r.Int63n(int64(keep-l.forcedLen)))
+		l.data[off] ^= byte(1) << uint(r.Int63n(8))
+	}
+	l.data = l.data[:keep]
+	l.forcedLen = keep
+}
+
+// Scan decodes records from the start of the log until the end or the
+// first truncated/corrupt record. It returns the records of the valid
+// prefix, the prefix length in bytes, and the decode error that stopped
+// the scan (nil when the whole log parsed).
+func (l *Log) Scan() ([]Record, int64, error) {
 	l.mu.Lock()
 	buf := append([]byte(nil), l.data...)
 	l.mu.Unlock()
 	var out []Record
-	for len(buf) > 0 {
-		r, rest, err := decodeRecord(buf)
+	valid := 0
+	rest := buf
+	for len(rest) > 0 {
+		r, next, err := decodeRecord(rest)
 		if err != nil {
-			return nil, err
+			return out, int64(valid), err
 		}
 		out = append(out, r)
-		buf = rest
+		valid = len(buf) - len(next)
+		rest = next
 	}
-	return out, nil
+	return out, int64(valid), nil
+}
+
+// Records decodes the whole log, failing if any record is damaged (strict
+// form, for tests; recovery uses Scan and truncates instead).
+func (l *Log) Records() ([]Record, error) {
+	recs, _, err := l.Scan()
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// TruncateTo discards everything past the first n bytes (the valid prefix
+// Scan reported). Future appends continue from the truncation point.
+func (l *Log) TruncateTo(n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 || n > int64(len(l.data)) {
+		return
+	}
+	l.data = l.data[:n]
+	if l.forcedLen > int(n) {
+		l.forcedLen = int(n)
+	}
 }
 
 // Applier materializes a row's recovered state during recovery.
@@ -176,9 +327,20 @@ type Applier interface {
 	Apply(rid uint64, image []byte) error
 }
 
+// RecoverStats reports what recovery did.
+type RecoverStats struct {
+	Applied            int64 // rows materialized
+	SkippedUncommitted int64 // records of uncommitted/aborted transactions
+	TruncatedBytes     int64 // log bytes discarded past the valid prefix
+	TailCorrupt        bool  // truncation was due to a checksum mismatch
+}
+
 // Recover reconstructs the committed state per row and applies it through
-// the per-table appliers. For every (table, rid) the log touches, walking
-// records in LSN order:
+// the per-table appliers. The log is first scanned up to the first
+// damaged record; everything past that point is discarded (it can only be
+// unacknowledged tail — commits force the log, so an acknowledged commit
+// is always inside the valid prefix). For every (table, rid) the valid
+// prefix touches, walking records in LSN order:
 //
 //   - a record of a COMMITTED transaction sets the row's state to its
 //     after-image (nil for a delete);
@@ -190,12 +352,14 @@ type Applier interface {
 // This is exact under the engine's steal/no-force buffer policy: a dirty
 // uncommitted page flushed before the crash is rolled back by the
 // before-image, and an unflushed committed change is re-applied by the
-// after-image. It returns the number of rows materialized and the number
-// of log records skipped as uncommitted.
-func Recover(l *Log, tables map[uint32]Applier) (applied, skipped int64, err error) {
-	recs, err := l.Records()
-	if err != nil {
-		return 0, 0, err
+// after-image.
+func Recover(l *Log, tables map[uint32]Applier) (RecoverStats, error) {
+	var st RecoverStats
+	recs, valid, scanErr := l.Scan()
+	if scanErr != nil {
+		st.TruncatedBytes = l.Size() - valid
+		st.TailCorrupt = errors.Is(scanErr, ErrCorrupt)
+		l.TruncateTo(valid)
 	}
 	committed := make(map[uint64]bool)
 	for _, r := range recs {
@@ -219,7 +383,7 @@ func Recover(l *Log, tables map[uint32]Applier) (applied, skipped int64, err err
 			continue
 		}
 		if _, ok := tables[r.Table]; !ok {
-			return 0, skipped, fmt.Errorf("wal: no applier for table %d", r.Table)
+			return st, fmt.Errorf("wal: no applier for table %d", r.Table)
 		}
 		key := rowKey{table: r.Table, rid: r.RID}
 		cur, seen := state[key]
@@ -230,17 +394,17 @@ func Recover(l *Log, tables map[uint32]Applier) (applied, skipped int64, err err
 			state[key] = rowState{image: r.After, known: true}
 			continue
 		}
-		skipped++
+		st.SkippedUncommitted++
 		if !cur.known {
 			state[key] = rowState{image: r.Before, known: true}
 		}
 	}
 	for _, key := range order {
 		if err := tables[key.table].Apply(key.rid, state[key].image); err != nil {
-			return applied, skipped, fmt.Errorf("wal: apply table %d rid %d: %w",
+			return st, fmt.Errorf("wal: apply table %d rid %d: %w",
 				key.table, key.rid, err)
 		}
-		applied++
+		st.Applied++
 	}
-	return applied, skipped, nil
+	return st, nil
 }

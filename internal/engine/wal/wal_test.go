@@ -6,10 +6,28 @@ import (
 	"testing/quick"
 )
 
+func ap(t *testing.T, l *Log, r Record) LSN {
+	t.Helper()
+	lsn, err := l.Append(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+func mustRecover(t *testing.T, l *Log, tables map[uint32]Applier) RecoverStats {
+	t.Helper()
+	st, err := Recover(l, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestAppendAssignsLSNs(t *testing.T) {
 	l := New()
-	a := l.Append(Record{Txn: 1, Type: RecInsert, Table: 2, RID: 3, After: []byte{1}})
-	b := l.Append(Record{Txn: 1, Type: RecCommit})
+	a := ap(t, l, Record{Txn: 1, Type: RecInsert, Table: 2, RID: 3, After: []byte{1}})
+	b := ap(t, l, Record{Txn: 1, Type: RecCommit})
 	if a != 1 || b != 2 {
 		t.Errorf("LSNs = %d, %d", a, b)
 	}
@@ -33,7 +51,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			r.After = after
 		}
 		l := New()
-		lsn := l.Append(r)
+		lsn, err := l.Append(r)
+		if err != nil {
+			return false
+		}
 		recs, err := l.Records()
 		if err != nil || len(recs) != 1 {
 			return false
@@ -53,7 +74,7 @@ func TestDecodeTruncated(t *testing.T) {
 		t.Error("short header should fail")
 	}
 	l := New()
-	l.Append(Record{Txn: 1, Type: RecInsert, After: []byte{1, 2, 3}})
+	ap(t, l, Record{Txn: 1, Type: RecInsert, After: []byte{1, 2, 3}})
 	l.data = l.data[:len(l.data)-2] // chop the body
 	if _, err := l.Records(); err == nil {
 		t.Error("truncated body should fail")
@@ -79,28 +100,25 @@ func (m *memTable) Apply(rid uint64, image []byte) error {
 func TestRecoverRedoesOnlyCommitted(t *testing.T) {
 	l := New()
 	// Txn 1 commits: insert row 1, update it, insert row 2, delete row 2.
-	l.Append(Record{Txn: 1, Type: RecInsert, Table: 0, RID: 1, After: []byte{1}})
-	l.Append(Record{Txn: 1, Type: RecUpdate, Table: 0, RID: 1, Before: []byte{1}, After: []byte{2}})
-	l.Append(Record{Txn: 1, Type: RecInsert, Table: 0, RID: 2, After: []byte{9}})
-	l.Append(Record{Txn: 1, Type: RecDelete, Table: 0, RID: 2, Before: []byte{9}})
-	l.Append(Record{Txn: 1, Type: RecCommit})
+	ap(t, l, Record{Txn: 1, Type: RecInsert, Table: 0, RID: 1, After: []byte{1}})
+	ap(t, l, Record{Txn: 1, Type: RecUpdate, Table: 0, RID: 1, Before: []byte{1}, After: []byte{2}})
+	ap(t, l, Record{Txn: 1, Type: RecInsert, Table: 0, RID: 2, After: []byte{9}})
+	ap(t, l, Record{Txn: 1, Type: RecDelete, Table: 0, RID: 2, Before: []byte{9}})
+	ap(t, l, Record{Txn: 1, Type: RecCommit})
 	// Txn 2 never commits: its insert must end up absent.
-	l.Append(Record{Txn: 2, Type: RecInsert, Table: 0, RID: 3, After: []byte{7}})
+	ap(t, l, Record{Txn: 2, Type: RecInsert, Table: 0, RID: 3, After: []byte{7}})
 	// Txn 3 aborts explicitly.
-	l.Append(Record{Txn: 3, Type: RecInsert, Table: 0, RID: 4, After: []byte{8}})
-	l.Append(Record{Txn: 3, Type: RecAbort})
+	ap(t, l, Record{Txn: 3, Type: RecInsert, Table: 0, RID: 4, After: []byte{8}})
+	ap(t, l, Record{Txn: 3, Type: RecAbort})
 
 	// Simulate steal: the uncommitted inserts were flushed pre-crash.
 	tab := newMemTable()
 	tab.rows[3] = []byte{7}
 	tab.rows[4] = []byte{8}
 
-	applied, skipped, err := Recover(l, map[uint32]Applier{0: tab})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if applied != 4 || skipped != 2 {
-		t.Errorf("applied %d skipped %d, want 4/2", applied, skipped)
+	st := mustRecover(t, l, map[uint32]Applier{0: tab})
+	if st.Applied != 4 || st.SkippedUncommitted != 2 {
+		t.Errorf("applied %d skipped %d, want 4/2", st.Applied, st.SkippedUncommitted)
 	}
 	if got, ok := tab.rows[1]; !ok || got[0] != 2 {
 		t.Errorf("row 1 = %v, want after-image 2", got)
@@ -122,20 +140,18 @@ func TestRecoverRedoesOnlyCommitted(t *testing.T) {
 func TestRecoverStealUpdate(t *testing.T) {
 	l := New()
 	// Committed txn 1 sets row 5 to 10.
-	l.Append(Record{Txn: 1, Type: RecUpdate, Table: 0, RID: 5, Before: []byte{1}, After: []byte{10}})
-	l.Append(Record{Txn: 1, Type: RecCommit})
+	ap(t, l, Record{Txn: 1, Type: RecUpdate, Table: 0, RID: 5, Before: []byte{1}, After: []byte{10}})
+	ap(t, l, Record{Txn: 1, Type: RecCommit})
 	// Aborted txn 2 set it to 99 (its before-image is txn 1's value).
-	l.Append(Record{Txn: 2, Type: RecUpdate, Table: 0, RID: 5, Before: []byte{10}, After: []byte{99}})
-	l.Append(Record{Txn: 2, Type: RecAbort})
+	ap(t, l, Record{Txn: 2, Type: RecUpdate, Table: 0, RID: 5, Before: []byte{10}, After: []byte{99}})
+	ap(t, l, Record{Txn: 2, Type: RecAbort})
 	// Uncommitted txn 3 touched row 6 only.
-	l.Append(Record{Txn: 3, Type: RecUpdate, Table: 0, RID: 6, Before: []byte{42}, After: []byte{43}})
+	ap(t, l, Record{Txn: 3, Type: RecUpdate, Table: 0, RID: 6, Before: []byte{42}, After: []byte{43}})
 
 	tab := newMemTable()
 	tab.rows[5] = []byte{99} // steal flushed the aborted value
 	tab.rows[6] = []byte{43} // steal flushed the uncommitted value
-	if _, _, err := Recover(l, map[uint32]Applier{0: tab}); err != nil {
-		t.Fatal(err)
-	}
+	mustRecover(t, l, map[uint32]Applier{0: tab})
 	if got := tab.rows[5]; got[0] != 10 {
 		t.Errorf("row 5 = %v, want committed 10", got)
 	}
@@ -146,22 +162,20 @@ func TestRecoverStealUpdate(t *testing.T) {
 
 func TestRecoverUnknownTable(t *testing.T) {
 	l := New()
-	l.Append(Record{Txn: 1, Type: RecInsert, Table: 42, RID: 1, After: []byte{1}})
-	l.Append(Record{Txn: 1, Type: RecCommit})
-	if _, _, err := Recover(l, map[uint32]Applier{}); err == nil {
+	ap(t, l, Record{Txn: 1, Type: RecInsert, Table: 42, RID: 1, After: []byte{1}})
+	ap(t, l, Record{Txn: 1, Type: RecCommit})
+	if _, err := Recover(l, map[uint32]Applier{}); err == nil {
 		t.Error("missing applier should fail")
 	}
 }
 
 func TestRecoverIsIdempotent(t *testing.T) {
 	l := New()
-	l.Append(Record{Txn: 1, Type: RecInsert, Table: 0, RID: 1, After: []byte{5}})
-	l.Append(Record{Txn: 1, Type: RecCommit})
+	ap(t, l, Record{Txn: 1, Type: RecInsert, Table: 0, RID: 1, After: []byte{5}})
+	ap(t, l, Record{Txn: 1, Type: RecCommit})
 	tab := newMemTable()
 	for i := 0; i < 3; i++ {
-		if _, _, err := Recover(l, map[uint32]Applier{0: tab}); err != nil {
-			t.Fatal(err)
-		}
+		mustRecover(t, l, map[uint32]Applier{0: tab})
 	}
 	if len(tab.rows) != 1 || tab.rows[1][0] != 5 {
 		t.Errorf("rows after triple recovery: %v", tab.rows)
