@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench torture repro repro-full fuzz clean
+.PHONY: all build test race bench bench-sweep torture repro repro-full fuzz clean
 
 all: build test
 
@@ -24,6 +24,11 @@ torture:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Time the ablation sweep at 1/2/4/8 workers and record serial-equivalence
+# plus speedup in BENCH_sweep.json.
+bench-sweep:
+	go run ./cmd/tpcc-repro -bench-sweep BENCH_sweep.json
 
 # Reduced-scale reproduction of every table and figure (seconds).
 repro:

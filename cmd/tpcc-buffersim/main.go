@@ -17,10 +17,11 @@ import (
 	"os"
 	"strings"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/experiments"
 )
 
-func options(scale string, warehouses int) (experiments.Options, error) {
+func options(scale string, warehouses, workers int) (experiments.Options, error) {
 	var opts experiments.Options
 	switch scale {
 	case "full":
@@ -33,6 +34,7 @@ func options(scale string, warehouses int) (experiments.Options, error) {
 	if warehouses > 0 {
 		opts.Warehouses = warehouses
 	}
+	opts.Workers = workers
 	return opts, nil
 }
 
@@ -43,13 +45,21 @@ func main() {
 		warehouses = flag.Int("warehouses", 0, "override warehouse count (0 = scale default)")
 		bufferMB   = flag.Float64("buffer", 32, "buffer size in MB (ablation)")
 		policies   = flag.String("policies", "lru,fifo,clock,lfu,2q,slru", "comma-separated policies (ablation)")
+		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	opts, err := options(*scale, *warehouses)
+	const tool = "tpcc-buffersim"
+	w := cliutil.Workers(tool, *workers)
+	cliutil.RequireNonNegative(tool, "warehouses", int64(*warehouses))
+	cliutil.RequirePositiveFloat(tool, "buffer", *bufferMB)
+	if *policies == "" {
+		cliutil.Fail(tool, "-policies must name at least one policy")
+	}
+
+	opts, err := options(*scale, *warehouses, w)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tpcc-buffersim: %v\n", err)
-		os.Exit(2)
+		cliutil.Fail(tool, "%v", err)
 	}
 
 	var s experiments.Series
@@ -68,8 +78,7 @@ func main() {
 	case "optgap":
 		s, err = experiments.OptimalityGap(opts, []float64{*bufferMB / 2, *bufferMB, *bufferMB * 2}, 20000)
 	default:
-		fmt.Fprintf(os.Stderr, "tpcc-buffersim: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		cliutil.Fail(tool, "unknown experiment %q", *experiment)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tpcc-buffersim: %v\n", err)

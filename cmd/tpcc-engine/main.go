@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/engine/db"
 	"tpccmodel/internal/sim"
@@ -36,6 +37,13 @@ func main() {
 		validate    = flag.Bool("validate", false, "also run the trace-driven simulation and compare miss rates")
 	)
 	flag.Parse()
+
+	const tool = "tpcc-engine"
+	cliutil.RequirePositive(tool, "warehouses", int64(*warehouses))
+	cliutil.RequirePositive(tool, "buffer-pages", int64(*bufferPages))
+	cliutil.RequirePositive(tool, "txns", int64(*txns))
+	cliutil.RequireNonNegative(tool, "warmup", int64(*warmup))
+	cliutil.RequirePositive(tool, "workers", int64(*workers))
 
 	d, err := db.Open(db.Config{
 		Warehouses: *warehouses, PageSize: 4096, BufferPages: *bufferPages,

@@ -3,30 +3,73 @@
 // simulations across figures, and writes one TSV per experiment into an
 // output directory.
 //
+// Experiments are computed by a worker pool (-workers) and written in a
+// fixed order afterwards, so the emitted files are byte-identical for any
+// worker count. With -bench-sweep it instead times the replacement-policy
+// ablation grid at 1/2/4/8 workers and writes a JSON report.
+//
 // Usage:
 //
 //	tpcc-repro -scale full -out results/        # paper scale (minutes)
 //	tpcc-repro -scale reduced -out results-reduced/
+//	tpcc-repro -bench-sweep BENCH_sweep.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/experiments"
 	"tpccmodel/internal/model"
+	"tpccmodel/internal/parallel"
+	"tpccmodel/internal/sim"
 )
+
+// namedSeries pairs an output file stem with its computed series. A job may
+// produce several (fig10 also yields its minima summary).
+type namedSeries struct {
+	name string
+	s    experiments.Series
+}
+
+type job struct {
+	label string
+	run   func() ([]namedSeries, error)
+}
+
+func one(name string, s experiments.Series, err error) ([]namedSeries, error) {
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return []namedSeries{{name, s}}, nil
+}
 
 func main() {
 	var (
 		scale        = flag.String("scale", "reduced", "full (paper: 20 warehouses, 30x100K txns) or reduced")
 		outDir       = flag.String("out", "results", "output directory for TSV files")
 		skipAblation = flag.Bool("skip-ablation", false, "skip the slow replacement-policy ablation")
+		workers      = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
+		benchSweep   = flag.String("bench-sweep", "", "instead of reproducing the paper, benchmark the ablation sweep at 1/2/4/8 workers and write this JSON report")
 	)
 	flag.Parse()
+
+	const tool = "tpcc-repro"
+	w := cliutil.Workers(tool, *workers)
+
+	if *benchSweep != "" {
+		if err := runBenchSweep(*benchSweep); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var opts experiments.Options
 	switch *scale {
@@ -35,117 +78,241 @@ func main() {
 	case "reduced":
 		opts = experiments.Reduced()
 	default:
-		fmt.Fprintf(os.Stderr, "tpcc-repro: unknown scale %q\n", *scale)
-		os.Exit(2)
+		cliutil.Fail(tool, "unknown scale %q (want full or reduced)", *scale)
 	}
+	opts.Workers = w
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
 
-	write := func(name string, s experiments.Series, err error) {
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-		path := filepath.Join(*outDir, name+".tsv")
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		if err := s.WriteTSV(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-	}
-	step := func(name string) func() {
-		start := time.Now()
-		fmt.Fprintf(os.Stderr, "[%s] %s...\n", time.Now().Format("15:04:05"), name)
-		return func() {
-			fmt.Fprintf(os.Stderr, "  %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
-		}
-	}
-
 	sys := model.DefaultSystemParams()
 	cost := model.DefaultCostModel()
-
-	done := step("analytic experiments (Table 1, Figures 3-7, skew headlines, Tables 6-7)")
-	write("table1", experiments.Table1(opts.Warehouses, opts.PageSize), nil)
-	write("fig3", experiments.Fig3(10), nil)
-	write("fig4", experiments.Fig4(10), nil)
-	write("fig5", experiments.Fig5(200), nil)
-	write("fig6", experiments.Fig6(1), nil)
-	write("fig7", experiments.Fig7(200), nil)
-	write("skew-headlines", experiments.SkewHeadlines(), nil)
-	write("tables6-7", experiments.Tables6and7([]int{2, 5, 10, 20, 30}), nil)
-	done()
-
-	done = step("Table 3 (measured access counts)")
-	t3, err := experiments.Table3(opts)
-	write("table3", t3, err)
-	done()
-
 	st := experiments.NewStudy(opts)
-	done = step(fmt.Sprintf("buffer simulations (%d warehouses, %d x %d txns, 2 packings)",
-		opts.Warehouses, opts.Batches, opts.BatchTxns))
-	fig8, err := experiments.Fig8(st)
-	write("fig8", fig8, err)
-	done()
 
-	done = step("analytic (Che/IRM) vs simulated comparison")
-	cmpSeries, err := experiments.AnalyticVsSimulated(st)
-	write("analytic-vs-sim", cmpSeries, err)
-	done()
-
-	done = step("Figures 9-12, Table 4")
-	fig9, err := experiments.Fig9(st, sys)
-	write("fig9", fig9, err)
-	fig10, err := experiments.Fig10(st, sys, cost)
-	write("fig10", fig10, err)
-	if err == nil {
-		write("fig10-minima", experiments.Fig10Minima(fig10), nil)
+	ablOpts := opts
+	// The direct simulation re-runs per policy per packing; cap its cost at
+	// any scale.
+	if ablOpts.BatchTxns > 20000 {
+		ablOpts.Batches, ablOpts.BatchTxns, ablOpts.WarmupTxns = 5, 20000, 20000
 	}
-	t4, err := experiments.Table4(st, sys, 52)
-	write("table4", t4, err)
-	nodes := []int{1, 2, 5, 10, 20, 30}
-	fig11, err := experiments.Fig11(st, sys, 102, nodes)
-	write("fig11", fig11, err)
-	fig12, err := experiments.Fig12(st, sys, 102, nodes, []float64{0.01, 0.05, 0.1, 0.5, 1.0})
-	write("fig12", fig12, err)
-	done()
 
+	jobs := []job{
+		{"table1", func() ([]namedSeries, error) {
+			return one("table1", experiments.Table1(opts.Warehouses, opts.PageSize), nil)
+		}},
+		{"fig3", func() ([]namedSeries, error) { return one("fig3", experiments.Fig3(10), nil) }},
+		{"fig4", func() ([]namedSeries, error) { return one("fig4", experiments.Fig4(10), nil) }},
+		{"fig5", func() ([]namedSeries, error) { return one("fig5", experiments.Fig5(200), nil) }},
+		{"fig6", func() ([]namedSeries, error) { return one("fig6", experiments.Fig6(1), nil) }},
+		{"fig7", func() ([]namedSeries, error) { return one("fig7", experiments.Fig7(200), nil) }},
+		{"skew-headlines", func() ([]namedSeries, error) {
+			return one("skew-headlines", experiments.SkewHeadlines(), nil)
+		}},
+		{"tables6-7", func() ([]namedSeries, error) {
+			return one("tables6-7", experiments.Tables6and7([]int{2, 5, 10, 20, 30}), nil)
+		}},
+		{"table3", func() ([]namedSeries, error) {
+			s, err := experiments.Table3(opts)
+			return one("table3", s, err)
+		}},
+		{"fig8", func() ([]namedSeries, error) {
+			s, err := experiments.Fig8(st)
+			return one("fig8", s, err)
+		}},
+		{"analytic-vs-sim", func() ([]namedSeries, error) {
+			s, err := experiments.AnalyticVsSimulated(st)
+			return one("analytic-vs-sim", s, err)
+		}},
+		{"fig9", func() ([]namedSeries, error) {
+			s, err := experiments.Fig9(st, sys)
+			return one("fig9", s, err)
+		}},
+		{"fig10", func() ([]namedSeries, error) {
+			fig10, err := experiments.Fig10(st, sys, cost)
+			if err != nil {
+				return nil, fmt.Errorf("fig10: %w", err)
+			}
+			return []namedSeries{
+				{"fig10", fig10},
+				{"fig10-minima", experiments.Fig10Minima(fig10)},
+			}, nil
+		}},
+		{"table4", func() ([]namedSeries, error) {
+			s, err := experiments.Table4(st, sys, 52)
+			return one("table4", s, err)
+		}},
+		{"fig11", func() ([]namedSeries, error) {
+			s, err := experiments.Fig11(st, sys, 102, []int{1, 2, 5, 10, 20, 30})
+			return one("fig11", s, err)
+		}},
+		{"fig12", func() ([]namedSeries, error) {
+			s, err := experiments.Fig12(st, sys, 102, []int{1, 2, 5, 10, 20, 30},
+				[]float64{0.01, 0.05, 0.1, 0.5, 1.0})
+			return one("fig12", s, err)
+		}},
+	}
 	if !*skipAblation {
-		done = step("replacement-policy ablation")
-		ablOpts := opts
-		// The direct simulation re-runs per policy per packing; cap its
-		// cost at any scale.
-		if ablOpts.BatchTxns > 20000 {
-			ablOpts.Batches, ablOpts.BatchTxns, ablOpts.WarmupTxns = 5, 20000, 20000
-		}
-		abl, err := experiments.PolicyAblation(ablOpts, 52,
-			[]string{"lru", "fifo", "clock", "lfu", "2q", "slru"})
-		write("policy-ablation", abl, err)
-		done()
-
-		done = step("extension experiments (optimality gap, mix sensitivity, response validation)")
-		gap, err := experiments.OptimalityGap(ablOpts, []float64{13, 26, 52, 104}, 20000)
-		write("optimality-gap", gap, err)
-		mixSens, err := experiments.MixSensitivity(ablOpts, 52)
-		write("mix-sensitivity", mixSens, err)
-		respIdx := len(opts.BufferMB) / 2
-		resp, err := experiments.ResponseValidation(st, sys, respIdx, 8,
-			[]float64{0.2, 0.4, 0.6, 0.8, 0.9})
-		write("response-validation", resp, err)
-		pageOpts := ablOpts
-		pageOpts.BufferMB = []float64{13, 26, 52, 104}
-		pageSize, err := experiments.PageSizeStudy(pageOpts)
-		write("page-size", pageSize, err)
-		appA, err := experiments.AppendixAValidation(opts.Warehouses, 3, 300_000, opts.Seed)
-		write("appendix-a-validation", appA, err)
-		done()
+		jobs = append(jobs,
+			job{"policy-ablation", func() ([]namedSeries, error) {
+				s, err := experiments.PolicyAblation(ablOpts, 52,
+					[]string{"lru", "fifo", "clock", "lfu", "2q", "slru"})
+				return one("policy-ablation", s, err)
+			}},
+			job{"optimality-gap", func() ([]namedSeries, error) {
+				s, err := experiments.OptimalityGap(ablOpts, []float64{13, 26, 52, 104}, 20000)
+				return one("optimality-gap", s, err)
+			}},
+			job{"mix-sensitivity", func() ([]namedSeries, error) {
+				s, err := experiments.MixSensitivity(ablOpts, 52)
+				return one("mix-sensitivity", s, err)
+			}},
+			job{"response-validation", func() ([]namedSeries, error) {
+				s, err := experiments.ResponseValidation(st, sys, len(opts.BufferMB)/2, 8,
+					[]float64{0.2, 0.4, 0.6, 0.8, 0.9})
+				return one("response-validation", s, err)
+			}},
+			job{"page-size", func() ([]namedSeries, error) {
+				pageOpts := ablOpts
+				pageOpts.BufferMB = []float64{13, 26, 52, 104}
+				s, err := experiments.PageSizeStudy(pageOpts)
+				return one("page-size", s, err)
+			}},
+			job{"appendix-a-validation", func() ([]namedSeries, error) {
+				s, err := experiments.AppendixAValidation(opts.Warehouses, 3, 300_000, opts.Seed)
+				return one("appendix-a-validation", s, err)
+			}},
+		)
 	}
-	fmt.Fprintln(os.Stderr, "all experiments complete")
+
+	// Phase 1: warm the shared curves once so concurrent jobs don't stack up
+	// behind the two big buffer simulations.
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[%s] buffer simulations (%d warehouses, %d x %d txns, 2 packings, %d workers)...\n",
+		time.Now().Format("15:04:05"), opts.Warehouses, opts.Batches, opts.BatchTxns, w)
+	if err := st.Prefetch(sim.PackSequential, sim.PackOptimized); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  curves ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Phase 2: compute every experiment on the pool. Results land by job
+	// index; worker count and completion order cannot affect them.
+	prog := parallel.NewProgress("experiments", len(jobs), os.Stderr)
+	results, err := parallel.Map(w, len(jobs), func(i int) ([]namedSeries, error) {
+		out, err := jobs[i].run()
+		prog.Done()
+		return out, err
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Phase 3: write TSVs in the fixed job order.
+	for _, res := range results {
+		for _, ns := range res {
+			path := filepath.Join(*outDir, ns.name+".tsv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ns.s.WriteTSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "all experiments complete in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBenchSweep times the replacement-policy ablation grid (6 policies x 2
+// packings at reduced scale) at 1, 2, 4, and 8 workers and writes a JSON
+// report. The reference trace is recorded once untimed so every run measures
+// pure sweep time, and each run's TSV bytes are compared against the serial
+// run to document the determinism contract.
+func runBenchSweep(path string) error {
+	opts := experiments.Reduced()
+	policies := []string{"lru", "fifo", "clock", "lfu", "2q", "slru"}
+
+	type benchRun struct {
+		Workers   int     `json:"workers"`
+		Seconds   float64 `json:"seconds"`
+		Speedup   float64 `json:"speedup_vs_serial"`
+		Identical bool    `json:"output_identical_to_serial"`
+	}
+	report := struct {
+		Cores     int        `json:"cores"`
+		Scale     string     `json:"scale"`
+		GridCells int        `json:"grid_cells"`
+		Runs      []benchRun `json:"runs"`
+	}{
+		Cores:     runtime.NumCPU(),
+		Scale:     "reduced",
+		GridCells: len(policies) * 2,
+	}
+
+	run := func(w int) (time.Duration, []byte, error) {
+		o := opts
+		o.Workers = w
+		start := time.Now()
+		s, err := experiments.PolicyAblation(o, 52, policies)
+		if err != nil {
+			return 0, nil, err
+		}
+		elapsed := time.Since(start)
+		var buf bytes.Buffer
+		if err := s.WriteTSV(&buf); err != nil {
+			return 0, nil, err
+		}
+		return elapsed, buf.Bytes(), nil
+	}
+
+	// Untimed warmup records the shared reference trace.
+	fmt.Fprintf(os.Stderr, "bench-sweep: warming shared trace (%d cores)...\n", report.Cores)
+	if _, _, err := run(1); err != nil {
+		return err
+	}
+
+	var serial []byte
+	for _, w := range []int{1, 2, 4, 8} {
+		elapsed, out, err := run(w)
+		if err != nil {
+			return err
+		}
+		if w == 1 {
+			serial = out
+		}
+		r := benchRun{
+			Workers:   w,
+			Seconds:   elapsed.Seconds(),
+			Identical: bytes.Equal(out, serial),
+		}
+		if len(report.Runs) > 0 {
+			r.Speedup = report.Runs[0].Seconds / r.Seconds
+		} else {
+			r.Speedup = 1
+		}
+		report.Runs = append(report.Runs, r)
+		fmt.Fprintf(os.Stderr, "bench-sweep: workers=%d %.3fs speedup=%.2fx identical=%v\n",
+			w, r.Seconds, r.Speedup, r.Identical)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

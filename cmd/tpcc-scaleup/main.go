@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/experiments"
 	"tpccmodel/internal/model"
 )
@@ -54,13 +55,20 @@ func main() {
 		nodesFlag  = flag.String("nodes", "1,2,5,10,20,30", "node counts")
 		probsFlag  = flag.String("probs", "0.01,0.05,0.1,0.5,1.0", "remote-stock probabilities (fig12)")
 		bufferMB   = flag.Float64("buffer", 102, "per-node buffer size in MB (paper: 102)")
+		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
+	const tool = "tpcc-scaleup"
+	w := cliutil.Workers(tool, *workers)
+	cliutil.RequirePositiveFloat(tool, "buffer", *bufferMB)
+
 	nodes, err := parseInts(*nodesFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tpcc-scaleup: bad -nodes: %v\n", err)
-		os.Exit(2)
+		cliutil.Fail(tool, "bad -nodes: %v", err)
+	}
+	for _, n := range nodes {
+		cliutil.RequirePositive(tool, "nodes", int64(n))
 	}
 
 	var s experiments.Series
@@ -75,9 +83,9 @@ func main() {
 		case "reduced":
 			opts = experiments.Reduced()
 		default:
-			fmt.Fprintf(os.Stderr, "tpcc-scaleup: unknown scale %q\n", *scale)
-			os.Exit(2)
+			cliutil.Fail(tool, "unknown scale %q (want full or reduced)", *scale)
 		}
+		opts.Workers = w
 		st := experiments.NewStudy(opts)
 		sys := model.DefaultSystemParams()
 		if *experiment == "fig11" {
@@ -85,13 +93,16 @@ func main() {
 		} else {
 			var probs []float64
 			probs, err = parseFloats(*probsFlag)
-			if err == nil {
-				s, err = experiments.Fig12(st, sys, *bufferMB, nodes, probs)
+			if err != nil {
+				cliutil.Fail(tool, "bad -probs: %v", err)
 			}
+			for _, p := range probs {
+				cliutil.RequireProb(tool, "probs", p)
+			}
+			s, err = experiments.Fig12(st, sys, *bufferMB, nodes, probs)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "tpcc-scaleup: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		cliutil.Fail(tool, "unknown experiment %q", *experiment)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tpcc-scaleup: %v\n", err)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/experiments"
 )
 
@@ -28,6 +29,12 @@ func main() {
 		pageSize   = flag.Int("pagesize", 4096, "page size in bytes (table1)")
 	)
 	flag.Parse()
+
+	const tool = "tpcc-skew"
+	cliutil.RequirePositive(tool, "stride", int64(*stride))
+	cliutil.RequirePositive(tool, "points", int64(*points))
+	cliutil.RequirePositive(tool, "warehouses", int64(*warehouses))
+	cliutil.RequirePositive(tool, "pagesize", int64(*pageSize))
 
 	var s experiments.Series
 	switch *experiment {
@@ -46,9 +53,7 @@ func main() {
 	case "headlines":
 		s = experiments.SkewHeadlines()
 	default:
-		fmt.Fprintf(os.Stderr, "tpcc-skew: unknown experiment %q\n", *experiment)
-		flag.Usage()
-		os.Exit(2)
+		cliutil.Fail(tool, "unknown experiment %q", *experiment)
 	}
 	if err := s.WriteTSV(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tpcc-skew: %v\n", err)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/experiments"
 	"tpccmodel/internal/model"
 )
@@ -32,8 +33,20 @@ func main() {
 		cpuPrice   = flag.Float64("cpu-price", 10000, "processor price")
 		memPerMB   = flag.Float64("mem-per-mb", 100, "memory price per MB")
 		bufferMB   = flag.Float64("buffer", 52, "buffer size for table4")
+		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
 	flag.Parse()
+
+	const tool = "tpcc-throughput"
+	w := cliutil.Workers(tool, *workers)
+	cliutil.RequireNonNegative(tool, "warehouses", int64(*warehouses))
+	cliutil.RequirePositiveFloat(tool, "mips", *mips)
+	cliutil.RequireProb(tool, "cpu-util", *cpuUtil)
+	cliutil.RequirePositiveFloat(tool, "diskgb", *diskGB)
+	cliutil.RequirePositiveFloat(tool, "disk-price", *diskPrice)
+	cliutil.RequirePositiveFloat(tool, "cpu-price", *cpuPrice)
+	cliutil.RequirePositiveFloat(tool, "mem-per-mb", *memPerMB)
+	cliutil.RequirePositiveFloat(tool, "buffer", *bufferMB)
 
 	var opts experiments.Options
 	switch *scale {
@@ -42,12 +55,12 @@ func main() {
 	case "reduced":
 		opts = experiments.Reduced()
 	default:
-		fmt.Fprintf(os.Stderr, "tpcc-throughput: unknown scale %q\n", *scale)
-		os.Exit(2)
+		cliutil.Fail(tool, "unknown scale %q (want full or reduced)", *scale)
 	}
 	if *warehouses > 0 {
 		opts.Warehouses = *warehouses
 	}
+	opts.Workers = w
 	sys := model.DefaultSystemParams()
 	sys.MIPS = *mips
 	sys.MaxCPUUtil = *cpuUtil
@@ -78,8 +91,7 @@ func main() {
 		s, err = experiments.ResponseValidation(st, sys, idx, 8,
 			[]float64{0.2, 0.4, 0.6, 0.8, 0.9})
 	default:
-		fmt.Fprintf(os.Stderr, "tpcc-throughput: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		cliutil.Fail(tool, "unknown experiment %q", *experiment)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tpcc-throughput: %v\n", err)

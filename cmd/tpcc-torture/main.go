@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/engine/fault"
 )
 
@@ -41,6 +42,19 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-schedule results")
 	)
 	flag.Parse()
+
+	const tool = "tpcc-torture"
+	cliutil.RequirePositive(tool, "seeds", int64(*seeds))
+	cliutil.RequirePositive(tool, "schedules", int64(*schedules))
+	cliutil.RequirePositive(tool, "txns", int64(*txns))
+	cliutil.RequirePositive(tool, "workers", int64(*workers))
+	cliutil.RequirePositive(tool, "warehouses", int64(*wh))
+	cliutil.RequirePositive(tool, "buffer-pages", int64(*pages))
+	cliutil.RequirePositive(tool, "page-size", int64(*pageSize))
+	cliutil.RequireProb(tool, "read-err", *readErr)
+	cliutil.RequireProb(tool, "write-err", *writeErr)
+	cliutil.RequireProb(tool, "force-err", *forceErr)
+	cliutil.RequireProb(tool, "flip", *flip)
 
 	cfg := def
 	cfg.Seeds = *seeds

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"tpccmodel/internal/buffer"
+	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/sim"
 	"tpccmodel/internal/tpcc"
@@ -38,6 +39,21 @@ func main() {
 		packName    = flag.String("packing", "sequential", "tuple-to-page packing (replay)")
 	)
 	flag.Parse()
+
+	const tool = "tpcc-trace"
+	modes := 0
+	for _, m := range []string{*record, *inspect, *replay} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		cliutil.Fail(tool, "-record, -inspect, -replay are mutually exclusive")
+	}
+	cliutil.RequirePositive(tool, "txns", *txns)
+	cliutil.RequirePositive(tool, "warehouses", int64(*warehouses))
+	cliutil.RequirePositive(tool, "buffer-pages", *bufferPages)
+	cliutil.RequirePositive(tool, "pagesize", int64(*pageSize))
 
 	switch {
 	case *record != "":
@@ -119,9 +135,7 @@ func main() {
 			*policy, packing, *bufferPages, acc, float64(miss)/float64(acc))
 
 	default:
-		fmt.Fprintln(os.Stderr, "tpcc-trace: one of -record, -inspect, -replay is required")
-		flag.Usage()
-		os.Exit(2)
+		cliutil.Fail(tool, "one of -record, -inspect, -replay is required")
 	}
 }
 

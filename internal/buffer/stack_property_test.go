@@ -1,0 +1,98 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/rng"
+)
+
+// TestStackSimPropertyVsDirectLRU is the property test cross-validating the
+// Fenwick-tree stack simulator against direct LRU pools: for random streams
+// over random universe sizes — including universes well past the initial
+// 1024-slot timestamp tree, so compaction fires mid-stream by distinct page
+// count — and random capacities, the inclusion predicate (distance <= C)
+// must agree with each pool access by access, and the accumulated MissCurve
+// must reproduce each pool's measured miss rate exactly.
+func TestStackSimPropertyVsDirectLRU(t *testing.T) {
+	accesses := 20000
+	if testing.Short() {
+		accesses = 4000
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		// Universe > 1024 distinct pages forces compact() by distinct count,
+		// not just timestamp exhaustion; small universes exercise the
+		// high-reuse path.
+		universe := r.IntRange(2, 5000)
+		ncaps := int(r.IntRange(1, 5))
+		caps := make([]int64, ncaps)
+		pools := make([]Policy, ncaps)
+		misses := make([]int64, ncaps)
+		for i := range caps {
+			caps[i] = r.IntRange(1, universe+10)
+			pools[i] = NewLRU(caps[i])
+		}
+		s := NewStackSim()
+		var m MissCurve
+		var n int64
+		for i := 0; i < accesses; i++ {
+			rel := core.Relation(r.Int63n(int64(core.NumRelations)))
+			p := core.MakePageID(rel, r.Int63n(universe))
+			d := s.Access(p)
+			m.Add(d)
+			n++
+			for j := range pools {
+				hit := pools[j].Access(p)
+				if hit != (d != ColdDistance && d <= caps[j]) {
+					t.Logf("seed %d: access %d page %v dist %d cap %d hit %v",
+						seed, i, p, d, caps[j], hit)
+					return false
+				}
+				if !hit {
+					misses[j]++
+				}
+			}
+		}
+		if s.Distinct() > universe*int64(core.NumRelations) || s.Distinct() <= 0 {
+			t.Logf("seed %d: distinct %d outside (0, %d]", seed, s.Distinct(),
+				universe*int64(core.NumRelations))
+			return false
+		}
+		for j := range caps {
+			want := float64(misses[j]) / float64(n)
+			got := m.MissRate(caps[j])
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Logf("seed %d: cap %d curve %v direct %v", seed, caps[j], got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStackSimCompactionMidStreamExact pins the compaction path directly: a
+// first-touch sweep of 2000 distinct pages overflows the initial 1024-slot
+// tree, and the second sweep's distances must then be exactly the universe
+// size (every page has all other pages touched since its last reference).
+func TestStackSimCompactionMidStreamExact(t *testing.T) {
+	const universe = 2000
+	s := NewStackSim()
+	for i := int64(0); i < universe; i++ {
+		if d := s.Access(pid(i)); d != ColdDistance {
+			t.Fatalf("first touch of page %d: distance %d, want cold", i, d)
+		}
+	}
+	if s.Distinct() != universe {
+		t.Fatalf("distinct = %d, want %d", s.Distinct(), universe)
+	}
+	for i := int64(0); i < universe; i++ {
+		if d := s.Access(pid(i)); d != universe {
+			t.Fatalf("second touch of page %d: distance %d, want %d", i, d, universe)
+		}
+	}
+}

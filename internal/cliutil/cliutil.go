@@ -1,0 +1,57 @@
+// Package cliutil holds the flag-validation helpers shared by the cmd/
+// binaries. Every tool rejects out-of-range flag values with a usage
+// message and a non-zero exit instead of silently falling back to defaults.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpccmodel/internal/parallel"
+)
+
+// Fail prints "tool: message", then the flag usage, and exits 2 (the
+// conventional bad-invocation status).
+func Fail(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// RequirePositive rejects values < 1 for the named flag.
+func RequirePositive(tool, name string, v int64) {
+	if v <= 0 {
+		Fail(tool, "-%s must be positive, got %d", name, v)
+	}
+}
+
+// RequireNonNegative rejects values < 0 for the named flag.
+func RequireNonNegative(tool, name string, v int64) {
+	if v < 0 {
+		Fail(tool, "-%s must be non-negative, got %d", name, v)
+	}
+}
+
+// RequirePositiveFloat rejects values <= 0 for the named flag.
+func RequirePositiveFloat(tool, name string, v float64) {
+	if !(v > 0) {
+		Fail(tool, "-%s must be positive, got %v", name, v)
+	}
+}
+
+// RequireProb rejects values outside [0, 1] for the named flag.
+func RequireProb(tool, name string, v float64) {
+	if !(v >= 0 && v <= 1) {
+		Fail(tool, "-%s must be in [0,1], got %v", name, v)
+	}
+}
+
+// Workers validates and resolves a -workers flag: 0 means one worker per
+// CPU, negative values are rejected.
+func Workers(tool string, v int) int {
+	if v < 0 {
+		Fail(tool, "-workers must be >= 0 (0 = one per CPU), got %d", v)
+	}
+	return parallel.Workers(v)
+}

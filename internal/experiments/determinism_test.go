@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tpccmodel/internal/model"
+)
+
+// renderAll runs the worker-count-sensitive experiments at the given worker
+// count and renders every resulting series to one TSV byte stream.
+func renderAll(t testing.TB, workers int) []byte {
+	t.Helper()
+	opts := tinyOptions()
+	opts.Workers = workers
+	st := NewStudy(opts)
+	sys := model.DefaultSystemParams()
+	cost := model.DefaultCostModel()
+
+	var buf bytes.Buffer
+	emit := func(name string, s Series, err error) {
+		if err != nil {
+			t.Fatalf("workers=%d %s: %v", workers, name, err)
+		}
+		fmt.Fprintf(&buf, "== %s ==\n", name)
+		if err := s.WriteTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fig8, err := Fig8(st)
+	emit("fig8", fig8, err)
+	fig9, err := Fig9(st, sys)
+	emit("fig9", fig9, err)
+	fig10, err := Fig10(st, sys, cost)
+	emit("fig10", fig10, err)
+	abl, err := PolicyAblation(opts, 8, []string{"lru", "clock", "fifo"})
+	emit("policy-ablation", abl, err)
+	resp, err := ResponseValidation(st, sys, len(opts.BufferMB)/2, 4, []float64{0.3, 0.7})
+	emit("response-validation", resp, err)
+	pageOpts := opts
+	pageOpts.BufferMB = []float64{4, 16}
+	ps, err := PageSizeStudy(pageOpts)
+	emit("page-size", ps, err)
+	mix, err := MixSensitivity(opts, 8)
+	emit("mix-sensitivity", mix, err)
+	return buf.Bytes()
+}
+
+// TestGoldenDeterminismAcrossWorkerCounts is the serial-equivalence
+// contract: every sweep experiment must emit byte-identical TSVs whether it
+// runs serially or fanned out over a pool, because results are collected by
+// task index and each task derives its randomness from the root seed.
+func TestGoldenDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full tiny-scale sweeps")
+	}
+	golden := renderAll(t, 1)
+	for _, workers := range []int{2, 8} {
+		got := renderAll(t, workers)
+		if !bytes.Equal(got, golden) {
+			t.Errorf("workers=%d output differs from serial run (%d vs %d bytes)",
+				workers, len(got), len(golden))
+		}
+	}
+}
+
+// BenchmarkSweep times the replacement-policy ablation grid serially and at
+// one worker per CPU; bench output documents the parallel speedup on the
+// machine at hand. The shared trace is recorded once up front so the numbers
+// measure sweep time, not trace recording.
+func BenchmarkSweep(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		opts := tinyOptions()
+		opts.Workers = workers
+		if _, err := PolicyAblation(opts, 8, []string{"lru", "clock", "fifo"}); err != nil {
+			b.Fatal(err) // warm the shared trace outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := PolicyAblation(opts, 8, []string{"lru", "clock", "fifo"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=numcpu", func(b *testing.B) { run(b, 0) })
+}

@@ -10,11 +10,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/model"
 	"tpccmodel/internal/nurand"
 	"tpccmodel/internal/packing"
+	"tpccmodel/internal/parallel"
 	"tpccmodel/internal/sim"
 	"tpccmodel/internal/stats"
 	"tpccmodel/internal/tpcc"
@@ -80,6 +82,11 @@ type Options struct {
 	BufferMB []float64
 	// PageSize in bytes (paper: 4096).
 	PageSize int
+	// Workers bounds the goroutines used by the sweep experiments;
+	// 0 or negative means one per CPU. The worker count never affects
+	// emitted results — every task derives its randomness from the root
+	// seed and results are collected by task index.
+	Workers int
 }
 
 // FullScale returns the paper's configuration: 20 warehouses, 30 batches
@@ -137,38 +144,75 @@ func (o Options) capacities() []int64 {
 	return caps
 }
 
+func (o Options) workers() int { return parallel.Workers(o.Workers) }
+
+// trace returns the memoized reference trace covering this configuration's
+// warmup plus measurement window; every sweep cell replays it instead of
+// regenerating the stream.
+func (o Options) trace() (*sim.Trace, error) {
+	return sim.SharedTraces.Get(o.workload(), o.WarmupTxns+int64(o.Batches)*o.BatchTxns)
+}
+
 // Study caches the expensive buffer-simulation results per packing
-// strategy so that Figures 8, 9, and 10 share one pass each.
+// strategy so that Figures 8, 9, and 10 share one pass each. It is safe for
+// concurrent use: parallel experiment tasks asking for the same packing
+// compute it exactly once, and all packings replay one shared reference
+// trace.
 type Study struct {
 	Opts   Options
-	curves map[sim.Packing]*sim.CurveResult
+	mu     sync.Mutex
+	curves map[sim.Packing]*curveEntry
+}
+
+type curveEntry struct {
+	once sync.Once
+	res  *sim.CurveResult
+	err  error
 }
 
 // NewStudy creates a study at the given scale.
 func NewStudy(opts Options) *Study {
-	return &Study{Opts: opts, curves: make(map[sim.Packing]*sim.CurveResult)}
+	return &Study{Opts: opts, curves: make(map[sim.Packing]*curveEntry)}
 }
 
 // Curve runs (or returns the cached) stack-distance simulation for one
 // packing strategy.
 func (s *Study) Curve(p sim.Packing) (*sim.CurveResult, error) {
-	if res, ok := s.curves[p]; ok {
-		return res, nil
+	s.mu.Lock()
+	e, ok := s.curves[p]
+	if !ok {
+		e = &curveEntry{}
+		s.curves[p] = e
 	}
-	res, err := sim.RunCurve(sim.CurveConfig{
-		Workload:        s.Opts.workload(),
-		Packing:         p,
-		CapacitiesPages: s.Opts.capacities(),
-		WarmupTxns:      s.Opts.WarmupTxns,
-		Batches:         s.Opts.Batches,
-		BatchTxns:       s.Opts.BatchTxns,
-		Level:           s.Opts.Level,
+	s.mu.Unlock()
+	e.once.Do(func() {
+		var tr *sim.Trace
+		if tr, e.err = s.Opts.trace(); e.err != nil {
+			return
+		}
+		e.res, e.err = sim.RunCurve(sim.CurveConfig{
+			Workload:        s.Opts.workload(),
+			Packing:         p,
+			CapacitiesPages: s.Opts.capacities(),
+			WarmupTxns:      s.Opts.WarmupTxns,
+			Batches:         s.Opts.Batches,
+			BatchTxns:       s.Opts.BatchTxns,
+			Level:           s.Opts.Level,
+			Trace:           tr,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	s.curves[p] = res
-	return res, nil
+	return e.res, e.err
+}
+
+// Prefetch computes the curves for the given packings as parallel tasks
+// (each curve is itself a sequential single-pass simulation; the fan-out is
+// across packings). The error of the lowest-indexed failing packing is
+// returned.
+func (s *Study) Prefetch(ps ...sim.Packing) error {
+	return parallel.ForEach(s.Opts.workers(), len(ps), func(i int) error {
+		_, err := s.Curve(ps[i])
+		return err
+	})
 }
 
 // Table1 reproduces the paper's Table 1 (logical database summary).
@@ -271,14 +315,11 @@ func SkewHeadlines() Series {
 // Fig8 reproduces the miss-rate-vs-buffer-size curves for the customer,
 // stock, and item relations under sequential and optimized packing.
 func Fig8(st *Study) (Series, error) {
-	seq, err := st.Curve(sim.PackSequential)
-	if err != nil {
+	if err := st.Prefetch(sim.PackSequential, sim.PackOptimized); err != nil {
 		return Series{}, err
 	}
-	opt, err := st.Curve(sim.PackOptimized)
-	if err != nil {
-		return Series{}, err
-	}
+	seq, _ := st.Curve(sim.PackSequential)
+	opt, _ := st.Curve(sim.PackOptimized)
 	s := Series{
 		Name: "fig8",
 		Comment: fmt.Sprintf("Miss rate vs buffer size, %d warehouses, LRU, 90%% CIs <= 5%% required",
@@ -289,13 +330,17 @@ func Fig8(st *Study) (Series, error) {
 			"item_seq", "item_opt"},
 	}
 	caps := st.Opts.capacities()
-	for i, mb := range st.Opts.BufferMB {
+	rows, err := parallel.Map(st.Opts.workers(), len(st.Opts.BufferMB), func(i int) ([]float64, error) {
 		c := caps[i]
-		s.Add(mb,
+		return []float64{st.Opts.BufferMB[i],
 			seq.MissRate(core.Customer, c), opt.MissRate(core.Customer, c),
 			seq.MissRate(core.Stock, c), opt.MissRate(core.Stock, c),
-			seq.MissRate(core.Item, c), opt.MissRate(core.Item, c))
+			seq.MissRate(core.Item, c), opt.MissRate(core.Item, c)}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -356,24 +401,25 @@ func Table3(opts Options) (Series, error) {
 // Fig9 reproduces maximum throughput (new-order tpm) vs buffer size for
 // both packings, using the paper's 10 MIPS / 80% utilization system.
 func Fig9(st *Study, sys model.SystemParams) (Series, error) {
-	seq, err := st.Curve(sim.PackSequential)
-	if err != nil {
+	if err := st.Prefetch(sim.PackSequential, sim.PackOptimized); err != nil {
 		return Series{}, err
 	}
-	opt, err := st.Curve(sim.PackOptimized)
-	if err != nil {
-		return Series{}, err
-	}
+	seq, _ := st.Curve(sim.PackSequential)
+	opt, _ := st.Curve(sim.PackOptimized)
 	s := Series{
 		Name:    "fig9",
 		Comment: fmt.Sprintf("Max throughput (new-order tpm) vs buffer size, %.0f MIPS @ %.0f%% CPU", sys.MIPS, sys.MaxCPUUtil*100),
 		Cols:    []string{"buffer_MB", "tpm_sequential", "tpm_optimized"},
 	}
-	for i, mb := range st.Opts.BufferMB {
+	rows, err := parallel.Map(st.Opts.workers(), len(st.Opts.BufferMB), func(i int) ([]float64, error) {
 		tseq := model.MaxThroughput(sys, model.DemandsFromCurve(seq, i), nil)
 		topt := model.MaxThroughput(sys, model.DemandsFromCurve(opt, i), nil)
-		s.Add(mb, tseq.NewOrderPerMin, topt.NewOrderPerMin)
+		return []float64{st.Opts.BufferMB[i], tseq.NewOrderPerMin, topt.NewOrderPerMin}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -381,14 +427,11 @@ func Fig9(st *Study, sys model.SystemParams) (Series, error) {
 // sequential and optimized packing, with and without the 180-day growth
 // storage requirement.
 func Fig10(st *Study, sys model.SystemParams, cost model.CostModel) (Series, error) {
-	seq, err := st.Curve(sim.PackSequential)
-	if err != nil {
+	if err := st.Prefetch(sim.PackSequential, sim.PackOptimized); err != nil {
 		return Series{}, err
 	}
-	opt, err := st.Curve(sim.PackOptimized)
-	if err != nil {
-		return Series{}, err
-	}
+	seq, _ := st.Curve(sim.PackSequential)
+	opt, _ := st.Curve(sim.PackOptimized)
 	db := tpcc.Config{Warehouses: st.Opts.Warehouses, PageSize: st.Opts.PageSize}
 	noGrow := model.DefaultStorageParams(db, false)
 	grow := model.DefaultStorageParams(db, true)
@@ -398,15 +441,20 @@ func Fig10(st *Study, sys model.SystemParams, cost model.CostModel) (Series, err
 		Cols: []string{"buffer_MB",
 			"seq_no_growth", "opt_no_growth", "seq_growth", "opt_growth"},
 	}
-	for i, mb := range st.Opts.BufferMB {
+	rows, err := parallel.Map(st.Opts.workers(), len(st.Opts.BufferMB), func(i int) ([]float64, error) {
+		mb := st.Opts.BufferMB[i]
 		dseq := model.DemandsFromCurve(seq, i)
 		dopt := model.DemandsFromCurve(opt, i)
-		s.Add(mb,
+		return []float64{mb,
 			model.PricePerformance(sys, cost, noGrow, mb, dseq).CostPerTpm,
 			model.PricePerformance(sys, cost, noGrow, mb, dopt).CostPerTpm,
 			model.PricePerformance(sys, cost, grow, mb, dseq).CostPerTpm,
-			model.PricePerformance(sys, cost, grow, mb, dopt).CostPerTpm)
+			model.PricePerformance(sys, cost, grow, mb, dopt).CostPerTpm}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -541,28 +589,36 @@ func PolicyAblation(opts Options, bufferMB float64, policies []string) (Series, 
 		Cols:    []string{"policy", "sequential", "optimized", "gap"},
 	}
 	pages := sim.PagesForBytes(int64(bufferMB*(1<<20)), opts.PageSize)
-	for pi, name := range policies {
-		row := []float64{float64(pi)}
-		var rates [2]float64
-		for i, pk := range []sim.Packing{sim.PackSequential, sim.PackOptimized} {
-			res, err := sim.Run(sim.Config{
-				Workload:    opts.workload(),
-				Packing:     pk,
-				Policy:      name,
-				BufferPages: pages,
-				WarmupTxns:  opts.WarmupTxns,
-				Batches:     opts.Batches,
-				BatchTxns:   opts.BatchTxns,
-				Level:       opts.Level,
-			})
-			if err != nil {
-				return Series{}, err
-			}
-			rates[i] = res.Overall.MissRate()
-			row = append(row, rates[i])
+	tr, err := opts.trace()
+	if err != nil {
+		return Series{}, err
+	}
+	// The policy x packing grid: every cell is an independent direct
+	// simulation replaying the shared trace; collect by cell index.
+	packs := []sim.Packing{sim.PackSequential, sim.PackOptimized}
+	rates, err := parallel.Map(opts.workers(), len(policies)*len(packs), func(cell int) (float64, error) {
+		res, err := sim.Run(sim.Config{
+			Workload:    opts.workload(),
+			Packing:     packs[cell%len(packs)],
+			Policy:      policies[cell/len(packs)],
+			BufferPages: pages,
+			WarmupTxns:  opts.WarmupTxns,
+			Batches:     opts.Batches,
+			BatchTxns:   opts.BatchTxns,
+			Level:       opts.Level,
+			Trace:       tr,
+		})
+		if err != nil {
+			return 0, err
 		}
-		row = append(row, rates[0]-rates[1])
-		s.Rows = append(s.Rows, row)
+		return res.Overall.MissRate(), nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	for pi := range policies {
+		seq, opt := rates[pi*len(packs)], rates[pi*len(packs)+1]
+		s.Add(float64(pi), seq, opt, seq-opt)
 	}
 	return s, nil
 }

@@ -9,7 +9,9 @@ import (
 	"tpccmodel/internal/model"
 	"tpccmodel/internal/nurand"
 	"tpccmodel/internal/packing"
+	"tpccmodel/internal/parallel"
 	"tpccmodel/internal/queuesim"
+	"tpccmodel/internal/rng"
 	"tpccmodel/internal/sim"
 	"tpccmodel/internal/tpcc"
 	"tpccmodel/internal/workload"
@@ -40,7 +42,9 @@ func OptimalityGap(opts Options, bufferMBs []float64, maxTxns int64) (Series, er
 		Comment: fmt.Sprintf("LRU vs Belady OPT over %d transactions (%d accesses), sequential packing", maxTxns, len(trace)),
 		Cols:    []string{"buffer_MB", "lru_miss", "opt_miss", "lru_over_opt"},
 	}
-	for _, mb := range bufferMBs {
+	// Each buffer size replays the shared page trace independently.
+	rows, err := parallel.Map(opts.workers(), len(bufferMBs), func(i int) ([]float64, error) {
+		mb := bufferMBs[i]
 		pages := sim.PagesForBytes(int64(mb*(1<<20)), opts.PageSize)
 		lru := buffer.NewLRU(pages)
 		opt := buffer.NewOPT(pages, trace)
@@ -58,8 +62,12 @@ func OptimalityGap(opts Options, bufferMBs []float64, maxTxns int64) (Series, er
 		if optMiss > 0 {
 			ratio = float64(lruMiss) / float64(optMiss)
 		}
-		s.Add(mb, float64(lruMiss)/n, float64(optMiss)/n, ratio)
+		return []float64{mb, float64(lruMiss) / n, float64(optMiss) / n, ratio}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -193,21 +201,30 @@ func ResponseValidation(st *Study, sys model.SystemParams, capIdx, diskArms int,
 		Cols: []string{"load_fraction", "lambda_per_sec", "analytic_ms", "simulated_ms",
 			"cpu_util", "disk_util"},
 	}
-	for _, f := range fractions {
+	// Each load level is an independent queueing simulation seeded from
+	// its own substream of the root seed: cells stay uncorrelated and the
+	// fan-out never shares a generator across goroutines.
+	rows, err := parallel.Map(st.Opts.workers(), len(fractions), func(i int) ([]float64, error) {
+		f := fractions[i]
 		lambda := f * satLambda
 		ana, err := model.ResponseTime(sys, d, lambda, diskArms)
 		if err != nil {
-			return Series{}, fmt.Errorf("load %.2f: %w", f, err)
+			return nil, fmt.Errorf("load %.2f: %w", f, err)
 		}
 		simr, err := queuesim.Run(queuesim.Config{
 			Sys: sys, Demands: d, Lambda: lambda, DiskArms: diskArms,
-			Transactions: 20_000, WarmupTransactions: 2_000, Seed: st.Opts.Seed,
+			Transactions: 20_000, WarmupTransactions: 2_000,
+			Seed: rng.Substream(st.Opts.Seed, uint64(i)),
 		})
 		if err != nil {
-			return Series{}, fmt.Errorf("load %.2f: %w", f, err)
+			return nil, fmt.Errorf("load %.2f: %w", f, err)
 		}
-		s.Add(f, lambda, ana.MeanMs, simr.MeanResponseMs, simr.CPUUtil, simr.DiskUtil)
+		return []float64{f, lambda, ana.MeanMs, simr.MeanResponseMs, simr.CPUUtil, simr.DiskUtil}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -330,10 +347,16 @@ func PageSizeStudy(opts Options) (Series, error) {
 		res *sim.CurveResult
 		cap []int64
 	}
-	runs := make(map[int]out, 2)
-	for _, pageSize := range []int{4096, 8192} {
+	// The tuple stream is page-size independent, so both cells replay the
+	// same shared trace; only the mappers and capacities differ.
+	pageSizes := []int{4096, 8192}
+	runs, err := parallel.Map(opts.workers(), len(pageSizes), func(i int) (out, error) {
 		o := opts
-		o.PageSize = pageSize
+		o.PageSize = pageSizes[i]
+		tr, err := o.trace()
+		if err != nil {
+			return out{}, err
+		}
 		res, err := sim.RunCurve(sim.CurveConfig{
 			Workload:        o.workload(),
 			Packing:         sim.PackSequential,
@@ -342,13 +365,17 @@ func PageSizeStudy(opts Options) (Series, error) {
 			Batches:         o.Batches,
 			BatchTxns:       o.BatchTxns,
 			Level:           o.Level,
+			Trace:           tr,
 		})
 		if err != nil {
-			return Series{}, err
+			return out{}, err
 		}
-		runs[pageSize] = out{res: res, cap: o.capacities()}
+		return out{res: res, cap: o.capacities()}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
-	r4, r8 := runs[4096], runs[8192]
+	r4, r8 := runs[0], runs[1]
 	for i, mb := range opts.BufferMB {
 		s.Add(mb,
 			r4.res.MissRate(core.Stock, r4.cap[i]), r8.res.MissRate(core.Stock, r8.cap[i]),
@@ -371,12 +398,13 @@ func MixSensitivity(opts Options, bufferMB float64) (Series, error) {
 		Cols: []string{"mix", "pending_new_orders", "new_order_miss",
 			"order_line_miss", "overall_miss"},
 	}
-	for i, mix := range []tpcc.Mix{tpcc.DefaultMix(), tpcc.MinimumMix()} {
+	mixes := []tpcc.Mix{tpcc.DefaultMix(), tpcc.MinimumMix()}
+	rows, err := parallel.Map(opts.workers(), len(mixes), func(i int) ([]float64, error) {
 		wl := opts.workload()
-		wl.Mix = mix
+		wl.Mix = mixes[i]
 		gen, err := workload.New(wl)
 		if err != nil {
-			return Series{}, err
+			return nil, err
 		}
 		mappers := sim.BuildMappers(wl.DB, sim.PackSequential, wl.Seed)
 		lru := buffer.NewLRU(pages)
@@ -403,8 +431,12 @@ func MixSensitivity(opts Options, bufferMB float64) (Series, error) {
 			}
 			return float64(miss[rel]) / float64(acc[rel])
 		}
-		s.Add(float64(i), float64(pending), rate(core.NewOrder),
-			rate(core.OrderLine), float64(missAll)/float64(accAll))
+		return []float64{float64(i), float64(pending), rate(core.NewOrder),
+			rate(core.OrderLine), float64(missAll) / float64(accAll)}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Rows = rows
 	return s, nil
 }

@@ -1,0 +1,143 @@
+// Package parallel provides the worker-pool sweep runner used by the
+// experiment pipeline to fan out independent grid cells (packing x policy x
+// buffer size, model sweeps, replacement-policy ablations) across CPUs.
+//
+// Determinism contract: the pool only controls *scheduling*. Every task must
+// be self-contained — it derives any randomness it needs from the root seed
+// via rng.Substream (never sharing a generator across goroutines) — and
+// results are collected by task index, so emitted output is byte-identical
+// to a serial run regardless of worker count or completion order.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a worker-count setting: values <= 0 mean "one worker per
+// CPU". The result is always at least 1.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if c := runtime.NumCPU(); c > 0 {
+		return c
+	}
+	return 1
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the error of the lowest-indexed failing task (so the reported
+// error does not depend on scheduling). All tasks run even when one fails;
+// tasks are independent grid cells and a partial sweep has no value.
+func ForEach(workers, n int, fn func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) on up to workers goroutines and returns the
+// results ordered by task index, independent of completion order. On error
+// it returns the error of the lowest-indexed failing task.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Progress reports completion counts and an ETA for a sweep. It is safe for
+// concurrent use by pool workers; output is rate-limited so tight task loops
+// do not flood the writer. A nil *Progress is valid and reports nothing.
+type Progress struct {
+	label string
+	total int
+	w     io.Writer
+	start time.Time
+
+	mu      sync.Mutex
+	done    int
+	lastOut time.Time
+}
+
+// NewProgress returns a reporter for total tasks writing to w (nil w
+// disables output).
+func NewProgress(label string, total int, w io.Writer) *Progress {
+	return &Progress{label: label, total: total, w: w, start: time.Now()}
+}
+
+// minReportInterval rate-limits progress lines.
+const minReportInterval = 500 * time.Millisecond
+
+// Done records one completed task, printing progress and ETA at most every
+// half second (and always for the final task).
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	now := time.Now()
+	if p.w == nil || (p.done < p.total && now.Sub(p.lastOut) < minReportInterval) {
+		return
+	}
+	p.lastOut = now
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("%s: %d/%d done in %v", p.label, p.done, p.total,
+		elapsed.Round(time.Millisecond))
+	if p.done < p.total && p.done > 0 {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got < 1 {
+			t.Errorf("Workers(%d) = %d, want >= 1", n, got)
+		}
+	}
+}
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var ran [n]atomic.Int64
+		err := ForEach(workers, n, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReportsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Errorf("workers=%d: got %v, want the lowest-indexed error", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsAllTasksDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(4, 30, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 30 {
+		t.Errorf("ran %d/30 tasks after error", got)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapOrderIndependentOfWorkers is the determinism contract at the pool
+// level: identical inputs must yield identical, index-ordered outputs for
+// every worker count.
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	want := make([]string, 64)
+	for i := range want {
+		want[i] = fmt.Sprintf("task-%02d", i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := Map(workers, len(want), func(i int) (string, error) {
+			return fmt.Sprintf("task-%02d", i), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results out of index order", workers)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad cell")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want nil results and an error", out, err)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Done() // must not panic
+}
+
+func TestProgressReportsFinalCount(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress("sweep", 3, &buf)
+	for i := 0; i < 3; i++ {
+		p.Done()
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 3/3 done") {
+		t.Errorf("final progress line missing: %q", out)
+	}
+}
+
+func TestProgressNilWriter(t *testing.T) {
+	p := NewProgress("quiet", 2, nil)
+	p.Done()
+	p.Done() // must not panic
+}

@@ -11,23 +11,51 @@ type RNG struct {
 	s [4]uint64
 }
 
+// splitMixGamma is the SplitMix64 increment (the odd fractional part of the
+// golden ratio), shared by the seeder and the substream derivation.
+const splitMixGamma = 0x9e3779b97f4a7c15
+
+// SplitMix64 advances *state by the golden-ratio gamma and returns the next
+// output of the SplitMix64 sequence. The output function is a bijection of
+// the state, so distinct states never collide.
+func SplitMix64(state *uint64) uint64 {
+	*state += splitMixGamma
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // New returns a generator seeded from a single 64-bit seed via SplitMix64,
 // which guarantees a well-mixed non-zero state for any seed value.
 func New(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
-	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
 	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = SplitMix64(&sm)
 	}
 	return r
 }
+
+// Substream deterministically derives the seed of the idx-th independent
+// substream of a root seed. The derivation feeds the root through one
+// SplitMix64 step, offsets the resulting state by (idx+1) gammas, and takes
+// the next output: for a fixed root the map idx -> seed is injective (the
+// SplitMix64 output function is a bijection and the gamma is odd), so
+// substreams never alias — including under a zero root seed. Parallel sweep
+// tasks must seed their private generators this way rather than sharing one
+// *RNG across goroutines or hand-deriving seeds with arithmetic like
+// root+idx.
+func Substream(root, idx uint64) uint64 {
+	state := root
+	base := SplitMix64(&state)
+	state = base + idx*splitMixGamma
+	return SplitMix64(&state)
+}
+
+// NewStream returns a generator for substream idx of the given root seed:
+// shorthand for New(Substream(root, idx)).
+func NewStream(root, idx uint64) *RNG { return New(Substream(root, idx)) }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 

@@ -27,6 +27,9 @@ type Config struct {
 	BatchTxns int64
 	// Level is the confidence level (paper: 0.90).
 	Level float64
+	// Trace, when non-nil, is replayed instead of running the workload
+	// generator (see CurveConfig.Trace).
+	Trace *Trace
 }
 
 // Validate checks the configuration.
@@ -42,6 +45,9 @@ func (c Config) Validate() error {
 	}
 	if c.Level <= 0 || c.Level >= 1 {
 		return fmt.Errorf("sim: confidence level %v out of (0,1)", c.Level)
+	}
+	if want := c.WarmupTxns + int64(c.Batches)*c.BatchTxns; c.Trace != nil && c.Trace.Txns() < want {
+		return fmt.Errorf("sim: trace holds %d transactions, need %d", c.Trace.Txns(), want)
 	}
 	return nil
 }
@@ -76,7 +82,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	gen, err := workload.New(cfg.Workload)
+	next, err := newTxnSource(cfg.Workload, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +101,7 @@ func Run(cfg Config) (*Result, error) {
 
 	var txn workload.Txn
 	for i := int64(0); i < cfg.WarmupTxns; i++ {
-		gen.Next(&txn)
+		next(&txn)
 		for _, a := range txn.Accesses {
 			pool.Access(core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple)))
 		}
@@ -105,7 +111,7 @@ func Run(cfg Config) (*Result, error) {
 		var acc, miss [core.NumRelations]int64
 		var accAll, missAll int64
 		for i := int64(0); i < cfg.BatchTxns; i++ {
-			gen.Next(&txn)
+			next(&txn)
 			for _, a := range txn.Accesses {
 				page := core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple))
 				hit := pool.Access(page)

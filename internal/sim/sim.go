@@ -23,6 +23,7 @@ import (
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/nurand"
 	"tpccmodel/internal/packing"
+	"tpccmodel/internal/rng"
 	"tpccmodel/internal/stats"
 	"tpccmodel/internal/tpcc"
 	"tpccmodel/internal/workload"
@@ -108,7 +109,9 @@ func BuildMappers(db tpcc.Config, strategy Packing, seed uint64) Mappers {
 			}
 			m[r] = packing.NewOptimized(pmf, perPage)
 		case PackShuffled:
-			m[r] = packing.NewShuffled(group, perPage, seed+uint64(r))
+			// Derive one shuffle substream per relation: arithmetic like
+			// seed+r hands adjacent, correlated seeds to sibling mappers.
+			m[r] = packing.NewShuffled(group, perPage, rng.Substream(seed, uint64(r)))
 		default:
 			m[r] = packing.NewGroupedSequential(group, perPage)
 		}
@@ -141,6 +144,11 @@ type CurveConfig struct {
 	BatchTxns int64
 	// Level is the confidence level (paper: 0.90).
 	Level float64
+	// Trace, when non-nil, is replayed instead of running the workload
+	// generator. It must hold at least WarmupTxns + Batches*BatchTxns
+	// transactions of the configured workload; sweep drivers record it
+	// once (see TraceCache) and share it across grid cells.
+	Trace *Trace
 }
 
 // Validate checks the configuration.
@@ -162,7 +170,31 @@ func (c CurveConfig) Validate() error {
 	if c.Level <= 0 || c.Level >= 1 {
 		return fmt.Errorf("sim: confidence level %v out of (0,1)", c.Level)
 	}
+	if want := c.WarmupTxns + int64(c.Batches)*c.BatchTxns; c.Trace != nil && c.Trace.Txns() < want {
+		return fmt.Errorf("sim: trace holds %d transactions, need %d", c.Trace.Txns(), want)
+	}
 	return nil
+}
+
+// txnSource yields successive transactions: either a live workload
+// generator or a positional replay of a shared recorded trace.
+type txnSource func(t *workload.Txn)
+
+// newTxnSource builds the stream for a run: replaying tr when non-nil,
+// generating from cfg otherwise.
+func newTxnSource(cfg workload.Config, tr *Trace) (txnSource, error) {
+	if tr != nil {
+		var idx int64
+		return func(t *workload.Txn) {
+			tr.Replay(idx, t)
+			idx++
+		}, nil
+	}
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Next, nil
 }
 
 // CurveResult holds the outputs of RunCurve.
@@ -260,7 +292,7 @@ func RunCurve(cfg CurveConfig) (*CurveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	gen, err := workload.New(cfg.Workload)
+	next, err := newTxnSource(cfg.Workload, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +328,7 @@ func RunCurve(cfg CurveConfig) (*CurveResult, error) {
 	}
 
 	for i := int64(0); i < cfg.WarmupTxns; i++ {
-		gen.Next(&txn)
+		next(&txn)
 		for _, a := range txn.Accesses {
 			stack.Access(core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple)))
 		}
@@ -314,7 +346,7 @@ func RunCurve(cfg CurveConfig) (*CurveResult, error) {
 			batchHitFrom[i] = [core.NumRelations]int64{}
 		}
 		for i := int64(0); i < cfg.BatchTxns; i++ {
-			gen.Next(&txn)
+			next(&txn)
 			res.txnCounts[txn.Type]++
 			for _, a := range txn.Accesses {
 				page := core.MakePageID(a.Rel, mappers[a.Rel].Page(a.Tuple))

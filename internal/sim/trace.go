@@ -1,0 +1,127 @@
+// Shared reference traces. Every cell of a sweep grid (packing x policy x
+// buffer size) consumes the same logical tuple stream: the stream depends
+// only on the workload configuration and seed, not on how tuples are packed
+// into pages or which replacement policy manages the pool. Recording the
+// stream once per (seed, scale) and replaying it into each cell avoids
+// regenerating it per cell and guarantees every cell sees byte-identical
+// input no matter which worker runs it.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/workload"
+)
+
+// Trace is a recorded reference stream: a sequence of transactions flattened
+// into parallel arrays. It is immutable after recording and safe for
+// concurrent replay.
+type Trace struct {
+	types []core.TxnType // per-transaction type
+	ends  []int64        // ends[i] = offset one past txn i's last access
+	rels  []core.Relation
+	// tuples holds tuple ordinals as int32: the largest ordinal any
+	// supported configuration reaches (order-lines after millions of
+	// transactions) sits far below 2^31; RecordTrace checks anyway.
+	tuples []int32
+}
+
+// Txns returns the number of recorded transactions.
+func (tr *Trace) Txns() int64 { return int64(len(tr.types)) }
+
+// Accesses returns the number of recorded tuple accesses.
+func (tr *Trace) Accesses() int64 { return int64(len(tr.rels)) }
+
+// Replay fills t with transaction i, reusing t.Accesses like
+// workload.Generator.Next does.
+func (tr *Trace) Replay(i int64, t *workload.Txn) {
+	var start int64
+	if i > 0 {
+		start = tr.ends[i-1]
+	}
+	end := tr.ends[i]
+	t.Type = tr.types[i]
+	t.DeliverySkipped = 0
+	t.Accesses = t.Accesses[:0]
+	for k := start; k < end; k++ {
+		t.Accesses = append(t.Accesses, core.Access{Rel: tr.rels[k], Tuple: int64(tr.tuples[k])})
+	}
+}
+
+// RecordTrace generates and records txns transactions of the given workload.
+func RecordTrace(cfg workload.Config, txns int64) (*Trace, error) {
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		types: make([]core.TxnType, 0, txns),
+		ends:  make([]int64, 0, txns),
+	}
+	var txn workload.Txn
+	for i := int64(0); i < txns; i++ {
+		gen.Next(&txn)
+		tr.types = append(tr.types, txn.Type)
+		for _, a := range txn.Accesses {
+			if a.Tuple > math.MaxInt32 {
+				return nil, fmt.Errorf("sim: tuple ordinal %d overflows trace encoding", a.Tuple)
+			}
+			tr.rels = append(tr.rels, a.Rel)
+			tr.tuples = append(tr.tuples, int32(a.Tuple))
+		}
+		tr.ends = append(tr.ends, int64(len(tr.rels)))
+	}
+	return tr, nil
+}
+
+// traceKey identifies a reference stream. PageSize is normalized to zero:
+// the tuple stream is independent of how tuples are later packed into
+// pages, so 4K and 8K runs of the same workload share one trace.
+type traceKey struct {
+	cfg  workload.Config
+	txns int64
+}
+
+func makeTraceKey(cfg workload.Config, txns int64) traceKey {
+	cfg.DB.PageSize = 0
+	return traceKey{cfg: cfg, txns: txns}
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *Trace
+	err  error
+}
+
+// TraceCache memoizes recorded traces by (workload config, length). It is
+// safe for concurrent use; concurrent requests for the same key record the
+// stream exactly once and share the result.
+type TraceCache struct {
+	mu sync.Mutex
+	m  map[traceKey]*traceEntry
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache { return &TraceCache{m: make(map[traceKey]*traceEntry)} }
+
+// Get returns the memoized trace of txns transactions of cfg, recording it
+// on first use.
+func (c *TraceCache) Get(cfg workload.Config, txns int64) (*Trace, error) {
+	key := makeTraceKey(cfg, txns)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &traceEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = RecordTrace(cfg, txns) })
+	return e.tr, e.err
+}
+
+// SharedTraces is the process-wide trace cache used by the experiment
+// pipeline.
+var SharedTraces = NewTraceCache()

@@ -71,13 +71,18 @@ func (c Config) Validate() error {
 	if err := c.Mix.Validate(); err != nil {
 		return err
 	}
-	for name, p := range map[string]float64{
-		"RemoteStockProb":   c.RemoteStockProb,
-		"RemotePaymentProb": c.RemotePaymentProb,
-		"PayByNameProb":     c.PayByNameProb,
+	// A slice, not a map: iteration order decides which violation is
+	// reported first, and error output must be deterministic.
+	for _, pr := range []struct {
+		name string
+		p    float64
+	}{
+		{"RemoteStockProb", c.RemoteStockProb},
+		{"RemotePaymentProb", c.RemotePaymentProb},
+		{"PayByNameProb", c.PayByNameProb},
 	} {
-		if p < 0 || p > 1 {
-			return fmt.Errorf("workload: %s = %v out of [0,1]", name, p)
+		if pr.p < 0 || pr.p > 1 {
+			return fmt.Errorf("workload: %s = %v out of [0,1]", pr.name, pr.p)
 		}
 	}
 	return nil
