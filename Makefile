@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-sweep torture repro repro-full fuzz clean
+.PHONY: all build test race bench bench-sweep bench-kernel torture repro repro-full fuzz clean
 
 all: build test
 
@@ -29,6 +29,12 @@ bench:
 # plus speedup in BENCH_sweep.json.
 bench-sweep:
 	go run ./cmd/tpcc-repro -bench-sweep BENCH_sweep.json
+
+# Time the stack-distance kernel (seed map-based vs dense pre-mapped) on one
+# reduced-scale cell and record output-equivalence plus speedup in
+# BENCH_kernel.json.
+bench-kernel:
+	go run ./cmd/tpcc-repro -bench-kernel BENCH_kernel.json
 
 # Reduced-scale reproduction of every table and figure (seconds).
 repro:

@@ -47,10 +47,13 @@ func main() {
 		policies   = flag.String("policies", "lru,fifo,clock,lfu,2q,slru", "comma-separated policies (ablation)")
 		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
+	cpuprofile, memprofile := cliutil.ProfileFlags()
 	flag.Parse()
 
 	const tool = "tpcc-buffersim"
 	w := cliutil.Workers(tool, *workers)
+	stopProfiles := cliutil.StartProfiles(tool, *cpuprofile, *memprofile)
+	defer stopProfiles()
 	cliutil.RequireNonNegative(tool, "warehouses", int64(*warehouses))
 	cliutil.RequirePositiveFloat(tool, "buffer", *bufferMB)
 	if *policies == "" {

@@ -26,10 +26,12 @@ import (
 	"time"
 
 	"tpccmodel/internal/cliutil"
+	"tpccmodel/internal/core"
 	"tpccmodel/internal/experiments"
 	"tpccmodel/internal/model"
 	"tpccmodel/internal/parallel"
 	"tpccmodel/internal/sim"
+	"tpccmodel/internal/workload"
 )
 
 // namedSeries pairs an output file stem with its computed series. A job may
@@ -58,14 +60,24 @@ func main() {
 		skipAblation = flag.Bool("skip-ablation", false, "skip the slow replacement-policy ablation")
 		workers      = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 		benchSweep   = flag.String("bench-sweep", "", "instead of reproducing the paper, benchmark the ablation sweep at 1/2/4/8 workers and write this JSON report")
+		benchKernel  = flag.String("bench-kernel", "", "instead of reproducing the paper, benchmark the stack-distance kernel (seed vs dense pre-mapped) and write this JSON report")
 	)
+	cpuprofile, memprofile := cliutil.ProfileFlags()
 	flag.Parse()
 
 	const tool = "tpcc-repro"
 	w := cliutil.Workers(tool, *workers)
+	stopProfiles := cliutil.StartProfiles(tool, *cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	if *benchSweep != "" {
 		if err := runBenchSweep(*benchSweep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchKernel != "" {
+		if err := runBenchKernel(*benchKernel); err != nil {
 			fatal(err)
 		}
 		return
@@ -296,6 +308,158 @@ func runBenchSweep(path string) error {
 		report.Runs = append(report.Runs, r)
 		fmt.Fprintf(os.Stderr, "bench-sweep: workers=%d %.3fs speedup=%.2fx identical=%v\n",
 			w, r.Seconds, r.Speedup, r.Identical)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// renderCurveResult serializes every observable of a CurveResult so two
+// kernels' outputs can be compared byte for byte.
+func renderCurveResult(res *sim.CurveResult) []byte {
+	var buf bytes.Buffer
+	for rel := core.Relation(0); rel < core.NumRelations; rel++ {
+		fmt.Fprintf(&buf, "rel %d acc %d\n", rel, res.RelAccesses(rel))
+		for _, c := range res.Caps {
+			fmt.Fprintf(&buf, "%.17g\n", res.MissRate(rel, c))
+		}
+		for i := range res.Caps {
+			if iv, err := res.MissRateCI(rel, i); err == nil {
+				fmt.Fprintf(&buf, "%.17g %.17g\n", iv.Mean, iv.HalfWidth)
+			}
+		}
+	}
+	for _, c := range res.Caps {
+		fmt.Fprintf(&buf, "%.17g\n", res.Overall.MissRate(c))
+	}
+	for t := core.TxnType(0); t < core.NumTxnTypes; t++ {
+		fmt.Fprintf(&buf, "txn %d n %d\n", t, res.TxnCount(t))
+		for i := range res.Caps {
+			fmt.Fprintf(&buf, "%.17g\n", res.TxnIOs(t, i))
+		}
+	}
+	return buf.Bytes()
+}
+
+// runBenchKernel times one reduced-scale stack-distance simulation cell
+// through the seed kernel (map-based StackSim, per-access tuple-to-page
+// mapping, binary-searched capacity buckets) and the dense kernel
+// (pre-mapped flat page ordinals, DenseStackSim, O(1) capacity lookup),
+// checks their outputs are identical, and writes a JSON report in the same
+// honest-timing format as -bench-sweep. The trace is recorded untimed; the
+// one-off MapPages translation is timed separately since a sweep amortizes
+// it across all cells sharing a (packing, page size).
+func runBenchKernel(path string) error {
+	opts := experiments.Reduced()
+	wl := workload.DefaultConfig(opts.Warehouses, opts.Seed)
+	wl.DB.PageSize = opts.PageSize
+	caps := make([]int64, len(opts.BufferMB))
+	for i, mb := range opts.BufferMB {
+		caps[i] = sim.PagesForBytes(int64(mb*(1<<20)), opts.PageSize)
+	}
+	cc := sim.CurveConfig{
+		Workload:        wl,
+		Packing:         sim.PackSequential,
+		CapacitiesPages: caps,
+		WarmupTxns:      opts.WarmupTxns,
+		Batches:         opts.Batches,
+		BatchTxns:       opts.BatchTxns,
+		Level:           opts.Level,
+	}
+	txns := cc.WarmupTxns + int64(cc.Batches)*cc.BatchTxns
+
+	fmt.Fprintf(os.Stderr, "bench-kernel: recording %d-transaction trace (untimed)...\n", txns)
+	tr, err := sim.RecordTrace(wl, txns)
+	if err != nil {
+		return err
+	}
+
+	mapStart := time.Now()
+	mt, err := tr.MapPages(sim.BuildMappers(wl.DB, cc.Packing, wl.Seed), wl.DB)
+	if err != nil {
+		return err
+	}
+	mapSeconds := time.Since(mapStart).Seconds()
+
+	type kernelRun struct {
+		Kernel    string  `json:"kernel"`
+		Seconds   float64 `json:"seconds"`
+		Speedup   float64 `json:"speedup_vs_seed"`
+		Identical bool    `json:"output_identical_to_seed"`
+	}
+	report := struct {
+		Cores           int         `json:"cores"`
+		Scale           string      `json:"scale"`
+		Warehouses      int         `json:"warehouses"`
+		Transactions    int64       `json:"transactions"`
+		Accesses        int64       `json:"accesses"`
+		Capacities      int         `json:"capacities"`
+		PageUniverse    int64       `json:"page_universe"`
+		MapPagesSeconds float64     `json:"map_pages_seconds"`
+		Runs            []kernelRun `json:"runs"`
+	}{
+		Cores:           runtime.NumCPU(),
+		Scale:           "reduced",
+		Warehouses:      opts.Warehouses,
+		Transactions:    txns,
+		Accesses:        tr.Accesses(),
+		Capacities:      len(caps),
+		PageUniverse:    mt.Universe(),
+		MapPagesSeconds: mapSeconds,
+	}
+
+	kernels := []struct {
+		name string
+		cfg  sim.CurveConfig
+	}{
+		{"seed: map StackSim + per-access mapping + sort.Search", func() sim.CurveConfig { c := cc; c.Trace = tr; return c }()},
+		{"dense: pre-mapped ordinals + DenseStackSim + O(1) lookup", func() sim.CurveConfig { c := cc; c.Mapped = mt; return c }()},
+	}
+	const reps = 3
+	var seedSeconds float64
+	var seedOut []byte
+	for i, k := range kernels {
+		if _, err := sim.RunCurve(k.cfg); err != nil { // untimed warmup
+			return err
+		}
+		best := 0.0
+		var out []byte
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			res, err := sim.RunCurve(k.cfg)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start).Seconds()
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			out = renderCurveResult(res)
+		}
+		kr := kernelRun{Kernel: k.name, Seconds: best}
+		if i == 0 {
+			seedSeconds, seedOut = best, out
+			kr.Speedup, kr.Identical = 1, true
+		} else {
+			kr.Speedup = seedSeconds / best
+			kr.Identical = bytes.Equal(out, seedOut)
+		}
+		report.Runs = append(report.Runs, kr)
+		fmt.Fprintf(os.Stderr, "bench-kernel: %s: best of %d = %.3fs speedup=%.2fx identical=%v\n",
+			k.name, reps, kr.Seconds, kr.Speedup, kr.Identical)
 	}
 
 	f, err := os.Create(path)

@@ -57,11 +57,14 @@ func main() {
 		bufferMB   = flag.Float64("buffer", 102, "per-node buffer size in MB (paper: 102)")
 		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
+	cpuprofile, memprofile := cliutil.ProfileFlags()
 	flag.Parse()
 
 	const tool = "tpcc-scaleup"
 	w := cliutil.Workers(tool, *workers)
 	cliutil.RequirePositiveFloat(tool, "buffer", *bufferMB)
+	stopProfiles := cliutil.StartProfiles(tool, *cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	nodes, err := parseInts(*nodesFlag)
 	if err != nil {

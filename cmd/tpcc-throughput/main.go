@@ -35,10 +35,13 @@ func main() {
 		bufferMB   = flag.Float64("buffer", 52, "buffer size for table4")
 		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
+	cpuprofile, memprofile := cliutil.ProfileFlags()
 	flag.Parse()
 
 	const tool = "tpcc-throughput"
 	w := cliutil.Workers(tool, *workers)
+	stopProfiles := cliutil.StartProfiles(tool, *cpuprofile, *memprofile)
+	defer stopProfiles()
 	cliutil.RequireNonNegative(tool, "warehouses", int64(*warehouses))
 	cliutil.RequirePositiveFloat(tool, "mips", *mips)
 	cliutil.RequireProb(tool, "cpu-util", *cpuUtil)

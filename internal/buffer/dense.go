@@ -1,0 +1,132 @@
+package buffer
+
+// DenseStackSim computes LRU stack distances like StackSim but over a dense
+// page-ordinal space: pages are identified by contiguous int64 ordinals (see
+// sim's flat page-ordinal mapping), so the per-access last-access lookup is
+// a flat slice index instead of a map probe, and timestamp compaction is a
+// counting pass instead of a map-iterate-plus-sort. The per-access path
+// performs no allocation and no hashing; its cost is the two Fenwick-tree
+// walks, O(log distinct) each.
+//
+// The ordinal space may grow during the run (the TPC-C append-only
+// relations gain pages as transactions insert tuples); Access extends the
+// last-access table on demand with amortized-O(1) doubling.
+//
+// The map-based StackSim is retained as the differential-testing oracle:
+// the two implementations must agree access for access on any stream
+// related by an ordinal bijection (see dense_test.go and the fuzz target).
+type DenseStackSim struct {
+	last     []int64 // last[ord] = last access timestamp (1-based), 0 = never seen
+	tree     []int64 // Fenwick tree over timestamps
+	time     int64   // current timestamp (1-based, < len(tree))
+	distinct int64
+}
+
+// NewDenseStackSim returns a simulator for page ordinals in [0, universe).
+// Ordinals at or past universe are accepted too (the table grows), but
+// pre-sizing to the known page universe avoids regrowth: the TPC-C page
+// count is known a priori from the schema (Table 1 cardinalities), which is
+// exactly what makes the dense layout possible.
+func NewDenseStackSim(universe int64) *DenseStackSim {
+	if universe < 0 {
+		panic("buffer: universe must be non-negative")
+	}
+	return &DenseStackSim{
+		last: make([]int64, universe),
+		// The timestamp space scales with the table so compaction — an
+		// O(len(last) + len(tree)) counting pass — amortizes to O(1) per
+		// access no matter how sparse the reference stream is.
+		tree: make([]int64, 2*universe+1024),
+	}
+}
+
+// Distinct returns the number of distinct ordinals seen so far.
+func (s *DenseStackSim) Distinct() int64 { return s.distinct }
+
+// Universe returns the current size of the last-access table.
+func (s *DenseStackSim) Universe() int64 { return int64(len(s.last)) }
+
+func (s *DenseStackSim) add(i, delta int64) {
+	for ; i < int64(len(s.tree)); i += i & -i {
+		s.tree[i] += delta
+	}
+}
+
+func (s *DenseStackSim) sum(i int64) int64 {
+	var t int64
+	for ; i > 0; i -= i & -i {
+		t += s.tree[i]
+	}
+	return t
+}
+
+// compact renumbers the live timestamps 1..distinct preserving order, in one
+// counting pass over the ordinal table — O(universe), no map iteration, no
+// sort (the map-based StackSim pays O(distinct log distinct) here). It runs
+// when the timestamp space fills; the tree is resized so at least half the
+// new space is free, keeping the amortized cost per access constant.
+func (s *DenseStackSim) compact() {
+	// occ[t] = ord+1 for the page whose last access is timestamp t.
+	// Timestamps are unique per page, so this is a perfect bucket sort.
+	occ := make([]int64, s.time+1)
+	for ord, t := range s.last {
+		if t != 0 {
+			occ[t] = int64(ord) + 1
+		}
+	}
+	size := 2*s.distinct + 1024
+	if min := 2 * int64(len(s.last)); size < min {
+		size = min
+	}
+	s.tree = make([]int64, size)
+	var nt int64
+	for _, o := range occ[1:] {
+		if o != 0 {
+			nt++
+			s.last[o-1] = nt
+			s.add(nt, 1)
+		}
+	}
+	s.time = nt
+}
+
+// grow extends the last-access table to cover ord.
+func (s *DenseStackSim) grow(ord int64) {
+	size := 2 * int64(len(s.last))
+	if size < ord+1 {
+		size = ord + 1
+	}
+	bigger := make([]int64, size)
+	copy(bigger, s.last)
+	s.last = bigger
+}
+
+// Access records a reference to the page with the given ordinal and returns
+// its LRU stack distance, or ColdDistance for a first reference. Distances
+// agree exactly with StackSim.Access on the corresponding PageID stream.
+func (s *DenseStackSim) Access(ord int64) int64 {
+	if ord < 0 {
+		panic("buffer: page ordinal must be non-negative")
+	}
+	if ord >= int64(len(s.last)) {
+		s.grow(ord)
+	}
+	if s.time+1 >= int64(len(s.tree)) {
+		s.compact()
+	}
+	s.time++
+	t := s.time
+	prev := s.last[ord]
+	var dist int64
+	if prev != 0 {
+		// Distinct pages touched after prev: set bits in (prev, t).
+		dist = s.sum(t-1) - s.sum(prev) + 1
+		s.add(prev, -1)
+	} else {
+		dist = ColdDistance
+		s.distinct++
+	}
+	s.add(t, 1)
+	s.last[ord] = t
+	return dist
+}

@@ -1,0 +1,185 @@
+package buffer
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"tpccmodel/internal/rng"
+)
+
+// TestDenseMatchesMapStackSim is the oracle test: the dense simulator must
+// agree with the map-based StackSim access for access on identical streams,
+// across universes small (high reuse) and large (forces the map sim's
+// 1024-slot tree to compact by distinct count), with enough accesses that
+// both implementations compact their timestamp spaces mid-stream.
+func TestDenseMatchesMapStackSim(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		universe := r.IntRange(1, 3000)
+		oracle := NewStackSim()
+		dense := NewDenseStackSim(universe)
+		for i := 0; i < 20000; i++ {
+			ord := r.Int63n(universe)
+			want := oracle.Access(pid(ord))
+			got := dense.Access(ord)
+			if got != want {
+				t.Logf("seed %d: access %d ord %d: dense %d, oracle %d",
+					seed, i, ord, got, want)
+				return false
+			}
+		}
+		return oracle.Distinct() == dense.Distinct()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDenseForcedCompactions drives both simulators through many forced
+// compactions: the dense sim is built with a tiny declared universe so its
+// initial tree is small, then the stream touches ordinals far past it,
+// exercising table growth and repeated compaction; distances must still
+// match the oracle throughout.
+func TestDenseForcedCompactions(t *testing.T) {
+	r := rng.New(42)
+	oracle := NewStackSim()
+	dense := NewDenseStackSim(0) // everything grows from nothing
+	const universe = 2500        // > the map sim's initial 1024 slots
+	for i := 0; i < 60000; i++ {
+		ord := r.Int63n(universe)
+		want := oracle.Access(pid(ord))
+		got := dense.Access(ord)
+		if got != want {
+			t.Fatalf("access %d ord %d: dense %d, oracle %d", i, ord, got, want)
+		}
+	}
+	if oracle.Distinct() != dense.Distinct() {
+		t.Fatalf("distinct: dense %d, oracle %d", dense.Distinct(), oracle.Distinct())
+	}
+	if dense.Universe() < universe {
+		t.Fatalf("universe grew to %d, want >= %d", dense.Universe(), universe)
+	}
+}
+
+// TestDenseSequentialSweeps pins the compaction arithmetic exactly (the
+// dense analogue of TestStackSimCompactionMidStreamExact): after a full
+// first-touch sweep of the universe, every second-sweep distance is exactly
+// the universe size.
+func TestDenseSequentialSweeps(t *testing.T) {
+	const universe = 2000
+	s := NewDenseStackSim(universe)
+	for sweep := 0; sweep < 5; sweep++ {
+		for ord := int64(0); ord < universe; ord++ {
+			d := s.Access(ord)
+			if sweep == 0 {
+				if d != ColdDistance {
+					t.Fatalf("sweep 0 ord %d: distance %d, want cold", ord, d)
+				}
+			} else if d != universe {
+				t.Fatalf("sweep %d ord %d: distance %d, want %d", sweep, ord, d, universe)
+			}
+		}
+	}
+}
+
+// FuzzDenseStackSim feeds arbitrary byte strings as access streams to both
+// simulators and requires exact agreement. Each pair of bytes selects one
+// ordinal; the declared universe is derived from the input too, so the
+// fuzzer explores pre-sized, undersized, and empty tables.
+func FuzzDenseStackSim(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 0, 0}, uint16(4))
+	f.Add([]byte{255, 255, 0, 0, 255, 255}, uint16(0))
+	f.Add(make([]byte, 64), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, declared uint16) {
+		oracle := NewStackSim()
+		dense := NewDenseStackSim(int64(declared))
+		for i := 0; i+1 < len(data); i += 2 {
+			ord := int64(binary.LittleEndian.Uint16(data[i:]))
+			want := oracle.Access(pid(ord))
+			got := dense.Access(ord)
+			if got != want {
+				t.Fatalf("access %d ord %d: dense %d, oracle %d", i/2, ord, got, want)
+			}
+		}
+		if oracle.Distinct() != dense.Distinct() {
+			t.Fatalf("distinct: dense %d, oracle %d", dense.Distinct(), oracle.Distinct())
+		}
+	})
+}
+
+// TestMissRatesOneCumulativePass checks the satellite fix: MissRates must
+// equal per-capacity MissRate calls exactly — finalized or not, sorted
+// capacities or not, including out-of-range and negative capacities.
+func TestMissRatesOneCumulativePass(t *testing.T) {
+	r := rng.New(9)
+	s := NewStackSim()
+	var m MissCurve
+	for i := 0; i < 30000; i++ {
+		m.Add(s.Access(pid(r.Int63n(500))))
+	}
+	caps := []int64{700, 1, 33, 0, 499, 12, 500, 501, -3, 250, 33}
+	check := func(stage string) {
+		got := m.MissRates(caps)
+		for i, c := range caps {
+			if want := m.MissRate(c); got[i] != want {
+				t.Fatalf("%s: MissRates[%d] (cap %d) = %v, want %v", stage, i, c, got[i], want)
+			}
+		}
+	}
+	check("unfinalized")
+	if m.Finalized() {
+		t.Fatal("curve finalized before Finalize call")
+	}
+	m.Finalize()
+	if !m.Finalized() {
+		t.Fatal("Finalize did not mark the curve finalized")
+	}
+	check("finalized")
+
+	// Finalized fast path must agree with the scan it replaced.
+	for c := int64(-1); c <= 520; c++ {
+		fast := m.MissRate(c)
+		var slow MissCurve
+		slow.counts = append([]int64(nil), m.counts...)
+		slow.cold, slow.accesses = m.cold, m.accesses
+		if want := slow.MissRate(c); fast != want {
+			t.Fatalf("finalized MissRate(%d) = %v, scan says %v", c, fast, want)
+		}
+	}
+
+	// Add and Merge must invalidate the prefix sums.
+	m.Add(3)
+	if m.Finalized() {
+		t.Fatal("Add left the curve finalized")
+	}
+	check("after add")
+	m.Finalize()
+	var o MissCurve
+	o.Add(ColdDistance)
+	o.Add(700)
+	m.Merge(&o)
+	if m.Finalized() {
+		t.Fatal("Merge left the curve finalized")
+	}
+	check("after merge")
+}
+
+// TestDenseEmptyAndSingle covers degenerate streams.
+func TestDenseEmptyAndSingle(t *testing.T) {
+	s := NewDenseStackSim(10)
+	if s.Distinct() != 0 {
+		t.Fatal("fresh sim has distinct pages")
+	}
+	if d := s.Access(7); d != ColdDistance {
+		t.Fatalf("first access: %d", d)
+	}
+	for i := 0; i < 5000; i++ {
+		if d := s.Access(7); d != 1 {
+			t.Fatalf("repeat access %d: distance %d, want 1", i, d)
+		}
+	}
+	if s.Distinct() != 1 {
+		t.Fatalf("distinct = %d, want 1", s.Distinct())
+	}
+}

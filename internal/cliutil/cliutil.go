@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tpccmodel/internal/parallel"
 )
@@ -54,4 +56,54 @@ func Workers(tool string, v int) int {
 		Fail(tool, "-workers must be >= 0 (0 = one per CPU), got %d", v)
 	}
 	return parallel.Workers(v)
+}
+
+// ProfileFlags registers the standard -cpuprofile/-memprofile flags; call
+// before flag.Parse. Kernel regressions in the hot simulation loops are
+// then diagnosable with `go tool pprof` against any of the sweep binaries.
+func ProfileFlags() (cpuprofile, memprofile *string) {
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpuprofile, memprofile
+}
+
+// StartProfiles begins CPU profiling when cpuPath is non-empty and returns
+// a stop function that finishes the CPU profile and, when memPath is
+// non-empty, writes a GC-settled heap profile. Call the stop function on
+// the tool's normal exit path (deferred stops are lost on os.Exit, which
+// is fine: a failed run's profile is not the one being measured). Empty
+// paths make both halves no-ops.
+func StartProfiles(tool, cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			Fail(tool, "-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Fail(tool, "-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				Fail(tool, "-cpuprofile: %v", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				Fail(tool, "-memprofile: %v", err)
+			}
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				Fail(tool, "-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				Fail(tool, "-memprofile: %v", err)
+			}
+		}
+	}
 }

@@ -9,11 +9,14 @@ import (
 )
 
 // renderAll runs the worker-count-sensitive experiments at the given worker
-// count and renders every resulting series to one TSV byte stream.
-func renderAll(t testing.TB, workers int) []byte {
+// count and renders every resulting series to one TSV byte stream. With
+// noPremap the curve simulations run on the seed kernel instead of the
+// dense pre-mapped kernel.
+func renderAll(t testing.TB, workers int, noPremap bool) []byte {
 	t.Helper()
 	opts := tinyOptions()
 	opts.Workers = workers
+	opts.noPremap = noPremap
 	st := NewStudy(opts)
 	sys := model.DefaultSystemParams()
 	cost := model.DefaultCostModel()
@@ -56,13 +59,30 @@ func TestGoldenDeterminismAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full tiny-scale sweeps")
 	}
-	golden := renderAll(t, 1)
+	golden := renderAll(t, 1, false)
 	for _, workers := range []int{2, 8} {
-		got := renderAll(t, workers)
+		got := renderAll(t, workers, false)
 		if !bytes.Equal(got, golden) {
 			t.Errorf("workers=%d output differs from serial run (%d vs %d bytes)",
 				workers, len(got), len(golden))
 		}
+	}
+}
+
+// TestGoldenPremappedVsSeedKernel is the kernel-equivalence contract: every
+// sweep experiment must emit byte-identical TSVs whether its curve cells
+// run the dense pre-mapped kernel (production) or the seed kernel (per-
+// access mapping, map-based stack simulator). The dense kernel is an
+// optimization, never a behaviour change.
+func TestGoldenPremappedVsSeedKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full tiny-scale sweeps")
+	}
+	premapped := renderAll(t, 1, false)
+	seed := renderAll(t, 1, true)
+	if !bytes.Equal(premapped, seed) {
+		t.Errorf("pre-mapped kernel output differs from seed kernel (%d vs %d bytes)",
+			len(premapped), len(seed))
 	}
 }
 

@@ -87,6 +87,11 @@ type Options struct {
 	// emitted results — every task derives its randomness from the root
 	// seed and results are collected by task index.
 	Workers int
+	// noPremap forces the curve simulations onto the seed kernel (per-
+	// access tuple-to-page mapping, map-based stack simulator) instead of
+	// the dense pre-mapped kernel. Test-only: the golden determinism test
+	// uses it to pin the two kernels' outputs byte-identical.
+	noPremap bool
 }
 
 // FullScale returns the paper's configuration: 20 warehouses, 30 batches
@@ -153,6 +158,42 @@ func (o Options) trace() (*sim.Trace, error) {
 	return sim.SharedTraces.Get(o.workload(), o.WarmupTxns+int64(o.Batches)*o.BatchTxns)
 }
 
+// mapped returns the memoized pre-mapped form of the reference trace for
+// one packing strategy: the tuple-to-page translation is performed once per
+// (trace, packing, page size) and shared by every sweep cell, which then
+// replays flat page ordinals through the dense kernel.
+func (o Options) mapped(p sim.Packing) (*sim.MappedTrace, error) {
+	return sim.SharedTraces.GetMapped(o.workload(), o.WarmupTxns+int64(o.Batches)*o.BatchTxns, p)
+}
+
+// curve runs one stack-distance simulation cell, choosing the dense
+// pre-mapped kernel unless noPremap pins the seed kernel.
+func (o Options) curve(p sim.Packing) (*sim.CurveResult, error) {
+	cfg := sim.CurveConfig{
+		Workload:        o.workload(),
+		Packing:         p,
+		CapacitiesPages: o.capacities(),
+		WarmupTxns:      o.WarmupTxns,
+		Batches:         o.Batches,
+		BatchTxns:       o.BatchTxns,
+		Level:           o.Level,
+	}
+	if o.noPremap {
+		tr, err := o.trace()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Trace = tr
+	} else {
+		mt, err := o.mapped(p)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mapped = mt
+	}
+	return sim.RunCurve(cfg)
+}
+
 // Study caches the expensive buffer-simulation results per packing
 // strategy so that Figures 8, 9, and 10 share one pass each. It is safe for
 // concurrent use: parallel experiment tasks asking for the same packing
@@ -186,20 +227,7 @@ func (s *Study) Curve(p sim.Packing) (*sim.CurveResult, error) {
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		var tr *sim.Trace
-		if tr, e.err = s.Opts.trace(); e.err != nil {
-			return
-		}
-		e.res, e.err = sim.RunCurve(sim.CurveConfig{
-			Workload:        s.Opts.workload(),
-			Packing:         p,
-			CapacitiesPages: s.Opts.capacities(),
-			WarmupTxns:      s.Opts.WarmupTxns,
-			Batches:         s.Opts.Batches,
-			BatchTxns:       s.Opts.BatchTxns,
-			Level:           s.Opts.Level,
-			Trace:           tr,
-		})
+		e.res, e.err = s.Opts.curve(p)
 	})
 	return e.res, e.err
 }

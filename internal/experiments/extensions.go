@@ -348,25 +348,13 @@ func PageSizeStudy(opts Options) (Series, error) {
 		cap []int64
 	}
 	// The tuple stream is page-size independent, so both cells replay the
-	// same shared trace; only the mappers and capacities differ.
+	// same shared trace; only the page mapping and capacities differ (the
+	// pre-mapped forms are memoized per page size over the one trace).
 	pageSizes := []int{4096, 8192}
 	runs, err := parallel.Map(opts.workers(), len(pageSizes), func(i int) (out, error) {
 		o := opts
 		o.PageSize = pageSizes[i]
-		tr, err := o.trace()
-		if err != nil {
-			return out{}, err
-		}
-		res, err := sim.RunCurve(sim.CurveConfig{
-			Workload:        o.workload(),
-			Packing:         sim.PackSequential,
-			CapacitiesPages: o.capacities(),
-			WarmupTxns:      o.WarmupTxns,
-			Batches:         o.Batches,
-			BatchTxns:       o.BatchTxns,
-			Level:           o.Level,
-			Trace:           tr,
-		})
+		res, err := o.curve(sim.PackSequential)
 		if err != nil {
 			return out{}, err
 		}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/workload"
+)
+
+func testCurveConfig(t *testing.T, p Packing, pageSize int) (CurveConfig, *Trace) {
+	t.Helper()
+	cfg := workload.DefaultConfig(1, 11)
+	cfg.DB.PageSize = pageSize
+	cc := CurveConfig{
+		Workload:        cfg,
+		Packing:         p,
+		CapacitiesPages: []int64{64, 512, 2048, 8192},
+		WarmupTxns:      500,
+		Batches:         3,
+		BatchTxns:       1500,
+		Level:           0.90,
+	}
+	tr, err := RecordTrace(cfg, cc.WarmupTxns+int64(cc.Batches)*cc.BatchTxns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc, tr
+}
+
+// requireCurveResultsEqual compares every observable of two CurveResults.
+func requireCurveResultsEqual(t *testing.T, label string, seed, mapped *CurveResult) {
+	t.Helper()
+	for rel := core.Relation(0); rel < core.NumRelations; rel++ {
+		for c := int64(0); c < 10000; c += 97 {
+			if a, b := seed.MissRate(rel, c), mapped.MissRate(rel, c); a != b {
+				t.Fatalf("%s: %s MissRate(%d): seed %v, mapped %v", label, rel, c, a, b)
+			}
+		}
+		if seed.RelAccesses(rel) != mapped.RelAccesses(rel) {
+			t.Fatalf("%s: %s accesses differ", label, rel)
+		}
+		for i := range seed.Caps {
+			sa, errA := seed.MissRateCI(rel, i)
+			sb, errB := mapped.MissRateCI(rel, i)
+			if (errA == nil) != (errB == nil) || sa != sb {
+				t.Fatalf("%s: %s CI at cap %d: seed %+v (%v), mapped %+v (%v)",
+					label, rel, i, sa, errA, sb, errB)
+			}
+		}
+	}
+	for c := int64(0); c < 10000; c += 97 {
+		if a, b := seed.Overall.MissRate(c), mapped.Overall.MissRate(c); a != b {
+			t.Fatalf("%s: overall MissRate(%d): seed %v, mapped %v", label, c, a, b)
+		}
+	}
+	if seed.Overall.Accesses() != mapped.Overall.Accesses() ||
+		seed.Overall.ColdMisses() != mapped.Overall.ColdMisses() ||
+		seed.Overall.MaxDistance() != mapped.Overall.MaxDistance() {
+		t.Fatalf("%s: overall curve shape differs", label)
+	}
+	for typ := core.TxnType(0); typ < core.NumTxnTypes; typ++ {
+		if seed.TxnCount(typ) != mapped.TxnCount(typ) {
+			t.Fatalf("%s: %s txn count differs", label, typ)
+		}
+		for i := range seed.Caps {
+			if a, b := seed.TxnIOs(typ, i), mapped.TxnIOs(typ, i); a != b {
+				t.Fatalf("%s: %s TxnIOs at cap %d: seed %v, mapped %v", label, typ, i, a, b)
+			}
+			for rel := core.Relation(0); rel < core.NumRelations; rel++ {
+				if a, b := seed.TxnRelMissRate(typ, rel, i), mapped.TxnRelMissRate(typ, rel, i); a != b {
+					t.Fatalf("%s: %s/%s miss rate at cap %d: seed %v, mapped %v",
+						label, typ, rel, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMappedReplayMatchesSeedKernel is the whole-kernel differential test:
+// for every packing strategy and both page sizes, replaying the pre-mapped
+// trace through the dense engine must reproduce the seed engine's results
+// exactly — every curve point, every confidence interval, every
+// per-transaction I/O count.
+func TestMappedReplayMatchesSeedKernel(t *testing.T) {
+	for _, pageSize := range []int{4096, 8192} {
+		for _, p := range []Packing{PackSequential, PackOptimized, PackShuffled} {
+			cc, tr := testCurveConfig(t, p, pageSize)
+
+			seedCfg := cc
+			seedCfg.Trace = tr
+			seedRes, err := RunCurve(seedCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mappers := BuildMappers(cc.Workload.DB, p, cc.Workload.Seed)
+			mt, err := tr.MapPages(mappers, cc.Workload.DB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mappedCfg := cc
+			mappedCfg.Mapped = mt
+			mappedRes, err := RunCurve(mappedCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			label := p.String() + "/" + map[int]string{4096: "4K", 8192: "8K"}[pageSize]
+			requireCurveResultsEqual(t, label, seedRes, mappedRes)
+		}
+	}
+}
+
+// TestMapPagesOrdinalSpace checks the flat ordinal layout: static-relation
+// ordinals stay inside their schema-computed ranges, growing-relation
+// ordinals start at the static total, and the universe bounds everything.
+func TestMapPagesOrdinalSpace(t *testing.T) {
+	cc, tr := testCurveConfig(t, PackSequential, 4096)
+	mappers := BuildMappers(cc.Workload.DB, PackSequential, cc.Workload.Seed)
+	mt, err := tr.MapPages(mappers, cc.Workload.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, staticTotal := cc.Workload.DB.PageOrdinalBases()
+	if mt.Universe() < staticTotal {
+		t.Fatalf("universe %d < static total %d", mt.Universe(), staticTotal)
+	}
+	if mt.Accesses() != tr.Accesses() {
+		t.Fatalf("mapped %d accesses, trace has %d", mt.Accesses(), tr.Accesses())
+	}
+	for k, rel := range tr.rels {
+		ord := int64(mt.pages[k])
+		if ord < 0 || ord >= mt.Universe() {
+			t.Fatalf("access %d: ordinal %d outside [0, %d)", k, ord, mt.Universe())
+		}
+		if base := bases[rel]; base >= 0 {
+			span := cc.Workload.DB.PackedPageSpan(rel)
+			if ord < base || ord >= base+span {
+				t.Fatalf("access %d: static %s ordinal %d outside [%d, %d)",
+					k, rel, ord, base, base+span)
+			}
+		} else if ord < staticTotal {
+			t.Fatalf("access %d: growing %s ordinal %d inside static range [0, %d)",
+				k, rel, ord, staticTotal)
+		}
+	}
+}
+
+// TestGetMappedMemoizes checks that the cache returns one shared mapped
+// trace per (workload, packing, page size) and distinct ones across
+// packings and page sizes.
+func TestGetMappedMemoizes(t *testing.T) {
+	cache := NewTraceCache()
+	cfg := workload.DefaultConfig(1, 5)
+	const txns = 300
+
+	a, err := cache.GetMapped(cfg, txns, PackSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.GetMapped(cfg, txns, PackSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same key returned distinct mapped traces")
+	}
+	c, err := cache.GetMapped(cfg, txns, PackOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different packings shared a mapped trace")
+	}
+	cfg8 := cfg
+	cfg8.DB.PageSize = 8192
+	d, err := cache.GetMapped(cfg8, txns, PackSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different page sizes shared a mapped trace")
+	}
+	if a.Trace() != d.Trace() {
+		t.Error("page sizes must share the underlying tuple trace")
+	}
+}

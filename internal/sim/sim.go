@@ -149,6 +149,13 @@ type CurveConfig struct {
 	// transactions of the configured workload; sweep drivers record it
 	// once (see TraceCache) and share it across grid cells.
 	Trace *Trace
+	// Mapped, when non-nil, replays a pre-mapped trace (tuple-to-page
+	// translation already applied; see Trace.MapPages) through the dense
+	// allocation- and hash-free kernel. It takes precedence over Trace,
+	// and Packing is ignored — the mapping already encodes it. Results are
+	// identical to the Trace path bit for bit; the mapped engine is just
+	// faster.
+	Mapped *MappedTrace
 }
 
 // Validate checks the configuration.
@@ -170,7 +177,12 @@ func (c CurveConfig) Validate() error {
 	if c.Level <= 0 || c.Level >= 1 {
 		return fmt.Errorf("sim: confidence level %v out of (0,1)", c.Level)
 	}
-	if want := c.WarmupTxns + int64(c.Batches)*c.BatchTxns; c.Trace != nil && c.Trace.Txns() < want {
+	want := c.WarmupTxns + int64(c.Batches)*c.BatchTxns
+	if c.Mapped != nil {
+		if c.Mapped.Txns() < want {
+			return fmt.Errorf("sim: mapped trace holds %d transactions, need %d", c.Mapped.Txns(), want)
+		}
+	} else if c.Trace != nil && c.Trace.Txns() < want {
 		return fmt.Errorf("sim: trace holds %d transactions, need %d", c.Trace.Txns(), want)
 	}
 	return nil
@@ -287,17 +299,23 @@ func (r *CurveResult) RelAccesses(rel core.Relation) int64 {
 	return n
 }
 
-// RunCurve runs the single-pass stack-distance simulation.
+// RunCurve runs the single-pass stack-distance simulation. Two replay
+// engines produce bit-identical results:
+//
+//   - the seed kernel (Trace or live generator): map-based StackSim,
+//     per-access tuple-to-page mapping, binary-searched capacity buckets.
+//     Retained as the benchmark baseline and differential-testing oracle.
+//   - the dense kernel (Mapped): pre-translated flat page ordinals fed to
+//     DenseStackSim, an O(1) distance-to-capacity lookup table, and
+//     per-relation-only accumulation with Overall merged at the end. The
+//     per-access path allocates nothing and hashes nothing.
+//
+// All returned curves are finalized: MissRate reads are O(1) and safe for
+// concurrent use by the sweep drivers.
 func RunCurve(cfg CurveConfig) (*CurveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	next, err := newTxnSource(cfg.Workload, cfg.Trace)
-	if err != nil {
-		return nil, err
-	}
-	mappers := BuildMappers(cfg.Workload.DB, cfg.Packing, cfg.Workload.Seed)
-
 	caps := append([]int64(nil), cfg.CapacitiesPages...)
 	sort.Slice(caps, func(i, j int) bool { return caps[i] < caps[j] })
 	ncap := len(caps)
@@ -316,6 +334,65 @@ func RunCurve(cfg CurveConfig) (*CurveResult, error) {
 			res.txnRelHits[t][rel] = make([]int64, ncap)
 		}
 	}
+
+	var err error
+	if cfg.Mapped != nil {
+		err = runCurveMapped(cfg, res, caps)
+	} else {
+		err = runCurveSeed(cfg, res, caps)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	for rel := range res.Curves {
+		res.Curves[rel].Finalize()
+	}
+	res.Overall.Finalize()
+	return res, nil
+}
+
+// addBatchMeans folds one batch's hitFrom counters into the per-capacity
+// batch-means accumulators: hits at caps[i] = sum of hitFrom[0..i]
+// (distance <= caps[i]). Shared by both engines so the floating-point
+// arithmetic is literally the same code.
+func (r *CurveResult) addBatchMeans(batchAcc *[core.NumRelations]int64, batchHitFrom [][core.NumRelations]int64) {
+	var cum [core.NumRelations]int64
+	for i := 0; i < len(r.Caps); i++ {
+		for rel := range cum {
+			cum[rel] += batchHitFrom[i][rel]
+			if batchAcc[rel] > 0 {
+				r.bm[rel][i].Add(1 - float64(cum[rel])/float64(batchAcc[rel]))
+			}
+		}
+	}
+}
+
+// foldTxnRelHits converts the global per-(txn,rel) hitFrom counters into
+// cumulative hits per capacity.
+func (r *CurveResult) foldTxnRelHits(txnRelHitFrom [][core.NumTxnTypes][core.NumRelations]int64) {
+	for t := range r.txnRelHits {
+		for rel := range r.txnRelHits[t] {
+			var cum int64
+			for i := 0; i < len(r.Caps); i++ {
+				cum += txnRelHitFrom[i][core.TxnType(t)][rel]
+				r.txnRelHits[t][rel][i] = cum
+			}
+		}
+	}
+}
+
+// runCurveSeed is the original per-access kernel: tuple stream (generated
+// or replayed), mapper call and PageID construction per access, map-based
+// stack simulator, binary search per hit. Deliberately untouched by the
+// dense-kernel optimization so it can serve as its oracle and baseline.
+func runCurveSeed(cfg CurveConfig, res *CurveResult, caps []int64) error {
+	next, err := newTxnSource(cfg.Workload, cfg.Trace)
+	if err != nil {
+		return err
+	}
+	mappers := BuildMappers(cfg.Workload.DB, cfg.Packing, cfg.Workload.Seed)
+	ncap := len(caps)
 
 	stack := buffer.NewStackSim()
 	var txn workload.Txn
@@ -364,28 +441,85 @@ func RunCurve(cfg CurveConfig) (*CurveResult, error) {
 				}
 			}
 		}
-		// Convert hitFrom to hits-at-capacity via suffix... hits at
-		// caps[i] = sum of hitFrom[0..i] (distance <= caps[i]).
-		var cum [core.NumRelations]int64
-		for i := 0; i < ncap; i++ {
-			for rel := range cum {
-				cum[rel] += batchHitFrom[i][rel]
-				if batchAcc[rel] > 0 {
-					res.bm[rel][i].Add(1 - float64(cum[rel])/float64(batchAcc[rel]))
-				}
-			}
+		res.addBatchMeans(&batchAcc, batchHitFrom)
+	}
+	res.foldTxnRelHits(txnRelHitFrom)
+	return nil
+}
+
+// runCurveMapped is the dense kernel: it replays pre-translated flat page
+// ordinals (Trace.MapPages) through DenseStackSim. Per access it performs
+// one slice load for the ordinal, the two Fenwick walks, one table lookup
+// for the capacity bucket, and one per-relation MissCurve.Add — no map
+// probe, no PageID construction, no binary search, no transaction-struct
+// rebuild, no second Add for the overall curve (Overall is merged from the
+// per-relation curves afterwards, which yields identical counts).
+func runCurveMapped(cfg CurveConfig, res *CurveResult, caps []int64) error {
+	mt := cfg.Mapped
+	tr := mt.trace
+	ncap := len(caps)
+
+	// O(1) distance-to-capacity-index lookup: lut[d] is the index of the
+	// smallest capacity >= d for d in [1, maxCap]; larger distances miss
+	// everywhere. Matches sort.Search on the sorted caps by construction.
+	maxCap := caps[ncap-1]
+	lut := make([]int32, maxCap+1)
+	idx := int32(0)
+	for d := int64(1); d <= maxCap; d++ {
+		for caps[idx] < d {
+			idx++
+		}
+		lut[d] = idx
+	}
+
+	dense := buffer.NewDenseStackSim(mt.universe)
+	pages := mt.pages
+	rels := tr.rels
+
+	var k int64 // global access cursor
+	if cfg.WarmupTxns > 0 {
+		// Warmup touches the stack simulator only; no per-transaction
+		// structure is needed.
+		for end := tr.ends[cfg.WarmupTxns-1]; k < end; k++ {
+			dense.Access(int64(pages[k]))
 		}
 	}
 
-	// Fold the global per-(txn,rel) hitFrom counters into cumulative hits.
-	for t := range res.txnRelHits {
-		for rel := range res.txnRelHits[t] {
-			var cum int64
-			for i := 0; i < ncap; i++ {
-				cum += txnRelHitFrom[i][core.TxnType(t)][rel]
-				res.txnRelHits[t][rel][i] = cum
-			}
+	var batchAcc [core.NumRelations]int64
+	batchHitFrom := make([][core.NumRelations]int64, ncap+1)
+	txnRelHitFrom := make([][core.NumTxnTypes][core.NumRelations]int64, ncap+1)
+
+	txnIdx := cfg.WarmupTxns
+	for b := 0; b < cfg.Batches; b++ {
+		for rel := range batchAcc {
+			batchAcc[rel] = 0
 		}
+		for i := range batchHitFrom {
+			batchHitFrom[i] = [core.NumRelations]int64{}
+		}
+		for i := int64(0); i < cfg.BatchTxns; i++ {
+			typ := tr.types[txnIdx]
+			res.txnCounts[typ]++
+			for end := tr.ends[txnIdx]; k < end; k++ {
+				rel := rels[k]
+				d := dense.Access(int64(pages[k]))
+				res.Curves[rel].Add(d)
+				batchAcc[rel]++
+				res.txnRelAcc[typ][rel]++
+				if d != buffer.ColdDistance && d <= maxCap {
+					idx := lut[d]
+					batchHitFrom[idx][rel]++
+					txnRelHitFrom[idx][typ][rel]++
+				}
+			}
+			txnIdx++
+		}
+		res.addBatchMeans(&batchAcc, batchHitFrom)
 	}
-	return res, nil
+	res.foldTxnRelHits(txnRelHitFrom)
+
+	for rel := range res.Curves {
+		res.Overall.Merge(res.Curves[rel])
+	}
+	return nil
 }

@@ -102,6 +102,9 @@ type traceEntry struct {
 type TraceCache struct {
 	mu sync.Mutex
 	m  map[traceKey]*traceEntry
+	// mapped memoizes pre-mapped forms per (trace, packing, page size);
+	// see GetMapped in mapped.go.
+	mapped map[mappedKey]*mappedEntry
 }
 
 // NewTraceCache returns an empty cache.

@@ -103,6 +103,54 @@ func (c Config) StaticPages(r core.Relation) int64 {
 	return (card + tpp - 1) / tpp
 }
 
+// PackedPageSpan returns the number of page ordinals relation r can span
+// under the group-preserving packings of the paper's Section 3. The
+// warehouse-scaling skewed relations repeat a fixed-size group (a
+// district's 3000 customers, a warehouse's 100000 stock tuples, the single
+// 100000-item group) and every packing strategy — sequential, optimized,
+// shuffled — permutes tuples only within a group, padding each group to
+// whole pages; the span can therefore slightly exceed StaticPages when the
+// group size is not a multiple of TuplesPerPage. Warehouse and district
+// pack sequentially, so their span is exactly StaticPages. Growing
+// relations return 0: their pages are numbered dynamically as they appear.
+func (c Config) PackedPageSpan(r core.Relation) int64 {
+	tpp := c.TuplesPerPage(r)
+	var groups, group int64
+	switch r {
+	case core.Warehouse, core.District:
+		return c.StaticPages(r)
+	case core.Customer:
+		groups, group = int64(c.Warehouses)*DistrictsPerWarehouse, CustomersPerDistrict
+	case core.Stock:
+		groups, group = int64(c.Warehouses), StockPerWarehouse
+	case core.Item:
+		groups, group = 1, ItemCount
+	default:
+		return 0
+	}
+	return groups * ((group + tpp - 1) / tpp)
+}
+
+// PageOrdinalBases lays the statically sized relations out in one flat,
+// contiguous page-ordinal space: relation r owns ordinals
+// [bases[r], bases[r]+PackedPageSpan(r)) in Table 1 order, and staticTotal
+// is one past the last static ordinal. Growing relations get base -1 —
+// their pages receive ordinals from staticTotal upward in first-appearance
+// order. This is the static-knowledge property the paper exploits: because
+// the TPC-C page universe is known a priori from the schema, the buffer
+// kernel can replace hash tables with flat arrays indexed by ordinal.
+func (c Config) PageOrdinalBases() (bases [core.NumRelations]int64, staticTotal int64) {
+	for _, r := range core.Relations() {
+		if span := c.PackedPageSpan(r); span > 0 {
+			bases[r] = staticTotal
+			staticTotal += span
+		} else {
+			bases[r] = -1
+		}
+	}
+	return bases, staticTotal
+}
+
 // StaticBytes returns the page-granular storage in bytes for the statically
 // sized relations.
 func (c Config) StaticBytes() int64 {

@@ -148,3 +148,54 @@ func TestGrowthBytesPerNewOrder(t *testing.T) {
 		t.Errorf("180-day growth at 200 tpm = %.1f GB, paper says ~11 GB", total)
 	}
 }
+
+func TestPackedPageSpanCoversMappers(t *testing.T) {
+	for _, pageSize := range []int{4096, 8192} {
+		c := Config{Warehouses: 20, PageSize: pageSize}
+		for _, r := range core.Relations() {
+			span := c.PackedPageSpan(r)
+			static := c.StaticPages(r)
+			if static == 0 {
+				if span != 0 {
+					t.Errorf("%dB %s: growing relation has span %d, want 0", pageSize, r, span)
+				}
+				continue
+			}
+			// Group padding can only add pages, never drop any: the span
+			// must cover the sequentially packed page count, and exceed it
+			// by less than one page per group.
+			if span < static {
+				t.Errorf("%dB %s: span %d < static pages %d", pageSize, r, span, static)
+			}
+			tpp := c.TuplesPerPage(r)
+			if span > static+c.Cardinality(r)/tpp {
+				t.Errorf("%dB %s: span %d implausibly large (static %d)", pageSize, r, span, static)
+			}
+		}
+	}
+}
+
+func TestPageOrdinalBasesContiguous(t *testing.T) {
+	c := DefaultConfig()
+	bases, total := c.PageOrdinalBases()
+	var next int64
+	for _, r := range core.Relations() {
+		span := c.PackedPageSpan(r)
+		if span == 0 {
+			if bases[r] != -1 {
+				t.Errorf("%s: growing relation base %d, want -1", r, bases[r])
+			}
+			continue
+		}
+		if bases[r] != next {
+			t.Errorf("%s: base %d, want %d (ranges must be contiguous in Table 1 order)", r, bases[r], next)
+		}
+		next += span
+	}
+	if total != next {
+		t.Errorf("staticTotal = %d, want %d", total, next)
+	}
+	if total <= 0 {
+		t.Error("static page universe must be non-empty")
+	}
+}
