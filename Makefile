@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-sweep bench-kernel torture repro repro-full fuzz clean
+.PHONY: all build test race bench bench-sweep bench-kernel torture repro repro-full fuzz \
+	xval cover regen-golden regen-fuzz-corpus clean
 
 all: build test
 
@@ -15,6 +16,30 @@ test:
 
 race:
 	go test -race ./...
+
+# Engine<->model cross-validation: run the TPC-C mix on the real engine
+# with the buffer reference stream tapped, replay it through the LRU stack
+# simulation (must match the engine bit for bit), and compare both against
+# the synthetic simulation and Che's closed form. Exits 1 on disagreement.
+xval:
+	go run ./cmd/tpcc-xval -out results-xval
+
+# Per-package statement-coverage floors (internal/buffer, internal/sim,
+# internal/engine/bufmgr); leaves the merged profile in coverage.out.
+cover:
+	./scripts/coverfloor.sh
+
+# Rewrite the checked-in golden sweep TSVs (internal/experiments/testdata/
+# golden/) from a serial dense-kernel render. Only after an intentional
+# output change; say why in the commit.
+regen-golden:
+	go test ./internal/experiments/ -run TestGoldenCorpus -regen-golden -v
+
+# Rewrite the checked-in fuzz seed corpora (testdata/fuzz/<FuzzName>/)
+# from their generators in the wal and index packages.
+regen-fuzz-corpus:
+	go test ./internal/engine/wal/ -run TestFuzzSeedCorpus -regen-fuzz-corpus -v
+	go test ./internal/engine/index/ -run TestFuzzSeedCorpus -regen-fuzz-corpus -v
 
 # Seeded crash-torture campaign over the storage engine: 5 seeds x 10
 # crash schedules with transient I/O errors, bit flips, torn writes, and
@@ -52,4 +77,4 @@ fuzz:
 	go test -fuzz FuzzExactPMFPaths -fuzztime 30s ./internal/nurand/
 
 clean:
-	rm -rf results-reduced
+	rm -rf results-reduced results-xval coverage.out

@@ -1,0 +1,84 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBoundaryCapacities pins the model's behaviour at the degenerate
+// buffer sizes the sweeps never visit: no cache at all, a cache holding
+// the whole universe (and beyond), and one page short of it.
+func TestBoundaryCapacities(t *testing.T) {
+	m, err := NewModel([]Class{uniformClass("a", 40, 3), uniformClass("b", 10, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.TotalPages() // 50
+
+	cases := []struct {
+		name     string
+		capacity int64
+		wantT    func(float64) bool
+		wantMiss float64 // exact per-class and overall miss rate, NaN = skip
+	}{
+		{"zero", 0, func(tc float64) bool { return tc == 0 }, 1},
+		{"negative", -5, func(tc float64) bool { return tc == 0 }, 1},
+		{"universe", total, func(tc float64) bool { return math.IsInf(tc, 1) }, 0},
+		{"beyond-universe", total * 10, func(tc float64) bool { return math.IsInf(tc, 1) }, 0},
+		{"one-short", total - 1, func(tc float64) bool {
+			return tc > 0 && !math.IsInf(tc, 1)
+		}, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ct := m.CharacteristicTime(tc.capacity)
+			if !tc.wantT(ct) {
+				t.Fatalf("CharacteristicTime(%d) = %v", tc.capacity, ct)
+			}
+			rates := m.MissRates(tc.capacity)
+			overall := m.OverallMissRate(tc.capacity)
+			if math.IsNaN(tc.wantMiss) {
+				// One page short of everything: strictly positive but tiny.
+				if overall <= 0 || overall >= 0.5 {
+					t.Errorf("near-full overall miss = %v, want small positive", overall)
+				}
+				return
+			}
+			for i, r := range rates {
+				if math.Abs(r-tc.wantMiss) > 1e-12 {
+					t.Errorf("class %d miss at capacity %d = %v, want %v",
+						i, tc.capacity, r, tc.wantMiss)
+				}
+			}
+			if math.Abs(overall-tc.wantMiss) > 1e-12 {
+				t.Errorf("overall miss at capacity %d = %v, want %v",
+					tc.capacity, overall, tc.wantMiss)
+			}
+		})
+	}
+}
+
+// TestBoundaryMonotoneAcrossFullRange sweeps capacity 0..TotalPages and
+// requires a non-increasing miss rate that starts at exactly 1 and ends at
+// exactly 0 — the two boundary identities bracketing the monotonicity the
+// experiments depend on.
+func TestBoundaryMonotoneAcrossFullRange(t *testing.T) {
+	m, err := NewModel([]Class{uniformClass("u", 64, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for c := int64(0); c <= m.TotalPages(); c += 8 {
+		miss := m.OverallMissRate(c)
+		if miss > prev+1e-12 {
+			t.Fatalf("miss rate increased from %v to %v at capacity %d", prev, miss, c)
+		}
+		prev = miss
+	}
+	if first := m.OverallMissRate(0); first != 1 {
+		t.Errorf("miss at zero capacity = %v, want exactly 1", first)
+	}
+	if last := m.OverallMissRate(m.TotalPages()); last != 0 {
+		t.Errorf("miss at full capacity = %v, want exactly 0", last)
+	}
+}

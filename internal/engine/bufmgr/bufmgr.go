@@ -13,6 +13,18 @@ import (
 	"tpccmodel/internal/engine/storage"
 )
 
+// Tap observes the buffer manager's reference stream: it is called once
+// per logical access (pin) with the page, its accounting class, and the
+// hit/miss outcome, and once per page allocation (alloc = true; allocations
+// make a page resident at the MRU position without counting as an access,
+// so a replayed LRU simulation must see them to reproduce the pool state).
+// The tap runs under the manager lock, so calls are totally ordered and the
+// callback must not re-enter the manager. With a single-threaded caller the
+// call order is exactly the LRU decision order, which is what makes the
+// engine's measured hit/miss stream bit-reproducible by a stack-distance
+// replay (package xval).
+type Tap func(id storage.PageID, cls int, alloc, hit bool)
+
 // Stats counts logical page accesses and physical misses.
 type Stats struct {
 	Hits    int64
@@ -65,6 +77,10 @@ type Manager struct {
 	// rule): the database installs the log's Force here so before-images
 	// of stolen pages are durable before the page image can reach disk.
 	preFlush func() error
+
+	// tap, when non-nil, observes every access and allocation in
+	// decision order (see Tap).
+	tap Tap
 }
 
 // New creates a buffer manager with capacity frames over store.
@@ -97,6 +113,15 @@ func (m *Manager) SetPreFlush(fn func() error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.preFlush = fn
+}
+
+// SetTap installs a reference-stream tap (nil disables). Install it before
+// the first access so the replayed stream covers the whole pool history;
+// a tap installed mid-run would miss the residency established earlier.
+func (m *Manager) SetTap(fn Tap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tap = fn
 }
 
 // flushFrame writes one dirty frame back, honoring the WAL rule.
@@ -157,6 +182,9 @@ func (m *Manager) pin(id storage.PageID) (*frame, error) {
 		if m.classStats != nil {
 			m.classStats[cls].Hits++
 		}
+		if m.tap != nil {
+			m.tap(id, cls, false, true)
+		}
 		if f.pins == 0 && f.lruElem != nil {
 			m.lru.Remove(f.lruElem)
 			f.lruElem = nil
@@ -168,6 +196,9 @@ func (m *Manager) pin(id storage.PageID) (*frame, error) {
 	m.stats.Misses++
 	if m.classStats != nil {
 		m.classStats[cls].Misses++
+	}
+	if m.tap != nil {
+		m.tap(id, cls, false, false)
 	}
 	for len(m.frames) >= m.capacity {
 		if victim := m.lru.Back(); victim != nil {
@@ -240,6 +271,16 @@ func (m *Manager) Allocate() (storage.PageID, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.tap != nil {
+		// The relation tag is attached by the caller after Allocate
+		// returns, so the class reported here is the default; replays
+		// only need the page identity of uncounted events.
+		cls := 0
+		if m.classOf != nil {
+			cls = m.classOf(id)
+		}
+		m.tap(id, cls, true, false)
+	}
 	for len(m.frames) >= m.capacity {
 		if victim := m.lru.Back(); victim != nil {
 			f := victim.Value.(*frame)

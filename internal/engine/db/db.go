@@ -240,6 +240,12 @@ func (d *DB) RelationStats() map[core.Relation]bufmgr.Stats {
 // ResetBufferStats zeroes buffer counters (after load/warmup).
 func (d *DB) ResetBufferStats() { d.buf.ResetStats() }
 
+// SetBufferTap installs a buffer reference-stream tap (see bufmgr.Tap).
+// Install it before Load so the tapped stream covers the residency the
+// load establishes; the cross-validation replay (package xval) needs the
+// full pool history to reproduce measured hits and misses exactly.
+func (d *DB) SetBufferTap(fn bufmgr.Tap) { d.buf.SetTap(fn) }
+
 // LockCounts exposes the lock manager's counters.
 func (d *DB) LockCounts() (acquired, waits, deadlocks int64) { return d.locks.Counts() }
 

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"encoding/binary"
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"tpccmodel/internal/fuzzcorpus"
+)
+
+// regenFuzzCorpus rewrites the checked-in fuzz seed files:
+// `go test ./internal/engine/index/ -run FuzzSeedCorpus -regen-fuzz-corpus`
+// (or `make regen-fuzz-corpus`).
+var regenFuzzCorpus = flag.Bool("regen-fuzz-corpus", false, "rewrite testdata/fuzz seed corpora")
+
+// FuzzBTreeOps opcodes (op % 3): see fuzz_test.go.
+const (
+	opSet = iota
+	opDelete
+	opGet
+)
+
+// buildTape assembles a FuzzBTreeOps operation tape: 1 opcode byte + 8
+// little-endian key bytes per operation.
+func buildTape(f func(emit func(op byte, key uint64))) []byte {
+	var tape []byte
+	f(func(op byte, key uint64) {
+		var k [8]byte
+		binary.LittleEndian.PutUint64(k[:], key)
+		tape = append(tape, op)
+		tape = append(tape, k[:]...)
+	})
+	return tape
+}
+
+// btreeOpsSeeds aims each seed at a distinct structural stress: splits
+// from monotone insertion in both directions, merge pressure from a full
+// drain, steady-state churn, overwrite of live keys, and deletes against
+// an empty tree.
+func btreeOpsSeeds() map[string][]byte {
+	seeds := map[string]func(emit func(op byte, key uint64)){
+		"ascending-fill-then-drain": func(emit func(byte, uint64)) {
+			for k := uint64(0); k < 160; k++ {
+				emit(opSet, k)
+			}
+			for k := uint64(0); k < 160; k++ {
+				emit(opDelete, k)
+			}
+		},
+		"descending-fill": func(emit func(byte, uint64)) {
+			for k := uint64(160); k > 0; k-- {
+				emit(opSet, k)
+				emit(opGet, k)
+			}
+		},
+		"interleaved-churn": func(emit func(byte, uint64)) {
+			for i := uint64(0); i < 120; i++ {
+				emit(opSet, i*7%256)
+				emit(opDelete, i*3%256)
+				emit(opGet, i*5%256)
+			}
+		},
+		"overwrite-live-keys": func(emit func(byte, uint64)) {
+			for round := 0; round < 8; round++ {
+				for k := uint64(0); k < 16; k++ {
+					emit(opSet, k)
+					emit(opGet, k)
+				}
+			}
+		},
+		"delete-missing": func(emit func(byte, uint64)) {
+			for k := uint64(0); k < 64; k++ {
+				emit(opDelete, k*11%512)
+			}
+		},
+	}
+	out := make(map[string][]byte, len(seeds))
+	for name, build := range seeds {
+		out[name] = fuzzcorpus.Marshal(buildTape(build))
+	}
+	return out
+}
+
+// TestFuzzSeedCorpus keeps the checked-in seeds under testdata/fuzz/ in
+// sync with their generators. The seeds double as ordinary corpus cases:
+// plain `go test` runs every file through FuzzBTreeOps.
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzcorpus.WriteOrCompare(t, filepath.Join("testdata", "fuzz", "FuzzBTreeOps"),
+		btreeOpsSeeds(), *regenFuzzCorpus)
+}

@@ -2,17 +2,37 @@ package experiments
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"tpccmodel/internal/model"
 )
 
+// regenGolden rewrites the checked-in golden TSVs from a serial dense-
+// kernel render: `go test ./internal/experiments/ -run Corpus -regen-golden`
+// (or `make regen-golden`). Regenerate ONLY when an intentional behaviour
+// change alters the canonical sweep output, and say why in the commit.
+var regenGolden = flag.Bool("regen-golden", false, "rewrite testdata/golden TSVs")
+
+// goldenSeries lists the canonical sweep outputs pinned under
+// testdata/golden/, in render order.
+var goldenSeries = []string{
+	"fig8", "fig9", "fig10", "policy-ablation",
+	"response-validation", "page-size", "mix-sensitivity",
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".tsv")
+}
+
 // renderAll runs the worker-count-sensitive experiments at the given worker
-// count and renders every resulting series to one TSV byte stream. With
+// count and renders each resulting series to its own TSV byte stream. With
 // noPremap the curve simulations run on the seed kernel instead of the
 // dense pre-mapped kernel.
-func renderAll(t testing.TB, workers int, noPremap bool) []byte {
+func renderAll(t testing.TB, workers int, noPremap bool) map[string][]byte {
 	t.Helper()
 	opts := tinyOptions()
 	opts.Workers = workers
@@ -21,15 +41,16 @@ func renderAll(t testing.TB, workers int, noPremap bool) []byte {
 	sys := model.DefaultSystemParams()
 	cost := model.DefaultCostModel()
 
-	var buf bytes.Buffer
+	out := make(map[string][]byte, len(goldenSeries))
 	emit := func(name string, s Series, err error) {
 		if err != nil {
 			t.Fatalf("workers=%d %s: %v", workers, name, err)
 		}
-		fmt.Fprintf(&buf, "== %s ==\n", name)
+		var buf bytes.Buffer
 		if err := s.WriteTSV(&buf); err != nil {
 			t.Fatal(err)
 		}
+		out[name] = buf.Bytes()
 	}
 
 	fig8, err := Fig8(st)
@@ -48,42 +69,73 @@ func renderAll(t testing.TB, workers int, noPremap bool) []byte {
 	emit("page-size", ps, err)
 	mix, err := MixSensitivity(opts, 8)
 	emit("mix-sensitivity", mix, err)
-	return buf.Bytes()
+	return out
 }
 
-// TestGoldenDeterminismAcrossWorkerCounts is the serial-equivalence
-// contract: every sweep experiment must emit byte-identical TSVs whether it
-// runs serially or fanned out over a pool, because results are collected by
-// task index and each task derives its randomness from the root seed.
-func TestGoldenDeterminismAcrossWorkerCounts(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs full tiny-scale sweeps")
-	}
-	golden := renderAll(t, 1, false)
-	for _, workers := range []int{2, 8} {
-		got := renderAll(t, workers, false)
-		if !bytes.Equal(got, golden) {
-			t.Errorf("workers=%d output differs from serial run (%d vs %d bytes)",
-				workers, len(got), len(golden))
+// compareToGolden checks every rendered series byte for byte against its
+// checked-in golden file.
+func compareToGolden(t *testing.T, label string, got map[string][]byte) {
+	t.Helper()
+	for _, name := range goldenSeries {
+		want, err := os.ReadFile(goldenPath(name))
+		if err != nil {
+			t.Fatalf("%s: reading golden (run `make regen-golden` after an intentional change): %v",
+				name, err)
+		}
+		if !bytes.Equal(got[name], want) {
+			t.Errorf("%s: %s output differs from golden %s (%d vs %d bytes)",
+				label, name, goldenPath(name), len(got[name]), len(want))
 		}
 	}
 }
 
-// TestGoldenPremappedVsSeedKernel is the kernel-equivalence contract: every
-// sweep experiment must emit byte-identical TSVs whether its curve cells
-// run the dense pre-mapped kernel (production) or the seed kernel (per-
-// access mapping, map-based stack simulator). The dense kernel is an
-// optimization, never a behaviour change.
+// TestGoldenCorpus pins the canonical tiny-scale sweep TSVs: a serial
+// dense-kernel render must reproduce the checked-in files byte for byte on
+// any machine (the determinism contract includes the platform). With
+// -regen-golden it rewrites the corpus instead.
+func TestGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full tiny-scale sweeps")
+	}
+	got := renderAll(t, 1, false)
+	if *regenGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range goldenSeries {
+			if err := os.WriteFile(goldenPath(name), got[name], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", goldenPath(name), len(got[name]))
+		}
+		return
+	}
+	compareToGolden(t, "serial", got)
+}
+
+// TestGoldenDeterminismAcrossWorkerCounts is the serial-equivalence
+// contract: every sweep experiment must emit TSVs byte-identical to the
+// golden corpus regardless of the worker count, because results are
+// collected by task index and each task derives its randomness from the
+// root seed.
+func TestGoldenDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full tiny-scale sweeps")
+	}
+	for _, workers := range []int{2, 8} {
+		compareToGolden(t, fmt.Sprintf("workers=%d", workers), renderAll(t, workers, false))
+	}
+}
+
+// TestGoldenPremappedVsSeedKernel is the kernel-equivalence contract: the
+// seed kernel (per-access mapping, map-based stack simulator) must emit
+// the same golden bytes as the dense pre-mapped kernel (production). The
+// dense kernel is an optimization, never a behaviour change.
 func TestGoldenPremappedVsSeedKernel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full tiny-scale sweeps")
 	}
-	premapped := renderAll(t, 1, false)
-	seed := renderAll(t, 1, true)
-	if !bytes.Equal(premapped, seed) {
-		t.Errorf("pre-mapped kernel output differs from seed kernel (%d vs %d bytes)",
-			len(premapped), len(seed))
-	}
+	compareToGolden(t, "seed-kernel", renderAll(t, 1, true))
 }
 
 // BenchmarkSweep times the replacement-policy ablation grid serially and at

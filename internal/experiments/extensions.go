@@ -85,6 +85,40 @@ func AnalyticVsSimulated(st *Study) (Series, error) {
 		return Series{}, err
 	}
 	opts := st.Opts
+	m, uniqueRatio, err := AnalyticModel(opts, res)
+	if err != nil {
+		return Series{}, err
+	}
+
+	s := Series{
+		Name: "analytic-vs-sim",
+		Comment: "Che/IRM closed-form miss rates (per-call adjusted) vs " +
+			"trace-driven simulation, sequential packing",
+		Cols: []string{"buffer_MB", "customer_sim", "customer_che",
+			"stock_sim", "stock_che", "item_sim", "item_che"},
+	}
+	caps := opts.capacities()
+	for i, mb := range opts.BufferMB {
+		che := m.MissRates(caps[i])
+		s.Add(mb,
+			res.MissRate(core.Customer, caps[i]), che[0]*uniqueRatio[core.Customer],
+			res.MissRate(core.Stock, caps[i]), che[1]*uniqueRatio[core.Stock],
+			res.MissRate(core.Item, caps[i]), che[2]*uniqueRatio[core.Item])
+	}
+	return s, nil
+}
+
+// AnalyticModel builds the Che/IRM closed-form model for the three
+// NURand-skewed relations (customer, stock, item — the static relations
+// the approximation covers), weighting each class by its measured share of
+// the simulated access stream, together with the per-relation unique-per-
+// call ratios that put the closed form on the simulation's per-call basis.
+// The class order is customer, stock, item; MissRates indexes follow it.
+// The cross-validation harness (package xval) uses the same model, so the
+// engine, the trace-driven simulation, and the closed form are all judged
+// against one construction.
+func AnalyticModel(opts Options, res *sim.CurveResult) (*analytic.Model, [core.NumRelations]float64, error) {
+	var zero [core.NumRelations]float64
 	db := opts.workload().DB
 
 	pagePMF := func(pmf []float64, perPage int64) []float64 {
@@ -114,7 +148,7 @@ func AnalyticVsSimulated(st *Study) (Series, error) {
 	}
 	m, err := analytic.NewModel(classes)
 	if err != nil {
-		return Series{}, err
+		return nil, zero, err
 	}
 
 	// Unit adjustment: the IRM predicts the miss probability of a
@@ -123,32 +157,16 @@ func AnalyticVsSimulated(st *Study) (Series, error) {
 	// (select+update pairs, the delivery read-modify-write loops) always
 	// hit. Scaling the closed form by unique/calls puts both on the
 	// per-call basis. The ratios are measured from a short generator run.
-	uniqueRatio, err := uniquePerCallRatio(opts)
+	ratio, err := UniquePerCallRatio(opts)
 	if err != nil {
-		return Series{}, err
+		return nil, zero, err
 	}
-
-	s := Series{
-		Name: "analytic-vs-sim",
-		Comment: "Che/IRM closed-form miss rates (per-call adjusted) vs " +
-			"trace-driven simulation, sequential packing",
-		Cols: []string{"buffer_MB", "customer_sim", "customer_che",
-			"stock_sim", "stock_che", "item_sim", "item_che"},
-	}
-	caps := opts.capacities()
-	for i, mb := range opts.BufferMB {
-		che := m.MissRates(caps[i])
-		s.Add(mb,
-			res.MissRate(core.Customer, caps[i]), che[0]*uniqueRatio[core.Customer],
-			res.MissRate(core.Stock, caps[i]), che[1]*uniqueRatio[core.Stock],
-			res.MissRate(core.Item, caps[i]), che[2]*uniqueRatio[core.Item])
-	}
-	return s, nil
+	return m, ratio, nil
 }
 
-// uniquePerCallRatio measures, per relation, the ratio of distinct tuples
+// UniquePerCallRatio measures, per relation, the ratio of distinct tuples
 // touched to total calls made across the workload.
-func uniquePerCallRatio(opts Options) ([core.NumRelations]float64, error) {
+func UniquePerCallRatio(opts Options) ([core.NumRelations]float64, error) {
 	var ratio [core.NumRelations]float64
 	gen, err := workload.New(opts.workload())
 	if err != nil {

@@ -1,0 +1,146 @@
+package queuesim
+
+import (
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/tpcc"
+)
+
+// TestEdgeCases drives the simulator through the degenerate operating
+// points a closed-form check never exercises: transaction types with zero
+// arrival probability, a single shared disk arm, and offered load beyond
+// the service capacity (the simulator has no saturation guard — it must
+// still terminate and report a queue that has blown up).
+func TestEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   func() Config
+		check func(t *testing.T, res Result)
+	}{
+		{
+			// A mix that names only two types: the absent types must
+			// never complete, so their per-type response stays exactly
+			// zero while the present types carry all the throughput.
+			name: "zero-arrival-mix",
+			cfg: func() Config {
+				cfg := singleClassConfig(0.005, 0, 40, 1)
+				cfg.Sys.Mix = tpcc.Mix{core.TxnNewOrder: 0.6, core.TxnPayment: 0.4}
+				return cfg
+			},
+			check: func(t *testing.T, res Result) {
+				for _, typ := range []core.TxnType{
+					core.TxnOrderStatus, core.TxnDelivery, core.TxnStockLevel,
+				} {
+					if r := res.PerTxnResponseMs[typ]; r != 0 {
+						t.Errorf("%s has zero arrival fraction but response %.3fms", typ, r)
+					}
+				}
+				for _, typ := range []core.TxnType{core.TxnNewOrder, core.TxnPayment} {
+					if res.PerTxnResponseMs[typ] <= 0 {
+						t.Errorf("%s carries the mix but has no measured response", typ)
+					}
+				}
+				if res.Completed == 0 {
+					t.Error("nothing completed")
+				}
+			},
+		},
+		{
+			// One disk arm serving two I/Os per transaction: utilization
+			// must land at lambda * ios * serviceTime on the single
+			// server, not be split across phantom arms.
+			name: "single-disk-arm",
+			cfg: func() Config {
+				return singleClassConfig(1e-7, 2, 14, 1)
+			},
+			check: func(t *testing.T, res Result) {
+				rho := 14 * 2 * 0.025 // 0.7 on the one arm
+				if res.DiskUtil < rho-0.05 || res.DiskUtil > rho+0.05 {
+					t.Errorf("single-arm disk util = %.3f, want ~%.2f", res.DiskUtil, rho)
+				}
+				if res.DiskUtil > 1 {
+					t.Errorf("utilization above 1: %.3f", res.DiskUtil)
+				}
+			},
+		},
+		{
+			// Offered load 1.5x the CPU capacity: Run has no saturation
+			// guard, so it must still terminate, with the server pinned
+			// busy and throughput capped at the service rate. Kept small:
+			// in overload the PS station's backlog (and with it the cost
+			// of its completion scans) grows with every arrival.
+			name: "cpu-saturation",
+			cfg: func() Config {
+				cfg := singleClassConfig(0.010, 0, 150, 1) // capacity 100/s
+				cfg.Transactions = 400
+				cfg.WarmupTransactions = 100
+				return cfg
+			},
+			check: func(t *testing.T, res Result) {
+				if res.CPUUtil < 0.95 {
+					t.Errorf("saturated CPU util = %.3f, want ~1", res.CPUUtil)
+				}
+				if res.ThroughputPerSec > 130 {
+					t.Errorf("throughput %.1f/s exceeds the 100/s service capacity", res.ThroughputPerSec)
+				}
+				// The queue grows for the whole run; mean response must
+				// dwarf the 10ms service demand.
+				if res.MeanResponseMs < 100 {
+					t.Errorf("saturated response = %.1fms, expected a blown-up queue", res.MeanResponseMs)
+				}
+			},
+		},
+		{
+			// Same I/O load spread over many arms: per-arm utilization
+			// drops proportionally and response approaches bare service.
+			name: "many-arms-relieve-disk",
+			cfg: func() Config {
+				return singleClassConfig(1e-7, 2, 14, 8)
+			},
+			check: func(t *testing.T, res Result) {
+				rho := 14 * 2 * 0.025 / 8
+				if res.DiskUtil < rho-0.03 || res.DiskUtil > rho+0.03 {
+					t.Errorf("8-arm disk util = %.3f, want ~%.3f", res.DiskUtil, rho)
+				}
+				// Two sequential 25ms I/Os with almost no queueing.
+				if res.MeanResponseMs < 50 || res.MeanResponseMs > 60 {
+					t.Errorf("8-arm response = %.1fms, want ~2*25ms with little queueing",
+						res.MeanResponseMs)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, res)
+		})
+	}
+}
+
+// TestSaturationVsModerateLoad pins the qualitative contract the response
+// experiments rely on: pushing lambda past capacity must raise the mean
+// response by orders of magnitude relative to a moderately loaded run of
+// the same service demand.
+func TestSaturationVsModerateLoad(t *testing.T) {
+	moderate := singleClassConfig(0.010, 0, 50, 1) // rho = 0.5
+	saturated := singleClassConfig(0.010, 0, 150, 1)
+	saturated.Transactions = 400
+	saturated.WarmupTransactions = 100
+	mres, err := Run(moderate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Run(saturated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.MeanResponseMs < 5*mres.MeanResponseMs {
+		t.Errorf("saturated response %.1fms not clearly above moderate %.1fms",
+			sres.MeanResponseMs, mres.MeanResponseMs)
+	}
+}

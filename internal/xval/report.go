@@ -1,0 +1,66 @@
+package xval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTSV prints the agreement report: the exact engine-vs-replay section
+// first, then the three-way tolerance comparison, one row per modeled
+// relation per capacity.
+func (r *Result) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"# engine vs replayed LRU at %d pages (exact gate): %s\n",
+		r.Config.BufferPages, verdict(r.ExactMatch)); err != nil {
+		return err
+	}
+	if r.Divergence != nil {
+		if _, err := fmt.Fprintf(w, "# first divergence: %s\n", r.Divergence); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w,
+		"relation\tengine_hits\tengine_misses\treplay_hits\treplay_misses\tmatch"); err != nil {
+		return err
+	}
+	for _, e := range r.Exact {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%v\n",
+			e.Relation, e.EngineHits, e.EngineMisses, e.ReplayHits, e.ReplayMisses, e.Match); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# three-way agreement (|engine-sim| <= %.3g: %s; |sim-analytic| <= %.3g: %s)\n",
+		r.Config.TolReplaySim, verdict(r.EngSimOK),
+		r.Config.TolAnalytic, verdict(r.SimAnalyticOK)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w,
+		"relation\tcapacity_pages\tengine_miss\tsim_miss\tanalytic_miss\tdelta_engine_sim\tdelta_sim_analytic\tok"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%v\n",
+			row.Relation, row.CapacityPages, row.EngineMiss, row.SimMiss,
+			row.AnalyticMiss, row.DeltaEngSim, row.DeltaSimAna,
+			row.EngSimOK && row.SimAnalyticOK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the full result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
