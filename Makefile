@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-sweep bench-kernel torture repro repro-full fuzz \
+.PHONY: all build test race bench bench-sweep bench-kernel bench-commit torture repro repro-full fuzz \
 	xval cover regen-golden regen-fuzz-corpus clean
 
 all: build test
@@ -60,6 +60,12 @@ bench-sweep:
 # BENCH_kernel.json.
 bench-kernel:
 	go run ./cmd/tpcc-repro -bench-kernel BENCH_kernel.json
+
+# Compare per-commit force vs leader/follower group commit at 1/2/4/8
+# workers and record throughput, commit-latency quantiles, and
+# forces-per-commit in BENCH_commit.json.
+bench-commit:
+	go run ./cmd/tpcc-engine -bench-commit BENCH_commit.json
 
 # Reduced-scale reproduction of every table and figure (seconds).
 repro:

@@ -1,25 +1,35 @@
 // Command tpcc-engine runs the executable TPC-C engine — the system the
 // paper models but never built — and reports measured per-relation buffer
-// miss rates, transaction counts, lock statistics, and optionally a
-// crash/recovery cycle. With -validate it runs the trace-driven buffer
-// simulation at the same scale and prints the miss rates side by side.
+// miss rates, transaction counts, lock statistics, commit-latency
+// quantiles, and optionally a crash/recovery cycle. Group commit is on by
+// default: committing transactions enqueue as durability waiters and a
+// batch leader issues one log force for the whole batch, so forces per
+// commit drop below 1 under concurrency (disable with -group-commit=false
+// to reproduce the model's one-log-I/O-per-transaction accounting). With
+// -validate it runs the trace-driven buffer simulation at the same scale
+// and prints the miss rates side by side.
 //
 // Usage:
 //
 //	tpcc-engine -warehouses 1 -buffer-pages 8192 -txns 20000 -workers 4
 //	tpcc-engine -txns 5000 -crash
 //	tpcc-engine -txns 20000 -validate
+//	tpcc-engine -bench-commit BENCH_commit.json
+//	tpcc-engine -commit-smoke
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/engine/db"
+	"tpccmodel/internal/engine/wal"
 	"tpccmodel/internal/sim"
 	"tpccmodel/internal/tpcc"
 	"tpccmodel/internal/workload"
@@ -35,6 +45,11 @@ func main() {
 		seed        = flag.Uint64("seed", 1993, "random seed")
 		crash       = flag.Bool("crash", false, "crash and recover after the run, verifying invariants")
 		validate    = flag.Bool("validate", false, "also run the trace-driven simulation and compare miss rates")
+		groupCommit = flag.Bool("group-commit", true, "batch commit forces (leader/follower group commit)")
+		gcBatch     = flag.Int("gc-max-batch", 64, "max commit/abort records per group-commit force")
+		gcHold      = flag.Duration("gc-max-hold", 200*time.Microsecond, "max time a batch leader waits for followers")
+		benchCommit = flag.String("bench-commit", "", "instead of a single run, benchmark grouped vs ungrouped commit at 1/2/4/8 workers and write this JSON report")
+		commitSmoke = flag.Bool("commit-smoke", false, "CI smoke: one reduced grouped-vs-ungrouped cell; exit 1 unless grouped forces-per-commit < 1 at 4 workers")
 	)
 	flag.Parse()
 
@@ -44,10 +59,29 @@ func main() {
 	cliutil.RequirePositive(tool, "txns", int64(*txns))
 	cliutil.RequireNonNegative(tool, "warmup", int64(*warmup))
 	cliutil.RequirePositive(tool, "workers", int64(*workers))
+	cliutil.RequirePositive(tool, "gc-max-batch", int64(*gcBatch))
 
-	d, err := db.Open(db.Config{
+	group := wal.GroupConfig{}
+	if *groupCommit {
+		group = wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold}
+	}
+
+	if *benchCommit != "" {
+		if err := runBenchCommit(*benchCommit, *seed, wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *commitSmoke {
+		if err := runCommitSmoke(*seed, wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	d, err := db.OpenWith(db.Config{
 		Warehouses: *warehouses, PageSize: 4096, BufferPages: *bufferPages,
-	})
+	}, db.Options{GroupCommit: group})
 	if err != nil {
 		fatal(err)
 	}
@@ -69,16 +103,23 @@ func main() {
 	}
 	d.ResetBufferStats()
 
-	start = time.Now()
-	if err := db.RunConcurrent(d, *seed+2, mix, *txns, *workers); err != nil {
+	st, err := db.RunConcurrentPolicy(d, *seed+2, mix, *txns, *workers, db.DefaultRetryPolicy())
+	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
 
-	fmt.Printf("# engine run: %d txns, %d workers, %d-page pool, %v\n",
-		*txns, *workers, *bufferPages, elapsed.Round(time.Millisecond))
-	fmt.Printf("txns_per_sec\t%.0f\n", float64(*txns)/elapsed.Seconds())
-	fmt.Printf("commits\t%d\naborts\t%d\nlog_forces\t%d\n", d.Commits(), d.Aborts(), d.LogForces())
+	mode := "per-commit force"
+	if group.Enabled() {
+		mode = fmt.Sprintf("group commit (batch<=%d, hold<=%v)", group.MaxBatch, group.MaxHold)
+	}
+	fmt.Printf("# engine run: %d txns, %d workers, %d-page pool, %v, %s\n",
+		*txns, *workers, *bufferPages, st.Elapsed.Round(time.Millisecond), mode)
+	fmt.Printf("txns_per_sec\t%.0f\n", float64(*txns)/st.Elapsed.Seconds())
+	fmt.Printf("tpmC\t%.0f\n", st.TpmC())
+	fmt.Printf("commits\t%d\naborts\t%d\nlog_forces\t%d\n", st.Commits, st.Aborts, st.LogForces)
+	fmt.Printf("forces_per_commit\t%.4f\n", st.ForcesPerCommit())
+	fmt.Printf("latency_p50\t%v\nlatency_p95\t%v\nlatency_p99\t%v\nlatency_max\t%v\n",
+		st.Latency.P50, st.Latency.P95, st.Latency.P99, st.Latency.Max)
 	acq, waits, deadlocks := d.LockCounts()
 	fmt.Printf("locks_acquired\t%d\nlock_waits\t%d\ndeadlocks\t%d\n", acq, waits, deadlocks)
 
@@ -135,6 +176,135 @@ func main() {
 		}
 		fmt.Printf("post_recovery_txns\t100\tok\n")
 	}
+}
+
+// commitCell is one grouped-vs-ungrouped benchmark measurement.
+type commitCell struct {
+	Workers         int     `json:"workers"`
+	Grouped         bool    `json:"grouped"`
+	TxnsPerSec      float64 `json:"txns_per_sec"`
+	TpmC            float64 `json:"tpmc"`
+	Commits         int64   `json:"commits"`
+	Aborts          int64   `json:"aborts"`
+	LogForces       int64   `json:"log_forces"`
+	ForcesPerCommit float64 `json:"forces_per_commit"`
+	P50Micros       int64   `json:"p50_us"`
+	P95Micros       int64   `json:"p95_us"`
+	P99Micros       int64   `json:"p99_us"`
+	MeanMicros      int64   `json:"mean_us"`
+}
+
+// runCommitCell loads a fresh single-warehouse instance and measures one
+// (workers, grouped) cell of the commit-path benchmark.
+func runCommitCell(seed uint64, txns, warmup, workers int, group wal.GroupConfig) (commitCell, error) {
+	opts := db.Options{}
+	grouped := group.Enabled()
+	if grouped {
+		opts.GroupCommit = group
+	}
+	d, err := db.OpenWith(db.Config{Warehouses: 1, PageSize: 4096, BufferPages: 8192}, opts)
+	if err != nil {
+		return commitCell{}, err
+	}
+	if err := d.Load(seed); err != nil {
+		return commitCell{}, err
+	}
+	mix := tpcc.DefaultMix()
+	if warmup > 0 {
+		if err := db.RunConcurrent(d, seed+1, mix, warmup, workers); err != nil {
+			return commitCell{}, err
+		}
+	}
+	st, err := db.RunConcurrentPolicy(d, seed+2, mix, txns, workers, db.DefaultRetryPolicy())
+	if err != nil {
+		return commitCell{}, err
+	}
+	return commitCell{
+		Workers:         workers,
+		Grouped:         grouped,
+		TxnsPerSec:      float64(txns) / st.Elapsed.Seconds(),
+		TpmC:            st.TpmC(),
+		Commits:         st.Commits,
+		Aborts:          st.Aborts,
+		LogForces:       st.LogForces,
+		ForcesPerCommit: st.ForcesPerCommit(),
+		P50Micros:       st.Latency.P50.Microseconds(),
+		P95Micros:       st.Latency.P95.Microseconds(),
+		P99Micros:       st.Latency.P99.Microseconds(),
+		MeanMicros:      st.Latency.Mean.Microseconds(),
+	}, nil
+}
+
+// runBenchCommit measures grouped vs ungrouped commit at 1/2/4/8 workers
+// on fresh instances and writes the JSON report extending the BENCH_*
+// trajectory.
+func runBenchCommit(path string, seed uint64, group wal.GroupConfig) error {
+	const txns, warmup = 8000, 500
+	type report struct {
+		Cores      int          `json:"cores"`
+		Warehouses int          `json:"warehouses"`
+		Txns       int          `json:"txns_per_cell"`
+		MaxBatch   int          `json:"gc_max_batch"`
+		MaxHoldUS  int64        `json:"gc_max_hold_us"`
+		Cells      []commitCell `json:"cells"`
+	}
+	rep := report{
+		Cores:      runtime.NumCPU(),
+		Warehouses: 1,
+		Txns:       txns,
+		MaxBatch:   group.MaxBatch,
+		MaxHoldUS:  group.MaxHold.Microseconds(),
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, grouped := range []bool{false, true} {
+			g := wal.GroupConfig{}
+			if grouped {
+				g = group
+			}
+			cell, err := runCommitCell(seed, txns, warmup, workers, g)
+			if err != nil {
+				return fmt.Errorf("workers=%d grouped=%v: %w", workers, grouped, err)
+			}
+			fmt.Fprintf(os.Stderr,
+				"bench-commit: workers=%d grouped=%-5v tpmC=%-8.0f forces/commit=%.3f p99=%dus\n",
+				cell.Workers, cell.Grouped, cell.TpmC, cell.ForcesPerCommit, cell.P99Micros)
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// runCommitSmoke is the CI gate: one reduced grouped-vs-ungrouped cell
+// at 4 workers; the grouped run must batch (forces per commit strictly
+// below 1) and the ungrouped run must force exactly once per record.
+func runCommitSmoke(seed uint64, group wal.GroupConfig) error {
+	const txns, warmup, workers = 2000, 200, 4
+	ungrouped, err := runCommitCell(seed, txns, warmup, workers, wal.GroupConfig{})
+	if err != nil {
+		return err
+	}
+	grouped, err := runCommitCell(seed, txns, warmup, workers, group)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode\tworkers\tforces_per_commit\ttpmc\tp99_us\n")
+	fmt.Printf("ungrouped\t%d\t%.4f\t%.0f\t%d\n", workers,
+		ungrouped.ForcesPerCommit, ungrouped.TpmC, ungrouped.P99Micros)
+	fmt.Printf("grouped\t%d\t%.4f\t%.0f\t%d\n", workers,
+		grouped.ForcesPerCommit, grouped.TpmC, grouped.P99Micros)
+	if ungrouped.ForcesPerCommit != 1 {
+		return fmt.Errorf("ungrouped forces per commit = %.4f, want exactly 1", ungrouped.ForcesPerCommit)
+	}
+	if grouped.ForcesPerCommit >= 1 {
+		return fmt.Errorf("grouped forces per commit = %.4f at %d workers, want < 1",
+			grouped.ForcesPerCommit, workers)
+	}
+	fmt.Println("commit-smoke: ok")
+	return nil
 }
 
 func fatal(err error) {

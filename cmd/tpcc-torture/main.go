@@ -22,24 +22,28 @@ import (
 
 	"tpccmodel/internal/cliutil"
 	"tpccmodel/internal/engine/fault"
+	"tpccmodel/internal/engine/wal"
 )
 
 func main() {
 	def := fault.DefaultTortureConfig()
 	var (
-		seeds     = flag.Int("seeds", def.Seeds, "independent database seeds")
-		schedules = flag.Int("schedules", def.Schedules, "crash schedules per seed")
-		txns      = flag.Int("txns", def.Txns, "transactions attempted per schedule")
-		workers   = flag.Int("workers", def.Workers, "concurrent workers")
-		wh        = flag.Int("warehouses", def.Warehouses, "warehouse count")
-		pages     = flag.Int("buffer-pages", def.BufferPages, "buffer pool capacity in pages")
-		pageSize  = flag.Int("page-size", def.PageSize, "page size in bytes")
-		baseSeed  = flag.Uint64("seed", def.BaseSeed, "base random seed")
-		readErr   = flag.Float64("read-err", def.Faults.ReadErrProb, "transient read error probability")
-		writeErr  = flag.Float64("write-err", def.Faults.WriteErrProb, "transient write error probability")
-		forceErr  = flag.Float64("force-err", def.Faults.ForceErrProb, "log force error probability")
-		flip      = flag.Float64("flip", def.Faults.BitFlipProb, "silent bit-flip probability per page write")
-		verbose   = flag.Bool("v", false, "print per-schedule results")
+		seeds       = flag.Int("seeds", def.Seeds, "independent database seeds")
+		schedules   = flag.Int("schedules", def.Schedules, "crash schedules per seed")
+		txns        = flag.Int("txns", def.Txns, "transactions attempted per schedule")
+		workers     = flag.Int("workers", def.Workers, "concurrent workers")
+		wh          = flag.Int("warehouses", def.Warehouses, "warehouse count")
+		pages       = flag.Int("buffer-pages", def.BufferPages, "buffer pool capacity in pages")
+		pageSize    = flag.Int("page-size", def.PageSize, "page size in bytes")
+		baseSeed    = flag.Uint64("seed", def.BaseSeed, "base random seed")
+		readErr     = flag.Float64("read-err", def.Faults.ReadErrProb, "transient read error probability")
+		writeErr    = flag.Float64("write-err", def.Faults.WriteErrProb, "transient write error probability")
+		forceErr    = flag.Float64("force-err", def.Faults.ForceErrProb, "log force error probability")
+		flip        = flag.Float64("flip", def.Faults.BitFlipProb, "silent bit-flip probability per page write")
+		groupCommit = flag.Bool("group-commit", true, "batch commit forces (leader/follower group commit)")
+		gcBatch     = flag.Int("gc-max-batch", 16, "max commit/abort records per group-commit force")
+		gcHold      = flag.Duration("gc-max-hold", 200*time.Microsecond, "max time a batch leader waits for followers")
+		verbose     = flag.Bool("v", false, "print per-schedule results")
 	)
 	flag.Parse()
 
@@ -70,6 +74,10 @@ func main() {
 		WriteErrProb: *writeErr,
 		ForceErrProb: *forceErr,
 		BitFlipProb:  *flip,
+	}
+	if *groupCommit {
+		cliutil.RequirePositive(tool, "gc-max-batch", int64(*gcBatch))
+		cfg.GroupCommit = wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold}
 	}
 
 	start := time.Now()

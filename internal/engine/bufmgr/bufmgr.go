@@ -98,8 +98,8 @@ func New(store *storage.Store, capacity int) *Manager {
 	return m
 }
 
-// SetClassifier installs a page-to-class mapping with classes accounting
-// classes; must be called before any access.
+// SetClassifier installs a page-to-class mapping with the given number
+// of accounting classes; must be called before any access.
 func (m *Manager) SetClassifier(classes int, fn func(storage.PageID) int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -155,12 +155,15 @@ type DB struct {
 
 // Options customizes the engine's I/O substrate; the zero value gives a
 // fault-free in-memory device. The fault package supplies implementations
-// of both fields to inject disk and log-device failures.
+// of the device fields to inject disk and log-device failures.
 type Options struct {
 	// Disk backs the page store; nil means a private storage.MemDisk.
 	Disk storage.DiskIO
 	// LogHook intercepts log forces; nil means a perfect log device.
 	LogHook wal.FaultHook
+	// GroupCommit configures WAL commit batching; the zero value keeps
+	// the seed behavior of one forced log write per commit/abort.
+	GroupCommit wal.GroupConfig
 }
 
 // Open creates an empty database instance (no data loaded) on fault-free
@@ -187,6 +190,7 @@ func OpenWith(cfg Config, opts Options) (*DB, error) {
 		locks: lock.NewManager(),
 	}
 	d.log.SetFaultHook(opts.LogHook)
+	d.log.SetGroupCommit(opts.GroupCommit)
 	d.buf = bufmgr.New(d.store, cfg.BufferPages)
 	// The WAL rule: no dirty page reaches the store before the log
 	// records covering it are durable.
@@ -249,8 +253,16 @@ func (d *DB) SetBufferTap(fn bufmgr.Tap) { d.buf.SetTap(fn) }
 // LockCounts exposes the lock manager's counters.
 func (d *DB) LockCounts() (acquired, waits, deadlocks int64) { return d.locks.Counts() }
 
-// LogForces returns the number of forced log writes (one per commit/abort).
+// LogForces returns the number of forced log writes issued for
+// commit/abort records: one per record with per-commit forcing, one per
+// batch under group commit.
 func (d *DB) LogForces() int64 { return d.log.Forces() }
+
+// SetGroupCommit reconfigures WAL commit batching (zero value disables).
+func (d *DB) SetGroupCommit(cfg wal.GroupConfig) { d.log.SetGroupCommit(cfg) }
+
+// GroupCommit returns the WAL's current commit-batching configuration.
+func (d *DB) GroupCommit() wal.GroupConfig { return d.log.GroupCommit() }
 
 // Commits and Aborts report transaction outcomes.
 func (d *DB) Commits() int64 { return d.commits.Load() }

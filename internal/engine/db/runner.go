@@ -1,8 +1,10 @@
 package db
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/nurand"
 	"tpccmodel/internal/rng"
+	"tpccmodel/internal/stats"
 	"tpccmodel/internal/tpcc"
 )
 
@@ -27,7 +30,7 @@ type RetryPolicy struct {
 	// BaseDelay is the first backoff step; the delay doubles each
 	// attempt up to MaxDelay, with jitter in [delay/2, delay].
 	BaseDelay time.Duration
-	// MaxDelay caps the backoff step.
+	// MaxDelay caps the backoff step; <= 0 leaves the doubling uncapped.
 	MaxDelay time.Duration
 	// ShedBudget is the number of *consecutive* shed transactions
 	// tolerated before the run is declared wedged (0 = unlimited).
@@ -72,7 +75,21 @@ type Runner struct {
 	sheds   atomic.Int64
 	// consecutiveSheds is only touched by the executing goroutine.
 	consecutiveSheds int
+
+	// latMu guards the latency accumulators so snapshots may be taken
+	// while the runner is executing on another goroutine.
+	latMu   sync.Mutex
+	latHist *stats.Histogram
+	latW    stats.Welford
 }
+
+// Latency-histogram geometry: 1µs buckets up to 50ms, overflow beyond
+// (the exact maximum is tracked separately). All runners share it so
+// per-worker histograms merge.
+const (
+	latBucketWidthMicros = 1
+	latBuckets           = 50000
+)
 
 // NewRunner creates a runner over d with the given seed and mix.
 func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
@@ -87,6 +104,7 @@ func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
 		RemoteStockProb:   tpcc.RemoteStockProb,
 		RemotePaymentProb: tpcc.RemotePaymentProb,
 		Policy:            DefaultRetryPolicy(),
+		latHist:           stats.NewHistogram(latBucketWidthMicros, latBuckets),
 	}
 }
 
@@ -106,6 +124,66 @@ func (rn *Runner) Retries() int64 { return rn.retries.Load() }
 // Sheds returns the number of transactions dropped after exhausting their
 // retry attempts.
 func (rn *Runner) Sheds() int64 { return rn.sheds.Load() }
+
+// LatencyStats summarizes acknowledged-transaction response time: the
+// interval from input generation to commit acknowledgment, including
+// retries and backoff. Quantiles come from a 1µs-bucket histogram; mean
+// and standard deviation from a Welford accumulator.
+type LatencyStats struct {
+	N             int64
+	Mean, StdDev  time.Duration
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+func (ls LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		ls.N, ls.Mean.Round(time.Microsecond), ls.P50, ls.P95, ls.P99, ls.Max)
+}
+
+// recordLatency folds one acknowledged transaction's response time into
+// the runner's accumulators.
+func (rn *Runner) recordLatency(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	rn.latMu.Lock()
+	rn.latHist.Add(us)
+	rn.latW.Add(float64(us))
+	rn.latMu.Unlock()
+}
+
+// Latency returns a snapshot of the runner's latency statistics.
+func (rn *Runner) Latency() LatencyStats {
+	h := stats.NewHistogram(latBucketWidthMicros, latBuckets)
+	var w stats.Welford
+	rn.mergeLatencyInto(h, &w)
+	return summarizeLatency(h, w)
+}
+
+// mergeLatencyInto folds the runner's accumulators into shared ones.
+func (rn *Runner) mergeLatencyInto(h *stats.Histogram, w *stats.Welford) {
+	rn.latMu.Lock()
+	defer rn.latMu.Unlock()
+	h.Merge(rn.latHist)
+	w.Merge(rn.latW)
+}
+
+func summarizeLatency(h *stats.Histogram, w stats.Welford) LatencyStats {
+	us := func(v float64) time.Duration {
+		return time.Duration(v * float64(time.Microsecond))
+	}
+	return LatencyStats{
+		N:      w.N(),
+		Mean:   us(w.Mean()),
+		StdDev: us(w.StdDev()),
+		P50:    us(h.Quantile(0.50)).Round(time.Microsecond),
+		P95:    us(h.Quantile(0.95)).Round(time.Microsecond),
+		P99:    us(h.Quantile(0.99)).Round(time.Microsecond),
+		Max:    us(float64(h.Max())),
+	}
+}
 
 func (rn *Runner) pickType() core.TxnType {
 	u := rn.r.Float64()
@@ -133,20 +211,38 @@ func (rn *Runner) remoteWarehouse(home int64) int64 {
 	return v
 }
 
-// backoff sleeps the jittered exponential delay for the given attempt
-// (1-based). Jitter is drawn from the runner's seeded generator so the
-// delay sequence is reproducible.
-func (rn *Runner) backoff(attempt int) {
+// backoffDelay returns the pre-jitter delay for the given attempt
+// (1-based): BaseDelay doubled attempt-1 times, capped at MaxDelay when
+// MaxDelay > 0. MaxDelay <= 0 leaves the doubling uncapped (guarded only
+// against int64 overflow).
+func (rn *Runner) backoffDelay(attempt int) time.Duration {
 	p := rn.Policy
 	if p.BaseDelay <= 0 {
-		return
+		return 0
 	}
 	d := p.BaseDelay
-	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+	for i := 1; i < attempt; i++ {
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			break
+		}
+		if d > math.MaxInt64/2 {
+			break
+		}
 		d *= 2
 	}
 	if p.MaxDelay > 0 && d > p.MaxDelay {
 		d = p.MaxDelay
+	}
+	return d
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt
+// (1-based). Jitter is drawn from the runner's seeded generator so the
+// delay sequence is reproducible.
+func (rn *Runner) backoff(attempt int) {
+	d := rn.backoffDelay(attempt)
+	if d <= 0 {
+		return
 	}
 	half := int64(d / 2)
 	jittered := d/2 + time.Duration(rn.r.Int63n(half+1))
@@ -158,12 +254,23 @@ func retriable(err error) bool {
 	return errors.Is(err, ErrAborted) || errors.Is(err, storage.ErrTransientIO)
 }
 
+// paymentAmountCents draws the Payment amount uniformly from the
+// benchmark's closed interval [$1.00, $5000.00].
+func paymentAmountCents(r *rng.RNG) uint32 {
+	return uint32(r.IntRange(tpcc.PaymentMinCents, tpcc.PaymentMaxCents))
+}
+
 // RunOne generates and executes one transaction, retrying deadlock aborts
 // and transient I/O errors per the policy. It returns the executed type.
 // A transaction that exhausts its attempts is shed (counted, nil error)
 // unless the consecutive-shed budget is blown. A simulated crash
 // (storage.ErrCrashed) is returned as-is: the worker must stop.
 func (rn *Runner) RunOne() (core.TxnType, error) {
+	return rn.runOne(context.Background())
+}
+
+func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
+	start := time.Now()
 	typ := rn.pickType()
 	var exec func() error
 	switch typ {
@@ -185,7 +292,7 @@ func (rn *Runner) RunOne() (core.TxnType, error) {
 		in := PaymentInput{
 			W:           rn.warehouse(),
 			D:           rn.r.Int63n(tpcc.DistrictsPerWarehouse),
-			AmountCents: uint32(100 + rn.r.Int63n(500000)),
+			AmountCents: paymentAmountCents(rn.r),
 		}
 		in.CW, in.CD = in.W, rn.r.Int63n(tpcc.DistrictsPerWarehouse)
 		if rn.r.Bernoulli(rn.RemotePaymentProb) {
@@ -230,6 +337,7 @@ func (rn *Runner) RunOne() (core.TxnType, error) {
 		if err == nil {
 			rn.counts[typ].Add(1)
 			rn.consecutiveSheds = 0
+			rn.recordLatency(time.Since(start))
 			return typ, nil
 		}
 		if errors.Is(err, storage.ErrCrashed) {
@@ -248,15 +356,27 @@ func (rn *Runner) RunOne() (core.TxnType, error) {
 			}
 			return typ, nil
 		}
+		if err := ctx.Err(); err != nil {
+			return typ, err
+		}
 		rn.retries.Add(1)
 		rn.backoff(attempt)
 	}
 }
 
 // Run executes n transactions sequentially.
-func (rn *Runner) Run(n int) error {
+func (rn *Runner) Run(n int) error { return rn.RunContext(context.Background(), n) }
+
+// RunContext executes up to n transactions sequentially, stopping with
+// ctx.Err() once ctx is canceled. Cancellation is checked before every
+// transaction and between retry attempts, so a canceled run stops
+// within one transaction's execution time.
+func (rn *Runner) RunContext(ctx context.Context, n int) error {
 	for i := 0; i < n; i++ {
-		if _, err := rn.RunOne(); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := rn.runOne(ctx); err != nil {
 			return err
 		}
 	}
@@ -273,6 +393,15 @@ type RunStats struct {
 	// Crashed reports that at least one worker observed a simulated
 	// power loss (storage.ErrCrashed) and stopped early.
 	Crashed bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Commits, Aborts, and LogForces are the engine-counter deltas over
+	// the run; LogForces < Commits+Aborts means group commit amortized
+	// log I/O across transactions.
+	Commits, Aborts, LogForces int64
+	// Latency summarizes acknowledged-transaction response time across
+	// all workers.
+	Latency LatencyStats
 }
 
 // Acknowledged returns the total number of acknowledged transactions.
@@ -284,21 +413,45 @@ func (s RunStats) Acknowledged() int64 {
 	return n
 }
 
+// TpmC returns acknowledged New-Order transactions per minute — the
+// benchmark's throughput metric (0 when the run had no duration).
+func (s RunStats) TpmC() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Counts[core.TxnNewOrder]) / s.Elapsed.Minutes()
+}
+
+// ForcesPerCommit returns log forces per commit/abort record: exactly 1
+// with per-commit forcing, strictly below 1 when group commit batched
+// (0 when nothing committed).
+func (s RunStats) ForcesPerCommit() float64 {
+	if n := s.Commits + s.Aborts; n > 0 {
+		return float64(s.LogForces) / float64(n)
+	}
+	return 0
+}
+
 // RunConcurrentPolicy executes up to total transactions across workers
 // goroutines (each a Runner with an independent derived seed and the
 // given policy) and aggregates their counters. A simulated crash stops
 // the affected workers and is reported via RunStats.Crashed, not as an
-// error; any other failure is returned.
+// error; any other failure cancels the sibling workers promptly and is
+// returned (first failure wins).
 func RunConcurrentPolicy(d *DB, seed uint64, mix tpcc.Mix, total, workers int, policy RetryPolicy) (RunStats, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	per := total / workers
 	base := rng.New(seed)
 	runners := make([]*Runner, workers)
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	var crashed atomic.Bool
+	commits0, aborts0, forces0 := d.Commits(), d.Aborts(), d.LogForces()
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		rn := NewRunner(d, base.Uint64(), mix)
 		rn.Policy = policy
@@ -310,19 +463,30 @@ func RunConcurrentPolicy(d *DB, seed uint64, mix tpcc.Mix, total, workers int, p
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := rn.Run(n); err != nil {
-				if errors.Is(err, storage.ErrCrashed) {
+			if err := rn.RunContext(ctx, n); err != nil {
+				switch {
+				case errors.Is(err, storage.ErrCrashed):
 					crashed.Store(true)
-					return
+					cancel()
+				case errors.Is(err, context.Canceled):
+					// A sibling failed first; this worker just stopped.
+				default:
+					errCh <- err
+					cancel()
 				}
-				errCh <- err
 			}
 		}()
 	}
 	wg.Wait()
 	close(errCh)
 	var st RunStats
+	st.Elapsed = time.Since(start)
 	st.Crashed = crashed.Load()
+	st.Commits = d.Commits() - commits0
+	st.Aborts = d.Aborts() - aborts0
+	st.LogForces = d.LogForces() - forces0
+	latHist := stats.NewHistogram(latBucketWidthMicros, latBuckets)
+	var latW stats.Welford
 	for _, rn := range runners {
 		c := rn.Counts()
 		for i := range st.Counts {
@@ -330,7 +494,9 @@ func RunConcurrentPolicy(d *DB, seed uint64, mix tpcc.Mix, total, workers int, p
 		}
 		st.Retries += rn.Retries()
 		st.Sheds += rn.Sheds()
+		rn.mergeLatencyInto(latHist, &latW)
 	}
+	st.Latency = summarizeLatency(latHist, latW)
 	return st, <-errCh
 }
 

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/db"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/engine/wal"
+	"tpccmodel/internal/rng"
+	"tpccmodel/internal/tpcc"
+)
+
+// killAtForce delegates to the injector but kills the device at the Nth
+// log force — i.e. after the batch's waiters enqueued but before their
+// records became durable. That is the exact window the group-commit ack
+// rule must survive: every transaction in the doomed batch gets an error
+// instead of an acknowledgment.
+type killAtForce struct {
+	inj    *Injector
+	target int64
+	n      atomic.Int64
+}
+
+func (h *killAtForce) BeforeForce(n int) error {
+	if h.n.Add(1) == h.target {
+		h.inj.Kill()
+	}
+	return h.inj.BeforeForce(n)
+}
+
+// TestGroupCommitKillBetweenEnqueueAndForce crashes the log device on a
+// mid-run batch force under group commit, applies power loss, recovers,
+// and asserts no acknowledged transaction was lost and no invariant
+// broke: transactions whose batch force died were never acknowledged,
+// so they may not be counted and must roll back cleanly.
+func TestGroupCommitKillBetweenEnqueueAndForce(t *testing.T) {
+	const workers = 4
+	seedRng := rng.New(99)
+	disk := storage.NewMemDisk()
+	inj := New(disk, seedRng.Uint64())
+	hook := &killAtForce{inj: inj, target: 40}
+	d, err := db.OpenWith(db.Config{
+		Warehouses: 1, PageSize: 1024, BufferPages: 256,
+	}, db.Options{
+		Disk:        inj,
+		LogHook:     hook,
+		GroupCommit: wal.GroupConfig{MaxBatch: 16, MaxHold: 500 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(99); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := measure(d)
+
+	st, runErr := db.RunConcurrentPolicy(d, seedRng.Uint64(), tpcc.DefaultMix(),
+		2000, workers, db.DefaultRetryPolicy())
+	if runErr != nil {
+		t.Fatalf("run failed fatally (crash should surface via RunStats): %v", runErr)
+	}
+	if !st.Crashed {
+		t.Fatalf("force #%d never fired a crash (only %d forces issued)",
+			hook.target, hook.n.Load())
+	}
+
+	if err := d.CrashPowerLoss(seedRng); err != nil {
+		t.Fatal(err)
+	}
+	inj.Revive()
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Errorf("consistency after group-commit crash: %v", err)
+	}
+	live := measure(d)
+	ackedNO := st.Counts[core.TxnNewOrder]
+	slack := int64(workers)
+	if lo := base.orders + ackedNO; live.orders < lo {
+		t.Errorf("lost acknowledged new-orders: %d live, want >= %d (base %d + acked %d)",
+			live.orders, lo, base.orders, ackedNO)
+	} else if hi := lo + slack; live.orders > hi {
+		t.Errorf("phantom orders: %d live, want <= %d", live.orders, hi)
+	}
+	if lo := base.history + st.Counts[core.TxnPayment]; live.history < lo {
+		t.Errorf("lost acknowledged payments: %d history rows, want >= %d", live.history, lo)
+	}
+	t.Logf("acked %d txns before the batch-force kill (force #%d); %dB log tail truncated",
+		st.Acknowledged(), hook.target, d.RecoveryStats().TruncatedBytes)
+}
+
+// TestTortureGroupCommit runs a reduced crash-torture campaign with
+// group commit enabled: randomly timed crashes land on batch forces as
+// well as page I/O, and every schedule's durability, consistency, and
+// checksum invariants must hold exactly as in per-commit-force mode.
+func TestTortureGroupCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture campaign in -short mode")
+	}
+	cfg := DefaultTortureConfig()
+	cfg.Seeds = 2
+	cfg.Schedules = 4
+	cfg.Txns = 150
+	cfg.Workers = 4
+	cfg.GroupCommit = wal.GroupConfig{MaxBatch: 16, MaxHold: 200 * time.Microsecond}
+	rep, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if len(rep.Schedules) != cfg.Seeds*cfg.Schedules {
+		t.Fatalf("ran %d schedules, want %d", len(rep.Schedules), cfg.Seeds*cfg.Schedules)
+	}
+	t.Log(rep.Summary())
+}

@@ -6,6 +6,7 @@ import (
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/engine/db"
 	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/engine/wal"
 	"tpccmodel/internal/rng"
 	"tpccmodel/internal/tpcc"
 )
@@ -37,6 +38,11 @@ type TortureConfig struct {
 	Policy db.RetryPolicy
 	// Mix is the transaction mix (DefaultMix when zero).
 	Mix tpcc.Mix
+	// GroupCommit configures WAL commit batching for every database in
+	// the campaign (zero value = one force per commit, the seed path).
+	// The durability invariants checked per schedule are identical in
+	// both modes: an acknowledged commit must survive any crash.
+	GroupCommit wal.GroupConfig
 }
 
 // DefaultTortureConfig returns a small but complete campaign: 5 seeds ×
@@ -164,7 +170,7 @@ func tortureSeed(cfg TortureConfig, seed uint64, rep *Report) error {
 		Warehouses:  cfg.Warehouses,
 		PageSize:    cfg.PageSize,
 		BufferPages: cfg.BufferPages,
-	}, db.Options{Disk: inj, LogHook: inj})
+	}, db.Options{Disk: inj, LogHook: inj, GroupCommit: cfg.GroupCommit})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpccmodel/internal/rng"
+)
+
+// countingHook counts forces and optionally fails them.
+type countingHook struct {
+	mu     sync.Mutex
+	forces int
+	fail   error // returned by every force while non-nil
+}
+
+func (h *countingHook) BeforeForce(n int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.forces++
+	return h.fail
+}
+
+// TestGroupCommitBatchesConcurrentCommits commits from many goroutines
+// under a grouped log and checks (a) every commit is durable at Append
+// return, (b) the batch leader's single force covered several commits.
+func TestGroupCommitBatchesConcurrentCommits(t *testing.T) {
+	const committers = 16
+	l := New()
+	l.SetGroupCommit(GroupConfig{MaxBatch: committers, MaxHold: 20 * time.Millisecond})
+	var wg sync.WaitGroup
+	lsns := make([]LSN, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			txn := uint64(i + 1)
+			if _, err := l.Append(Record{Txn: txn, Type: RecUpdate, Table: 1,
+				RID: txn, Before: []byte{0}, After: []byte{byte(i)}}); err != nil {
+				t.Error(err)
+				return
+			}
+			lsn, err := l.Append(Record{Txn: txn, Type: RecCommit})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Acknowledgment rule: the commit record must already be
+			// inside the forced prefix when Append returns.
+			if durable := l.DurableSize(); durable < int64(recHeader) {
+				t.Errorf("txn %d acked with durable prefix %d bytes", txn, durable)
+			}
+			lsns[i] = lsn
+		}(i)
+	}
+	wg.Wait()
+	if l.DurableSize() != l.Size() {
+		t.Errorf("durable %d != size %d after all commits acked", l.DurableSize(), l.Size())
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Type == RecCommit {
+			commits[r.Txn] = true
+		}
+	}
+	if len(commits) != committers {
+		t.Errorf("%d commit records, want %d", len(commits), committers)
+	}
+	seen := map[LSN]bool{}
+	for i, lsn := range lsns {
+		if lsn == 0 || seen[lsn] {
+			t.Errorf("committer %d got duplicate or zero LSN %d", i, lsn)
+		}
+		seen[lsn] = true
+	}
+	if f := l.Forces(); f >= committers {
+		t.Errorf("grouped log issued %d forces for %d commits, want fewer", f, committers)
+	} else {
+		t.Logf("%d commits in %d forces", committers, f)
+	}
+}
+
+// TestGroupCommitDegeneratesAtBatchOne checks MaxBatch <= 1 keeps the
+// seed behavior: one force per commit/abort record.
+func TestGroupCommitDegeneratesAtBatchOne(t *testing.T) {
+	for _, cfg := range []GroupConfig{{}, {MaxBatch: 1, MaxHold: time.Millisecond}} {
+		l := New()
+		l.SetGroupCommit(cfg)
+		for txn := uint64(1); txn <= 5; txn++ {
+			ap(t, l, Record{Txn: txn, Type: RecInsert, Table: 1, RID: txn, After: []byte{1}})
+			ap(t, l, Record{Txn: txn, Type: RecCommit})
+		}
+		if l.Forces() != 5 {
+			t.Errorf("cfg %+v: Forces = %d, want 5", cfg, l.Forces())
+		}
+		if l.DurableSize() != l.Size() {
+			t.Errorf("cfg %+v: unforced tail after commits", cfg)
+		}
+	}
+}
+
+// TestGroupCommitForceFailureDropsBatch fails the batch force and checks
+// no commit record of the failed batch remains in the buffer — so no
+// later force (WAL rule or next batch) can make an unacknowledged commit
+// durable.
+func TestGroupCommitForceFailureDropsBatch(t *testing.T) {
+	l := New()
+	hook := &countingHook{fail: errors.New("device gone")}
+	l.SetFaultHook(hook)
+	l.SetGroupCommit(GroupConfig{MaxBatch: 8, MaxHold: 10 * time.Millisecond})
+	// Data records do not force and stay in the buffer.
+	ap(t, l, Record{Txn: 1, Type: RecUpdate, Table: 1, RID: 1, Before: []byte{0}, After: []byte{1}})
+	sizeBefore := l.Size()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.Append(Record{Txn: uint64(i + 1), Type: RecCommit}); err != nil {
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failures.Load() != 4 {
+		t.Fatalf("%d of 4 commits failed, want all", failures.Load())
+	}
+	if l.Size() != sizeBefore {
+		t.Errorf("failed batch left %d bytes in the buffer", l.Size()-sizeBefore)
+	}
+	// The device recovers; a fresh commit must succeed and the log must
+	// contain no ghost of the failed batch.
+	hook.mu.Lock()
+	hook.fail = nil
+	hook.mu.Unlock()
+	ap(t, l, Record{Txn: 9, Type: RecCommit})
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Type == RecCommit && r.Txn != 9 {
+			t.Errorf("ghost commit record for txn %d survived the failed force", r.Txn)
+		}
+	}
+	if l.DurableSize() != l.Size() {
+		t.Errorf("durable %d != size %d", l.DurableSize(), l.Size())
+	}
+}
+
+// TestGroupCommitWALRuleForceLeaksNoCommit interleaves WAL-rule Force
+// calls with a failing grouped commit: because commit records are
+// appended only by the batch leader immediately before its force, a
+// concurrent Force can never publish an unacknowledged commit.
+func TestGroupCommitWALRuleForceLeaksNoCommit(t *testing.T) {
+	l := New()
+	hook := &countingHook{fail: fmt.Errorf("no force: %w", errors.New("down"))}
+	l.SetFaultHook(hook)
+	l.SetGroupCommit(GroupConfig{MaxBatch: 4, MaxHold: 5 * time.Millisecond})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := l.Append(Record{Txn: 7, Type: RecCommit}); err == nil {
+			t.Error("commit succeeded under a dead log device")
+		}
+	}()
+	// Hammer the steal-rule force while the commit is pending; it fails
+	// too (hook), but even a success could not cover the commit record.
+	for i := 0; i < 100; i++ {
+		_ = l.Force()
+	}
+	<-done
+	hook.mu.Lock()
+	hook.fail = nil
+	hook.mu.Unlock()
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Type == RecCommit {
+			t.Errorf("unacknowledged commit for txn %d became durable", r.Txn)
+		}
+	}
+}
+
+// TestGroupCommitSurvivesCrashTail commits under grouping, damages the
+// unforced tail, and checks every acknowledged commit is inside the
+// valid prefix recovery keeps.
+func TestGroupCommitSurvivesCrashTail(t *testing.T) {
+	l := New()
+	l.SetGroupCommit(GroupConfig{MaxBatch: 4, MaxHold: time.Millisecond})
+	for txn := uint64(1); txn <= 6; txn++ {
+		ap(t, l, Record{Txn: txn, Type: RecInsert, Table: 1, RID: txn, After: []byte{byte(txn)}})
+		ap(t, l, Record{Txn: txn, Type: RecCommit})
+	}
+	// Unforced tail: a data record of an in-flight transaction.
+	ap(t, l, Record{Txn: 99, Type: RecInsert, Table: 1, RID: 99, After: []byte{9}})
+	l.CrashTail(rng.New(42))
+	recs, _, _ := l.Scan()
+	committed := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Type == RecCommit {
+			committed[r.Txn] = true
+		}
+	}
+	for txn := uint64(1); txn <= 6; txn++ {
+		if !committed[txn] {
+			t.Errorf("acknowledged commit %d lost to tail damage", txn)
+		}
+	}
+}
+
+// TestGroupCommitSequentialDoesNotStall checks a lone committer is not
+// blocked beyond MaxHold waiting for followers that never arrive.
+func TestGroupCommitSequentialDoesNotStall(t *testing.T) {
+	l := New()
+	l.SetGroupCommit(GroupConfig{MaxBatch: 64, MaxHold: 5 * time.Millisecond})
+	start := time.Now()
+	ap(t, l, Record{Txn: 1, Type: RecCommit})
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("lone commit took %v", d)
+	}
+	if l.Forces() != 1 {
+		t.Errorf("Forces = %d, want 1", l.Forces())
+	}
+}

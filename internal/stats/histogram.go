@@ -44,6 +44,24 @@ func (h *Histogram) Add(v int64) {
 	}
 }
 
+// Merge adds another histogram's observations into h. Both histograms
+// must share the same bucket width and bucket count (parallel workers
+// accumulate privately and merge after joining).
+func (h *Histogram) Merge(o *Histogram) {
+	if h.width != o.width || len(h.counts) != len(o.counts) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.overflow += o.overflow
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 

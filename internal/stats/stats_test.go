@@ -235,6 +235,38 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 5)
+	b := NewHistogram(10, 5)
+	merged := NewHistogram(10, 5)
+	for _, v := range []int64{0, 9, 50} {
+		a.Add(v)
+		merged.Add(v)
+	}
+	for _, v := range []int64{10, 49, 1000} {
+		b.Add(v)
+		merged.Add(v)
+	}
+	a.Merge(b)
+	if a.Total() != merged.Total() || a.Overflow() != merged.Overflow() ||
+		a.Max() != merged.Max() || a.Mean() != merged.Mean() {
+		t.Errorf("merged total/overflow/max/mean = %d/%d/%d/%v, want %d/%d/%d/%v",
+			a.Total(), a.Overflow(), a.Max(), a.Mean(),
+			merged.Total(), merged.Overflow(), merged.Max(), merged.Mean())
+	}
+	for i := 0; i < a.Buckets(); i++ {
+		if a.Bucket(i) != merged.Bucket(i) {
+			t.Errorf("bucket %d = %d, want %d", i, a.Bucket(i), merged.Bucket(i))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched geometries did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(5, 5))
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram(1, 100)
 	for v := int64(0); v < 100; v++ {

@@ -244,6 +244,10 @@ const (
 	// PayByNameProb is the probability the customer is selected by last
 	// name (returning three tuples on average) rather than by id.
 	PayByNameProb = 0.60
+	// PaymentMinCents/PaymentMaxCents bound the Payment amount: the
+	// benchmark draws uniformly from [$1.00, $5000.00] (clause 2.5.1.1).
+	PaymentMinCents = 100
+	PaymentMaxCents = 500000
 	// AvgTuplesPerNameSelect is the mean number of customer tuples
 	// qualifying for a select-by-name.
 	AvgTuplesPerNameSelect = 3
