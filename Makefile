@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-sweep bench-kernel bench-commit torture repro repro-full fuzz \
-	xval cover regen-golden regen-fuzz-corpus clean
+.PHONY: all build test race bench bench-sweep bench-kernel bench-commit torture shard-torture \
+	shard-xval repro repro-full fuzz xval cover regen-golden regen-fuzz-corpus clean
 
 all: build test
 
@@ -12,7 +12,7 @@ build:
 test:
 	go vet ./...
 	go test ./...
-	go test -race ./internal/engine/...
+	go test -race -short ./internal/engine/...
 
 race:
 	go test -race ./...
@@ -47,6 +47,24 @@ regen-fuzz-corpus:
 torture:
 	go run ./cmd/tpcc-torture -v
 
+# Shard-kill torture over the warehouse-sharded cluster: kills at 2PC
+# protocol points (mid-prepare, post-prepare, pre-participant-commit,
+# during in-doubt resolution), cluster-wide power loss, recovery, and
+# resolution; fails on any lost acked commit, orphaned in-doubt branch,
+# broken cross-shard atomicity, or consistency violation. The reduced
+# campaign doubles as the CI smoke step; the -race leg reruns the
+# in-process reduced campaign under the race detector.
+shard-torture:
+	go run ./cmd/tpcc-shard -torture -seeds 2 -schedules 4 -txns 200 -workers 4 -v
+	go test -race -short -run TestShardTortureReduced ./internal/engine/shard/
+
+# Appendix A cross-shard validation gate: drive a real 3-shard cluster
+# with elevated remote probabilities and compare the measured remote-call
+# rates against model.DistConfig.Expect() (Tables 6/7). Exits 1 on
+# disagreement.
+shard-xval:
+	go run ./cmd/tpcc-shard -xval -shards 3 -txns 4000 -remote-stock 0.1 -remote-pay 0.3
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -79,6 +97,7 @@ repro-full:
 fuzz:
 	go test -fuzz FuzzDecodeRecord -fuzztime 30s ./internal/engine/wal/
 	go test -fuzz FuzzLogMutation -fuzztime 30s ./internal/engine/wal/
+	go test -fuzz Fuzz2PCLog -fuzztime 30s ./internal/engine/wal/
 	go test -fuzz FuzzBTreeOps -fuzztime 30s ./internal/engine/index/
 	go test -fuzz FuzzExactPMFPaths -fuzztime 30s ./internal/nurand/
 

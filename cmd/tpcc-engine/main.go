@@ -23,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"tpccmodel/internal/cliutil"
@@ -241,7 +240,7 @@ func runCommitCell(seed uint64, txns, warmup, workers int, group wal.GroupConfig
 func runBenchCommit(path string, seed uint64, group wal.GroupConfig) error {
 	const txns, warmup = 8000, 500
 	type report struct {
-		Cores      int          `json:"cores"`
+		cliutil.Hardware
 		Warehouses int          `json:"warehouses"`
 		Txns       int          `json:"txns_per_cell"`
 		MaxBatch   int          `json:"gc_max_batch"`
@@ -249,7 +248,7 @@ func runBenchCommit(path string, seed uint64, group wal.GroupConfig) error {
 		Cells      []commitCell `json:"cells"`
 	}
 	rep := report{
-		Cores:      runtime.NumCPU(),
+		Hardware:   cliutil.HardwareInfo(),
 		Warehouses: 1,
 		Txns:       txns,
 		MaxBatch:   group.MaxBatch,

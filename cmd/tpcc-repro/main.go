@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"time"
 
 	"tpccmodel/internal/cliutil"
@@ -254,12 +253,12 @@ func runBenchSweep(path string) error {
 		Identical bool    `json:"output_identical_to_serial"`
 	}
 	report := struct {
-		Cores     int        `json:"cores"`
+		cliutil.Hardware
 		Scale     string     `json:"scale"`
 		GridCells int        `json:"grid_cells"`
 		Runs      []benchRun `json:"runs"`
 	}{
-		Cores:     runtime.NumCPU(),
+		Hardware:  cliutil.HardwareInfo(),
 		Scale:     "reduced",
 		GridCells: len(policies) * 2,
 	}
@@ -401,7 +400,7 @@ func runBenchKernel(path string) error {
 		Identical bool    `json:"output_identical_to_seed"`
 	}
 	report := struct {
-		Cores           int         `json:"cores"`
+		cliutil.Hardware
 		Scale           string      `json:"scale"`
 		Warehouses      int         `json:"warehouses"`
 		Transactions    int64       `json:"transactions"`
@@ -411,7 +410,7 @@ func runBenchKernel(path string) error {
 		MapPagesSeconds float64     `json:"map_pages_seconds"`
 		Runs            []kernelRun `json:"runs"`
 	}{
-		Cores:           runtime.NumCPU(),
+		Hardware:        cliutil.HardwareInfo(),
 		Scale:           "reduced",
 		Warehouses:      opts.Warehouses,
 		Transactions:    txns,

@@ -13,6 +13,26 @@ import (
 	"tpccmodel/internal/parallel"
 )
 
+// Hardware identifies the machine a benchmark report was measured on.
+// Every BENCH_*.json embeds it so checked-in numbers carry their
+// provenance: speedup figures from a 1-core container say so.
+type Hardware struct {
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OSArch     string `json:"os_arch"`
+}
+
+// HardwareInfo snapshots the current machine.
+func HardwareInfo() Hardware {
+	return Hardware{
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OSArch:     runtime.GOOS + "/" + runtime.GOARCH,
+	}
+}
+
 // Fail prints "tool: message", then the flag usage, and exits 2 (the
 // conventional bad-invocation status).
 func Fail(tool, format string, args ...any) {

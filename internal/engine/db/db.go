@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/engine/bufmgr"
@@ -151,6 +152,13 @@ type DB struct {
 	// lastRecovery holds the stats of the most recent Recover call; only
 	// read/written on the quiesced recovery path.
 	lastRecovery wal.RecoverStats
+
+	// Two-phase-commit state: durable+in-memory gid outcomes (this
+	// instance acting as coordinator) and the in-doubt branches the last
+	// recovery surfaced (this instance acting as participant).
+	distMu   sync.Mutex
+	outcomes map[uint64]bool
+	inDoubt  []wal.InDoubtTxn
 }
 
 // Options customizes the engine's I/O substrate; the zero value gives a
@@ -164,6 +172,10 @@ type Options struct {
 	// GroupCommit configures WAL commit batching; the zero value keeps
 	// the seed behavior of one forced log write per commit/abort.
 	GroupCommit wal.GroupConfig
+	// LockWaitTimeout bounds row-lock waits (0 = wait forever). Sharded
+	// execution must set it: cross-shard deadlock cycles are invisible to
+	// any single shard's wait-for graph.
+	LockWaitTimeout time.Duration
 }
 
 // Open creates an empty database instance (no data loaded) on fault-free
@@ -191,6 +203,7 @@ func OpenWith(cfg Config, opts Options) (*DB, error) {
 	}
 	d.log.SetFaultHook(opts.LogHook)
 	d.log.SetGroupCommit(opts.GroupCommit)
+	d.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	d.buf = bufmgr.New(d.store, cfg.BufferPages)
 	// The WAL rule: no dirty page reaches the store before the log
 	// records covering it are durable.
@@ -333,7 +346,12 @@ func (a heapApplier) Apply(rid uint64, image []byte) error {
 
 // Recover restores a consistent committed state after Crash: heaps are
 // reattached over the durable pages, the log is replayed, and all indexes
-// are rebuilt from the heaps.
+// are rebuilt from the heaps. Distributed bookkeeping is restored too:
+// durable gid decisions reload the coordinator outcome map, prepared
+// branches with no decision become in-doubt (rolled back to before-images
+// per presumed abort, exclusive row locks re-acquired so other
+// transactions cannot overwrite rows a commit decision may re-apply), and
+// the transaction-id sequence restarts past every logged id.
 func (d *DB) Recover() error {
 	appliers := make(map[uint32]wal.Applier, core.NumRelations)
 	for _, rel := range core.Relations() {
@@ -342,12 +360,27 @@ func (d *DB) Recover() error {
 		}
 		appliers[uint32(rel)] = heapApplier{h: d.heaps[rel]}
 	}
-	st, err := wal.Recover(d.log, appliers)
+	st, dist, err := wal.RecoverDist(d.log, appliers)
 	d.lastRecovery = st
 	if err != nil {
 		return err
 	}
-	return d.RebuildIndexes()
+	if d.txnSeq.Load() < dist.MaxTxn {
+		d.txnSeq.Store(dist.MaxTxn)
+	}
+	d.distMu.Lock()
+	if d.outcomes == nil {
+		d.outcomes = make(map[uint64]bool)
+	}
+	for gid, committed := range dist.Decisions {
+		d.outcomes[gid] = committed
+	}
+	d.inDoubt = dist.InDoubt
+	d.distMu.Unlock()
+	if err := d.RebuildIndexes(); err != nil {
+		return err
+	}
+	return d.relockInDoubt(dist.InDoubt)
 }
 
 // RebuildIndexes reconstructs every index from the heap contents.

@@ -11,11 +11,15 @@ import (
 	"tpccmodel/internal/tpcc"
 )
 
-// OrderItem is one requested line of a New-Order transaction.
+// OrderItem is one requested line of a New-Order transaction. Remote
+// marks lines supplied by a warehouse on another shard: SupplyW then
+// holds a GLOBAL warehouse id (it may numerically collide with a local
+// id, so remoteness must come from this flag, never from SupplyW != W).
 type OrderItem struct {
 	IID     int64
 	SupplyW int64
 	Qty     int64
+	Remote  bool
 }
 
 // NewOrderInput parameterizes the New-Order transaction.
@@ -268,7 +272,7 @@ func (d *DB) Payment(in PaymentInput) error {
 	cid := in.C
 	if in.ByName {
 		var err error
-		cid, err = t.middleCustomerByName(in.CW, in.CD, in.NameOrd, buf)
+		cid, _, err = t.middleCustomerByName(in.CW, in.CD, in.NameOrd, buf)
 		if err != nil {
 			return t.fail(err)
 		}
@@ -320,8 +324,9 @@ func (d *DB) Payment(in PaymentInput) error {
 
 // middleCustomerByName implements the benchmark's non-unique select: all
 // customers of (w, d) sharing the last name are read (under S locks) and
-// the middle one by customer id is returned.
-func (t *txn) middleCustomerByName(w, d, nameOrd int64, buf []byte) (int64, error) {
+// the middle one by customer id is returned, along with how many tuples
+// the select touched (the Appendix A RC_cust remote-call measurement).
+func (t *txn) middleCustomerByName(w, d, nameOrd int64, buf []byte) (int64, int, error) {
 	lo, hi := index.RangeWDNC(w, d, nameOrd)
 	type hit struct {
 		cid int64
@@ -333,19 +338,19 @@ func (t *txn) middleCustomerByName(w, d, nameOrd int64, buf []byte) (int64, erro
 		return true
 	})
 	if len(hits) == 0 {
-		return 0, fmt.Errorf("db: no customer named %d in (%d,%d)", nameOrd, w, d)
+		return 0, 0, fmt.Errorf("db: no customer named %d in (%d,%d)", nameOrd, w, d)
 	}
 	sort.Slice(hits, func(i, j int) bool { return hits[i].cid < hits[j].cid })
 	clen := tpcc.TupleLen[core.Customer]
 	for _, h := range hits {
 		if err := t.lockRow(core.Customer, index.KeyWDC(w, d, h.cid), lock.Shared); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if err := t.readRec(core.Customer, storage.UnpackRID(h.rid), buf[:clen]); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	return hits[len(hits)/2].cid, nil
+	return hits[len(hits)/2].cid, len(hits), nil
 }
 
 // OrderStatusInput parameterizes the Order-Status transaction.
@@ -372,7 +377,7 @@ func (d *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 	cid := in.C
 	if in.ByName {
 		var err error
-		cid, err = t.middleCustomerByName(in.W, in.D, in.NameOrd, buf)
+		cid, _, err = t.middleCustomerByName(in.W, in.D, in.NameOrd, buf)
 		if err != nil {
 			return res, t.fail(err)
 		}

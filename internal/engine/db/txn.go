@@ -39,9 +39,19 @@ func (t *txn) lockRow(rel core.Relation, row uint64, mode lock.Mode) error {
 // commit forces a commit record and releases locks. A force failure means
 // the commit never became durable: the caller must roll back and report
 // the transaction as failed (it was not acknowledged).
-func (t *txn) commit() error {
-	if _, err := t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit}); err != nil {
+func (t *txn) commit() error { return t.commitWith(0) }
+
+// commitWith is commit carrying a global transaction id in the record's
+// RID field (0 for purely local transactions). For a distributed
+// transaction's home branch this forced record IS the global decision:
+// its durability makes the whole transaction committed, and recovery
+// rebuilds the coordinator's outcome map from it.
+func (t *txn) commitWith(gid uint64) error {
+	if _, err := t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit, RID: gid}); err != nil {
 		return err
+	}
+	if gid != 0 {
+		t.d.setOutcome(gid, true)
 	}
 	t.d.locks.ReleaseAll(t.id)
 	t.d.commits.Add(1)
@@ -49,7 +59,13 @@ func (t *txn) commit() error {
 }
 
 // rollback applies the undo list in reverse, logs an abort, and releases.
-func (t *txn) rollback() error {
+func (t *txn) rollback() error { return t.rollbackWith(0) }
+
+// rollbackWith is rollback carrying a global transaction id (0 for local
+// transactions). Under presumed abort the durable abort record is an
+// optimization, not a requirement: a gid with no durable decision reads
+// as aborted anyway.
+func (t *txn) rollbackWith(gid uint64) error {
 	var firstErr error
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		if err := t.undo[i](); err != nil && firstErr == nil {
@@ -58,7 +74,10 @@ func (t *txn) rollback() error {
 	}
 	// A failed abort force is benign: recovery treats the transaction as
 	// uncommitted either way and restores before-images.
-	_, _ = t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecAbort})
+	_, _ = t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecAbort, RID: gid})
+	if gid != 0 {
+		t.d.setOutcome(gid, false)
+	}
 	t.d.locks.ReleaseAll(t.id)
 	t.d.aborts.Add(1)
 	if firstErr != nil {

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"fmt"
+
+	"tpccmodel/internal/rng"
+)
+
+// ShardKillPoint names a step of the two-phase-commit protocol at which
+// a shard kill may be injected. The shard coordinator fires its kill
+// hook at each of these points; a torture campaign arms a plan that
+// kills a chosen shard when a chosen point fires, covering every
+// in-doubt window of the protocol.
+type ShardKillPoint int
+
+// Kill points, in protocol order.
+const (
+	// KillMidPrepare fires after the first participant prepared but
+	// before the remaining participants (or the decision): a killed
+	// participant recovers with a prepared, undecided branch.
+	KillMidPrepare ShardKillPoint = iota
+	// KillAfterPrepare fires when every participant has prepared but
+	// the coordinator's decision record is not yet durable — killing
+	// the coordinator here exercises presumed abort, killing a
+	// participant exercises commit-side in-doubt resolution.
+	KillAfterPrepare
+	// KillBeforeParticipantCommit fires after the decision record is
+	// durable but before participants learn it.
+	KillBeforeParticipantCommit
+	// KillDuringResolve fires while a recovering shard is resolving an
+	// in-doubt branch against its coordinator.
+	KillDuringResolve
+	// NumShardKillPoints counts the points above.
+	NumShardKillPoints
+)
+
+// String names the point.
+func (p ShardKillPoint) String() string {
+	switch p {
+	case KillMidPrepare:
+		return "mid-prepare"
+	case KillAfterPrepare:
+		return "after-prepare"
+	case KillBeforeParticipantCommit:
+		return "before-participant-commit"
+	case KillDuringResolve:
+		return "during-resolve"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// ShardKillPlan is one armed kill: when Point fires (for any gid), the
+// Victim shard dies. A plan fires at most once.
+type ShardKillPlan struct {
+	Point  ShardKillPoint
+	Victim int
+	// CoordinatorVictim marks plans whose victim is chosen to be the
+	// transaction's own coordinator rather than a participant; the
+	// executing hook substitutes the coordinator shard at fire time.
+	CoordinatorVictim bool
+}
+
+// NewShardKillPlan draws a deterministic plan from r for a cluster of
+// n shards: a uniform kill point, a uniform victim, and a coin for
+// whether the victim should be the coordinator itself (the most
+// delicate crash: its forced commit record IS the global decision).
+func NewShardKillPlan(r *rng.RNG, n int) ShardKillPlan {
+	return ShardKillPlan{
+		Point:             ShardKillPoint(r.Int63n(int64(NumShardKillPoints))),
+		Victim:            int(r.Int63n(int64(n))),
+		CoordinatorVictim: r.Bernoulli(0.5),
+	}
+}

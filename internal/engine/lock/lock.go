@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -43,6 +44,14 @@ func (k Key) String() string { return fmt.Sprintf("t%d/%d", k.Table, k.Row) }
 // ErrDeadlock is returned to the transaction chosen as the deadlock victim.
 var ErrDeadlock = errors.New("lock: deadlock detected")
 
+// ErrTimeout is returned when a bounded wait expires. It matches
+// ErrDeadlock under errors.Is, because a timeout is how cross-engine
+// deadlocks surface: each engine's wait-for graph is local, so a cycle
+// spanning two engines (a distributed transaction holding locks on both)
+// is invisible to either detector and can only be broken by timing the
+// wait out and aborting, exactly like a deadlock victim.
+var ErrTimeout = fmt.Errorf("lock: wait timed out: %w", ErrDeadlock)
+
 // TxnID identifies a transaction.
 type TxnID uint64
 
@@ -68,9 +77,13 @@ type Manager struct {
 	// waitFor[a] = set of txns a is waiting on (for cycle detection).
 	waitFor map[TxnID]map[TxnID]struct{}
 
+	// waitTimeout bounds every wait; 0 waits forever.
+	waitTimeout time.Duration
+
 	acquired  int64
 	waits     int64
 	deadlocks int64
+	timeouts  int64
 }
 
 // NewManager creates an empty lock manager.
@@ -87,6 +100,23 @@ func (m *Manager) Counts() (acquired, waits, deadlocks int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.acquired, m.waits, m.deadlocks
+}
+
+// Timeouts returns the number of waits that expired (SetWaitTimeout).
+func (m *Manager) Timeouts() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.timeouts
+}
+
+// SetWaitTimeout bounds every lock wait; 0 (the default) waits forever.
+// Expired waits fail with ErrTimeout, which transaction layers handle as
+// a deadlock abort. Distributed execution requires a bound: cross-engine
+// wait cycles never appear in any single wait-for graph.
+func (m *Manager) SetWaitTimeout(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.waitTimeout = d
 }
 
 // HeldBy returns the number of locks txn currently holds.
@@ -196,9 +226,21 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		ls.queue = append(ls.queue, req)
 	}
 	m.waits++
+	timeout := m.waitTimeout
 	m.mu.Unlock()
 
-	err := <-req.ready
+	var err error
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		select {
+		case err = <-req.ready:
+			t.Stop()
+		case <-t.C:
+			err = m.expireWait(txn, key, req)
+		}
+	} else {
+		err = <-req.ready
+	}
 	if err == nil {
 		m.mu.Lock()
 		m.noteHeld(txn, key, mode)
@@ -207,6 +249,36 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		m.mu.Unlock()
 	}
 	return err
+}
+
+// expireWait removes a timed-out waiter from the queue. It races against
+// a concurrent grant (promote) or cancellation (ReleaseAll): both resolve
+// req.ready while holding m.mu, so under the mutex either the request is
+// still queued ungranted — remove it and fail with ErrTimeout — or its
+// outcome is already in the buffered channel and the timeout loses.
+func (m *Manager) expireWait(txn TxnID, key Key, req *request) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case err := <-req.ready:
+		return err
+	default:
+	}
+	ls := m.locks[key]
+	if ls != nil {
+		for i, r := range ls.queue {
+			if r == req {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(m.waitFor, txn)
+	m.timeouts++
+	if ls != nil {
+		m.promote(key, ls)
+	}
+	return ErrTimeout
 }
 
 // cycleFrom reports whether the wait-for graph has a cycle reachable from

@@ -1,0 +1,407 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/db"
+	"tpccmodel/internal/engine/fault"
+	"tpccmodel/internal/engine/storage"
+	"tpccmodel/internal/rng"
+	"tpccmodel/internal/tpcc"
+)
+
+func openCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := Open(DefaultConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// stockRow scans shard d for the (local warehouse, item) stock tuple.
+func stockRow(t *testing.T, d *db.DB, w, i int64) db.StockRec {
+	t.Helper()
+	var rec db.StockRec
+	found := false
+	err := d.Heap(core.Stock).Scan(func(_ storage.RID, b []byte) bool {
+		var r db.StockRec
+		r.Unmarshal(b[:tpcc.TupleLen[core.Stock]])
+		if int64(r.WID) == w && int64(r.IID) == i {
+			rec, found = r, true
+			return false
+		}
+		return true
+	})
+	if err != nil || !found {
+		t.Fatalf("stock (%d,%d): err=%v found=%v", w, i, err, found)
+	}
+	return rec
+}
+
+func customerRow(t *testing.T, d *db.DB, w, dd, c int64) db.CustomerRec {
+	t.Helper()
+	var rec db.CustomerRec
+	found := false
+	err := d.Heap(core.Customer).Scan(func(_ storage.RID, b []byte) bool {
+		var r db.CustomerRec
+		r.Unmarshal(b[:tpcc.TupleLen[core.Customer]])
+		if int64(r.WID) == w && int64(r.DID) == dd && int64(r.ID) == c {
+			rec, found = r, true
+			return false
+		}
+		return true
+	})
+	if err != nil || !found {
+		t.Fatalf("customer (%d,%d,%d): err=%v found=%v", w, dd, c, err, found)
+	}
+	return rec
+}
+
+// recoverAll recovers every down shard and resolves all in-doubt
+// branches, looping because a resolution-window kill can take a shard
+// back down.
+func recoverAll(t *testing.T, c *Cluster, r *rng.RNG) {
+	t.Helper()
+	for round := 0; round < 2+int(fault.NumShardKillPoints); round++ {
+		ok := true
+		for id, s := range c.shards {
+			if !s.Down() {
+				continue
+			}
+			if err := c.RecoverShard(id, r); err != nil {
+				ok = false
+			}
+		}
+		if err := c.ResolveInDoubtAll(); err != nil {
+			ok = false
+		}
+		if ok {
+			return
+		}
+	}
+	t.Fatal("cluster did not recover within the round budget")
+}
+
+// checkAtomicity asserts the exact cluster-wide invariant: stock YTD and
+// order-line quantity grew by the same amount since base.
+func checkAtomicity(t *testing.T, c *Cluster, base clusterBaseline) {
+	t.Helper()
+	live, err := measureCluster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := live.stockYTD-base.stockYTD, live.olQty-base.olQty; d1 != d2 {
+		t.Fatalf("cross-shard atomicity: stock YTD +%d vs order-line qty +%d", d1, d2)
+	}
+}
+
+func TestCrossShardNewOrder(t *testing.T) {
+	c := openCluster(t, 3)
+	const iid = 5
+	s0 := stockRow(t, c.Shard(1).DB, 0, iid)
+
+	// Home shard 0, one line supplied by shard 1 (global warehouse 1).
+	res, err := c.ExecNewOrder(db.NewOrderInput{W: 0, D: 0, C: 0, Items: []db.OrderItem{
+		{IID: 7, SupplyW: 0, Qty: 2},
+		{IID: iid, SupplyW: 1, Qty: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteLines != 1 {
+		t.Fatalf("RemoteLines = %d, want 1", res.RemoteLines)
+	}
+	s1 := stockRow(t, c.Shard(1).DB, 0, iid)
+	if s1.YTD != s0.YTD+4 || s1.RemoteCnt != s0.RemoteCnt+1 {
+		t.Fatalf("participant stock not updated: before %+v after %+v", s0, s1)
+	}
+	if st := c.Shard(0).Stats(); st.DistCommits != 1 {
+		t.Fatalf("coordinator DistCommits = %d, want 1", st.DistCommits)
+	}
+	if st := c.Shard(1).Stats(); st.ParticipantCommits != 1 {
+		t.Fatalf("participant ParticipantCommits = %d, want 1", st.ParticipantCommits)
+	}
+
+	// A fully local order on shard 2 takes the fast path.
+	if _, err := c.ExecNewOrder(db.NewOrderInput{W: 2, D: 1, C: 1, Items: []db.OrderItem{
+		{IID: 11, SupplyW: 2, Qty: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Shard(2).Stats(); st.LocalCommits != 1 || st.DistCommits != 0 {
+		t.Fatalf("local fast path miscounted: %+v", st)
+	}
+	if err := c.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossShardPayment(t *testing.T) {
+	c := openCluster(t, 3)
+	const cid = 3
+	c0 := customerRow(t, c.Shard(1).DB, 0, 2, cid)
+
+	// Home warehouse 0, customer resident on shard 1 (global warehouse 1).
+	calls, err := c.ExecPayment(db.PaymentInput{
+		W: 0, D: 1, CW: 1, CD: 2, ByName: false, C: cid, AmountCents: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 { // one selected tuple + one write-back
+		t.Fatalf("remote customer calls = %d, want 2", calls)
+	}
+	c1 := customerRow(t, c.Shard(1).DB, 0, 2, cid)
+	if c1.YTDPayCents != c0.YTDPayCents+500 || c1.PaymentCount != c0.PaymentCount+1 {
+		t.Fatalf("remote customer not updated: before %+v after %+v", c0, c1)
+	}
+	// The home history row carries the GLOBAL customer coordinates.
+	found := false
+	hlen := tpcc.TupleLen[core.History]
+	err = c.Shard(0).DB.Heap(core.History).Scan(func(_ storage.RID, b []byte) bool {
+		var h db.HistoryRec
+		h.Unmarshal(b[:hlen])
+		if h.CWID == 1 && h.CDID == 2 && h.CID == cid && h.AmountCents == 500 {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil || !found {
+		t.Fatalf("home history row with global coords: err=%v found=%v", err, found)
+	}
+	if err := c.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillPoints kills a shard inside each 2PC protocol window and
+// asserts the cluster recovers to an exact, fully resolved state.
+func TestKillPoints(t *testing.T) {
+	cases := []struct {
+		name    string
+		point   KillPoint
+		victim  int
+		wantErr error // nil = the transaction must be acknowledged
+		// applied reports whether the acked/aborted outcome must leave
+		// the participant updates visible after recovery.
+		applied bool
+	}{
+		// Second participant dies mid-prepare: global abort, no updates.
+		{"mid-prepare-participant", fault.KillMidPrepare, 2, ErrShardDown, false},
+		// Participant dies after voting yes: the decision is still
+		// committed; recovery resolves the in-doubt branch to commit.
+		{"after-prepare-participant", fault.KillAfterPrepare, 1, nil, true},
+		// Coordinator dies before deciding: presumed abort.
+		{"after-prepare-coordinator", fault.KillAfterPrepare, 0, ErrCoordinatorDown, false},
+		// Participant dies after the durable decision, before its own
+		// commit: forsaken, resolved to commit at recovery.
+		{"before-participant-commit", fault.KillBeforeParticipantCommit, 1, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := openCluster(t, 3)
+			base, err := measureCluster(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const iid = 21
+			p1stock := stockRow(t, c.Shard(1).DB, 0, iid)
+
+			fired := false
+			c.SetKillHook(func(p KillPoint, gid uint64) {
+				if p == tc.point && !fired {
+					fired = true
+					c.KillShard(tc.victim)
+				}
+			})
+			res, execErr := c.ExecNewOrder(db.NewOrderInput{W: 0, D: 0, C: 0,
+				Items: []db.OrderItem{
+					{IID: iid, SupplyW: 1, Qty: 6},
+					{IID: 33, SupplyW: 2, Qty: 2},
+				}})
+			c.SetKillHook(nil)
+			if !fired {
+				t.Fatal("kill point never fired")
+			}
+			if tc.wantErr == nil {
+				if execErr != nil {
+					t.Fatalf("exec: %v, want acknowledged commit", execErr)
+				}
+				if res.OID == 0 && res.TotalCents == 0 {
+					t.Fatal("acknowledged commit returned an empty result")
+				}
+			} else if !errors.Is(execErr, tc.wantErr) {
+				t.Fatalf("exec err = %v, want %v", execErr, tc.wantErr)
+			}
+
+			if n := c.Quiesce(0); n > 0 {
+				t.Logf("%d participant commits parked for recovery", n)
+			}
+			recoverAll(t, c, rng.New(99))
+			for _, s := range c.shards {
+				if n := len(s.DB.InDoubt()); n > 0 {
+					t.Fatalf("shard %d: %d orphaned in-doubt branches", s.ID, n)
+				}
+			}
+			checkAtomicity(t, c, base)
+			if err := c.CheckAll(); err != nil {
+				t.Fatal(err)
+			}
+			got := stockRow(t, c.Shard(1).DB, 0, iid)
+			if tc.applied && got.YTD != p1stock.YTD+6 {
+				t.Fatalf("acked update lost: participant YTD %d, want %d", got.YTD, p1stock.YTD+6)
+			}
+			if !tc.applied && got.YTD != p1stock.YTD {
+				t.Fatalf("aborted update leaked: participant YTD %d, want %d", got.YTD, p1stock.YTD)
+			}
+		})
+	}
+}
+
+// TestKillDuringResolve re-kills the participant inside its own in-doubt
+// resolution; a second recovery round must settle it.
+func TestKillDuringResolve(t *testing.T) {
+	c := openCluster(t, 3)
+	base, err := measureCluster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iid = 40
+	s0 := stockRow(t, c.Shard(1).DB, 0, iid)
+
+	killed := 0
+	c.SetKillHook(func(p KillPoint, gid uint64) {
+		switch {
+		case p == fault.KillAfterPrepare && killed == 0:
+			killed = 1
+			c.KillShard(1)
+		case p == fault.KillDuringResolve && killed == 1:
+			killed = 2
+			c.KillShard(1)
+		}
+	})
+	if _, err := c.ExecNewOrder(db.NewOrderInput{W: 0, D: 0, C: 0,
+		Items: []db.OrderItem{{IID: iid, SupplyW: 1, Qty: 3}}}); err != nil {
+		t.Fatalf("exec: %v, want acknowledged commit", err)
+	}
+	recoverAll(t, c, rng.New(123))
+	c.SetKillHook(nil)
+	if killed != 2 {
+		t.Fatalf("kill sequence stopped at %d, want both windows hit", killed)
+	}
+	if n := len(c.Shard(1).DB.InDoubt()); n != 0 {
+		t.Fatalf("%d branches still in doubt", n)
+	}
+	if got := stockRow(t, c.Shard(1).DB, 0, iid); got.YTD != s0.YTD+3 {
+		t.Fatalf("acked update lost across resolve-window kill: YTD %d, want %d", got.YTD, s0.YTD+3)
+	}
+	checkAtomicity(t, c, base)
+	if err := c.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulDegradation holds one shard down: remote work needing it
+// is refused with typed errors and counted, local work keeps committing.
+func TestGracefulDegradation(t *testing.T) {
+	c := openCluster(t, 3)
+	c.KillShard(2)
+
+	// Remote line supplied by the dead shard: typed refusal at the
+	// coordinator, counted as a shed.
+	_, err := c.ExecNewOrder(db.NewOrderInput{W: 0, D: 0, C: 0,
+		Items: []db.OrderItem{{IID: 1, SupplyW: 2, Qty: 1}}})
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("dead participant: err = %v, want ErrShardDown", err)
+	}
+	// Home on the dead shard itself.
+	_, err = c.ExecNewOrder(db.NewOrderInput{W: 2, D: 0, C: 0,
+		Items: []db.OrderItem{{IID: 1, SupplyW: 2, Qty: 1}}})
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("dead home: err = %v, want ErrShardDown", err)
+	}
+	// Remote customer on the dead shard.
+	if _, err := c.ExecPayment(db.PaymentInput{W: 0, D: 0, CW: 2, CD: 0, C: 0,
+		AmountCents: 100}); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("dead customer shard: err = %v, want ErrShardDown", err)
+	}
+	// Local traffic on the survivors still commits.
+	if _, err := c.ExecNewOrder(db.NewOrderInput{W: 0, D: 1, C: 1,
+		Items: []db.OrderItem{{IID: 2, SupplyW: 0, Qty: 1}}}); err != nil {
+		t.Fatalf("local commit on survivor: %v", err)
+	}
+	st0, st2 := c.Shard(0).Stats(), c.Shard(2).Stats()
+	if st0.Sheds != 2 { // dead participant + dead customer shard
+		t.Fatalf("coordinator sheds = %d, want 2", st0.Sheds)
+	}
+	if st2.DownSheds != 1 {
+		t.Fatalf("dead shard downSheds = %d, want 1", st2.DownSheds)
+	}
+	if st0.LocalCommits != 1 {
+		t.Fatalf("survivor local commits = %d, want 1", st0.LocalCommits)
+	}
+
+	// Revive and verify the cluster is whole.
+	if err := c.RecoverShard(2, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCleanCluster drives the concurrent runner with elevated remote
+// probabilities on a healthy cluster: everything must be acknowledged.
+func TestRunCleanCluster(t *testing.T) {
+	c := openCluster(t, 3)
+	base, err := measureCluster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 300
+	st, err := Run(c, 42, tpcc.DefaultMix(), total, 4, db.DefaultRetryPolicy(), 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Quiesce(0); n > 0 {
+		t.Fatalf("%d participant commits pending on a healthy cluster", n)
+	}
+	if got := st.Acknowledged(); got != total {
+		t.Fatalf("acknowledged %d of %d (sheds=%d)", got, total, st.Sheds)
+	}
+	if st.Sheds != 0 {
+		t.Fatalf("sheds = %d on a healthy cluster", st.Sheds)
+	}
+	if st.Xval.NewOrders > 20 && st.Xval.ERs == 0 {
+		t.Fatal("no remote stock lines measured at 25% remote probability")
+	}
+	checkAtomicity(t, c, base)
+	if err := c.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardTortureReduced runs a scaled-down campaign (the CI smoke
+// configuration drives the full default via make shard-torture).
+func TestShardTortureReduced(t *testing.T) {
+	cfg := DefaultTortureConfig()
+	cfg.Seeds = 1
+	cfg.Schedules = 4
+	cfg.Txns = 150
+	if testing.Short() {
+		cfg.Schedules = 2
+		cfg.Txns = 80
+	}
+	rep, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("torture violations:\n%v", rep.Violations)
+	}
+	t.Log(rep.Summary())
+}

@@ -38,6 +38,80 @@ func FuzzDecodeRecord(f *testing.F) {
 	})
 }
 
+// Fuzz2PCLog exercises the two-phase-commit record path: a participant
+// branch prepares under a fuzzed gid and is optionally decided, the log
+// tail is cut, and distributed recovery runs. The prepare record's
+// encode/decode round-trip must preserve the gid exactly; recovery must
+// never panic; on an intact log a decided branch must not be in-doubt and
+// an undecided one must be, with its gid intact.
+func Fuzz2PCLog(f *testing.F) {
+	f.Add(uint64(2), uint64(7), false, false, uint16(0))
+	f.Add(uint64(2), uint64(1<<63), true, true, uint16(0))
+	f.Add(uint64(9), uint64(0), true, false, uint16(0))
+	f.Add(uint64(2), uint64(7), true, true, uint16(20))
+	f.Fuzz(func(t *testing.T, txn, gid uint64, decide, commit bool, cut uint16) {
+		// Encode/decode round-trip of the prepare record itself.
+		prep := Record{LSN: 1, Txn: txn, Type: RecPrepare, RID: gid}
+		dec, rest, err := decodeRecord(prep.encode(nil))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("prepare decode failed: %v (rest %d)", err, len(rest))
+		}
+		if dec.Txn != txn || dec.Type != RecPrepare || dec.RID != gid {
+			t.Fatalf("prepare round-trip mismatch: %+v", dec)
+		}
+
+		l := New()
+		app := func(r Record) {
+			if _, err := l.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		app(Record{Txn: txn, Type: RecUpdate, Table: 0, RID: 1,
+			Before: []byte{1}, After: []byte{2}})
+		app(Record{Txn: txn, Type: RecPrepare, RID: gid})
+		if decide {
+			typ := RecAbort
+			if commit {
+				typ = RecCommit
+			}
+			app(Record{Txn: txn, Type: typ, RID: gid})
+		}
+		intact := int(cut) == 0
+		if int(cut) > len(l.data) {
+			cut = uint16(len(l.data))
+		}
+		keep := len(l.data) - int(cut)
+		l.data = l.data[:keep]
+		if l.forcedLen > keep {
+			l.forcedLen = keep
+		}
+
+		tab := newMemTable()
+		_, dist, err := RecoverDist(l, map[uint32]Applier{0: tab})
+		if err != nil {
+			t.Fatalf("distributed recovery errored: %v", err)
+		}
+		if !intact {
+			return
+		}
+		if decide {
+			if len(dist.InDoubt) != 0 {
+				t.Fatalf("decided branch reported in-doubt: %+v", dist.InDoubt)
+			}
+			if gid != 0 {
+				if got, ok := dist.Decisions[gid]; !ok || got != commit {
+					t.Fatalf("decision for gid %d = %v,%v, want %v", gid, got, ok, commit)
+				}
+			}
+		} else {
+			if len(dist.InDoubt) != 1 || dist.InDoubt[0].GID != gid ||
+				dist.InDoubt[0].Txn != txn {
+				t.Fatalf("undecided branch not in-doubt: %+v", dist.InDoubt)
+			}
+		}
+	})
+}
+
 // FuzzLogMutation mutates the serialized bytes of a log whose forced
 // prefix holds a committed transaction, then runs recovery. Recovery must
 // never panic and never error; it must either replay the committed prefix

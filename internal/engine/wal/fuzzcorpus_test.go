@@ -62,6 +62,19 @@ func logMutationSeeds() map[string][]byte {
 	}
 }
 
+// twoPhaseSeeds pins the 2PC log shapes recovery distinguishes: an
+// undecided prepare (in-doubt), durable commit and abort decisions, a
+// zero gid, and a cut that removes the decision record.
+func twoPhaseSeeds() map[string][]byte {
+	return map[string][]byte{
+		"undecided-in-doubt": fuzzcorpus.Marshal(uint64(2), uint64(7), false, false, uint16(0)),
+		"decided-commit":     fuzzcorpus.Marshal(uint64(2), uint64(1)<<63, true, true, uint16(0)),
+		"decided-abort":      fuzzcorpus.Marshal(uint64(9), uint64(11), true, false, uint16(0)),
+		"gid-zero":           fuzzcorpus.Marshal(uint64(9), uint64(0), true, false, uint16(0)),
+		"cut-decision":       fuzzcorpus.Marshal(uint64(2), uint64(7), true, true, uint16(20)),
+	}
+}
+
 // TestFuzzSeedCorpus keeps the checked-in seeds under testdata/fuzz/ in
 // sync with their generators. The seeds double as ordinary corpus cases:
 // plain `go test` runs every file through its fuzz target.
@@ -70,4 +83,6 @@ func TestFuzzSeedCorpus(t *testing.T) {
 		decodeRecordSeeds(t), *regenFuzzCorpus)
 	fuzzcorpus.WriteOrCompare(t, filepath.Join("testdata", "fuzz", "FuzzLogMutation"),
 		logMutationSeeds(), *regenFuzzCorpus)
+	fuzzcorpus.WriteOrCompare(t, filepath.Join("testdata", "fuzz", "Fuzz2PCLog"),
+		twoPhaseSeeds(), *regenFuzzCorpus)
 }

@@ -44,6 +44,11 @@ const (
 	RecDelete
 	RecCommit
 	RecAbort
+	// RecPrepare marks a participant branch of a distributed transaction
+	// as prepared (two-phase commit). Like commit and abort records it is
+	// forced, so a prepared branch survives any crash; its RID field
+	// carries the global transaction id (gid) instead of a row address.
+	RecPrepare
 )
 
 // String names the record type.
@@ -59,9 +64,16 @@ func (t RecType) String() string {
 		return "commit"
 	case RecAbort:
 		return "abort"
+	case RecPrepare:
+		return "prepare"
 	default:
 		return fmt.Sprintf("rec(%d)", uint8(t))
 	}
+}
+
+// forced reports whether records of this type force the log when appended.
+func (t RecType) forced() bool {
+	return t == RecCommit || t == RecAbort || t == RecPrepare
 }
 
 // Log corruption sentinels.
@@ -234,14 +246,15 @@ func (l *Log) GroupCommit() GroupConfig {
 }
 
 // Append writes one record (assigning its LSN) and returns the LSN.
-// Commit and abort records force the log before Append returns; a force
-// failure drops the record entirely and returns the error — the commit
-// was never acknowledged and must not become durable later. With group
-// commit enabled, the force may be performed by another transaction's
-// batch leader, but the durability guarantee at return is identical.
+// Commit, abort, and prepare records force the log before Append returns;
+// a force failure drops the record entirely and returns the error — the
+// commit (or prepare vote) was never acknowledged and must not become
+// durable later. With group commit enabled, the force may be performed by
+// another transaction's batch leader, but the durability guarantee at
+// return is identical.
 func (l *Log) Append(r Record) (LSN, error) {
 	l.mu.Lock()
-	if r.Type == RecCommit || r.Type == RecAbort {
+	if r.Type.forced() {
 		if l.group.Enabled() {
 			return l.appendGrouped(r) // releases l.mu
 		}
@@ -501,67 +514,18 @@ type RecoverStats struct {
 //
 //   - a record of a COMMITTED transaction sets the row's state to its
 //     after-image (nil for a delete);
-//   - a record of an uncommitted or aborted transaction establishes the
-//     row's state as its BEFORE-image, but only if no state is known yet
-//     (strict 2PL guarantees a later committed write supersedes it, and
-//     an earlier committed write already equals that before-image).
+//   - a record of an uncommitted, aborted, or in-doubt (prepared but
+//     undecided) transaction establishes the row's state as its
+//     BEFORE-image, but only if no state is known yet (strict 2PL
+//     guarantees a later committed write supersedes it, and an earlier
+//     committed write already equals that before-image).
 //
 // This is exact under the engine's steal/no-force buffer policy: a dirty
 // uncommitted page flushed before the crash is rolled back by the
 // before-image, and an unflushed committed change is re-applied by the
-// after-image.
+// after-image. RecoverDist additionally surfaces in-doubt transactions so
+// the two-phase-commit layer can resolve them.
 func Recover(l *Log, tables map[uint32]Applier) (RecoverStats, error) {
-	var st RecoverStats
-	recs, valid, scanErr := l.Scan()
-	if scanErr != nil {
-		st.TruncatedBytes = l.Size() - valid
-		st.TailCorrupt = errors.Is(scanErr, ErrCorrupt)
-		l.TruncateTo(valid)
-	}
-	committed := make(map[uint64]bool)
-	for _, r := range recs {
-		if r.Type == RecCommit {
-			committed[r.Txn] = true
-		}
-	}
-	type rowKey struct {
-		table uint32
-		rid   uint64
-	}
-	type rowState struct {
-		image []byte
-		known bool
-	}
-	state := make(map[rowKey]rowState)
-	order := make([]rowKey, 0)
-	for _, r := range recs {
-		switch r.Type {
-		case RecCommit, RecAbort:
-			continue
-		}
-		if _, ok := tables[r.Table]; !ok {
-			return st, fmt.Errorf("wal: no applier for table %d", r.Table)
-		}
-		key := rowKey{table: r.Table, rid: r.RID}
-		cur, seen := state[key]
-		if !seen {
-			order = append(order, key)
-		}
-		if committed[r.Txn] {
-			state[key] = rowState{image: r.After, known: true}
-			continue
-		}
-		st.SkippedUncommitted++
-		if !cur.known {
-			state[key] = rowState{image: r.Before, known: true}
-		}
-	}
-	for _, key := range order {
-		if err := tables[key.table].Apply(key.rid, state[key].image); err != nil {
-			return st, fmt.Errorf("wal: apply table %d rid %d: %w",
-				key.table, key.rid, err)
-		}
-		st.Applied++
-	}
-	return st, nil
+	st, _, err := RecoverDist(l, tables)
+	return st, err
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tpccmodel/internal/core"
+	"tpccmodel/internal/nurand"
 	"tpccmodel/internal/tpcc"
 )
 
@@ -24,6 +25,13 @@ type DistConfig struct {
 	// sharing CC with no remote calls for item) and Table 7
 	// (partitioned: item fetches go remote with probability (N-1)/N).
 	ItemReplicated bool
+	// ByNameSelected is the expected customer tuples a by-name Payment
+	// select touches. Zero means the paper's idealized value of 3
+	// (uniform last names: 3000 customers over 1000 names). An engine
+	// validating against a loader and runtime that both draw last names
+	// from NU(255) should supply NUByNameGroupSize(), the
+	// selection-weighted expectation under that skew.
+	ByNameSelected float64
 }
 
 // DefaultDistConfig returns the benchmark probabilities.
@@ -75,6 +83,25 @@ type Expectations struct {
 	RCItem     float64
 	UItem      float64
 	UStockItem float64
+}
+
+// NUByNameGroupSize returns the expected number of customer tuples a
+// by-name select touches when the loader and the runtime both draw last
+// names from NU(255) over NamesPerDistrict names with the same run
+// constant. Each district's first NamesPerDistrict customers carry
+// distinct names; the remaining extra = CustomersPerDistrict -
+// NamesPerDistrict draw theirs from the distribution, so a name w has
+// expected group size 1 + extra·P(w) and the selection-weighted
+// expectation is 1 + extra·Σ_w P(w)² — about 12.3 under the NU(255)
+// skew, far above the uniform-names value of 3 the paper idealizes to.
+func NUByNameGroupSize() float64 {
+	pmf := nurand.ExactPMF(nurand.Params{A: 255, X: 0, Y: tpcc.NamesPerDistrict - 1})
+	var s2 float64
+	for _, p := range pmf {
+		s2 += p * p
+	}
+	extra := float64(tpcc.CustomersPerDistrict - tpcc.NamesPerDistrict)
+	return 1 + extra*s2
 }
 
 // binomialPMF returns P[j successes in n trials at probability p].
@@ -136,8 +163,13 @@ func (d DistConfig) Expect() Expectations {
 	e.UStock = uniqueSites(pS, n)
 
 	// Customer (Payment): remote with probability 0.15·(N-1)/N; 0.4·1 +
-	// 0.6·3 tuples selected plus one write-back (equation 8).
-	e.RCCust = d.RemotePaymentProb * frac * (0.4*1 + 0.6*3 + 1)
+	// 0.6·byName tuples selected plus one write-back (equation 8, with
+	// the paper's byName = 3).
+	byName := d.ByNameSelected
+	if byName <= 0 {
+		byName = 3
+	}
+	e.RCCust = d.RemotePaymentProb * frac * (0.4*1 + 0.6*byName + 1)
 	e.UCust = d.RemotePaymentProb * frac
 
 	// Item (Appendix A.2), meaningful only when not replicated.

@@ -230,3 +230,89 @@ func TestBinomialPMFSums(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSingleNodePartitioned: N=1 with partitioned Item must still show
+// zero remote work of any kind — there is no other node to call.
+func TestSingleNodePartitioned(t *testing.T) {
+	e := DefaultDistConfig(1, false).Expect()
+	if e.PS != 0 || e.ERs != 0 || e.RCStock != 0 || e.UStock != 0 ||
+		e.PI != 0 || e.ERi != 0 || e.RCItem != 0 || e.UItem != 0 ||
+		e.UStockItem != 0 || e.RCCust != 0 || e.UCust != 0 {
+		t.Errorf("single partitioned node must have no remote work: %+v", e)
+	}
+	if e.LStock != 1 {
+		t.Errorf("single node L_stock = %v, want 1", e.LStock)
+	}
+}
+
+// TestZeroRemoteStockPartitioned: with RemoteStockProb = 0 on a
+// partitioned-Item cluster the stock terms collapse to local-only while
+// the item terms (driven purely by partitioning) survive.
+func TestZeroRemoteStockPartitioned(t *testing.T) {
+	d := DefaultDistConfig(4, false)
+	d.RemoteStockProb = 0
+	e := d.Expect()
+	if e.PS != 0 || e.ERs != 0 || e.RCStock != 0 || e.UStock != 0 {
+		t.Errorf("zero remote-stock probability left remote stock terms: %+v", e)
+	}
+	if e.LStock != 1 {
+		t.Errorf("L_stock = %v, want 1 when no line can go remote", e.LStock)
+	}
+	if e.PI != 0.75 || e.ERi <= 0 || e.RCItem <= 0 || e.UItem <= 0 {
+		t.Errorf("partitioned item terms should survive: %+v", e)
+	}
+	// With zero stock requests, unique stock+item sites reduce to the
+	// unique item sites.
+	if math.Abs(e.UStockItem-e.UItem) > 1e-12 {
+		t.Errorf("U_stock+item = %v, want U_item = %v at zero stock traffic",
+			e.UStockItem, e.UItem)
+	}
+}
+
+// TestRemoteCallsMonotoneInNodes: every remote-call expectation grows
+// (weakly) with N — the remote fraction (N-1)/N does, and nothing else
+// in the formulas depends on N.
+func TestRemoteCallsMonotoneInNodes(t *testing.T) {
+	for _, replicated := range []bool{true, false} {
+		var prev Expectations
+		for n := 1; n <= 64; n *= 2 {
+			e := DefaultDistConfig(n, replicated).Expect()
+			if n > 1 {
+				if e.RCStock < prev.RCStock || e.ERs < prev.ERs ||
+					e.RCCust < prev.RCCust || e.UCust < prev.UCust ||
+					e.UStock < prev.UStock {
+					t.Errorf("replicated=%v: remote calls not monotone from N=%d: %+v -> %+v",
+						replicated, n/2, prev, e)
+				}
+				if e.LStock > prev.LStock {
+					t.Errorf("replicated=%v: L_stock rose with N: %v -> %v",
+						replicated, prev.LStock, e.LStock)
+				}
+				if !replicated && (e.RCItem < prev.RCItem || e.UStockItem < prev.UStockItem) {
+					t.Errorf("replicated=%v: item terms not monotone from N=%d", replicated, n/2)
+				}
+			}
+			prev = e
+		}
+	}
+}
+
+// TestByNameSelectedDefault: zero ByNameSelected reproduces the paper's
+// RC_cust exactly (equation 8 with 3 selected tuples), and supplying the
+// NURand group size raises it.
+func TestByNameSelectedDefault(t *testing.T) {
+	d := DefaultDistConfig(2, true)
+	e := d.Expect()
+	want := d.RemotePaymentProb * 0.5 * (0.4 + 0.6*3 + 1)
+	if math.Abs(e.RCCust-want) > 1e-12 {
+		t.Errorf("default RC_cust = %v, want paper value %v", e.RCCust, want)
+	}
+	g := NUByNameGroupSize()
+	if g <= 3 || g > 100 {
+		t.Fatalf("NU group size = %v, want skewed value above the uniform 3", g)
+	}
+	d.ByNameSelected = g
+	if e2 := d.Expect(); e2.RCCust <= e.RCCust {
+		t.Errorf("NURand group size did not raise RC_cust: %v vs %v", e2.RCCust, e.RCCust)
+	}
+}

@@ -1,0 +1,54 @@
+package xval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDistGateAgrees runs a reduced gate: measured cross-shard rates on
+// a real 3-shard cluster must match the Appendix A expectations.
+func TestDistGateAgrees(t *testing.T) {
+	cfg := DefaultDistGateConfig()
+	cfg.Txns = 1500
+	if testing.Short() {
+		cfg.Txns = 600
+	}
+	res, err := RunDistGate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		var sb strings.Builder
+		_ = res.WriteTSV(&sb)
+		t.Fatalf("gate failed: %v\n%s", res.Err(), sb.String())
+	}
+	if res.Measured.NewOrders == 0 || res.Measured.Payments == 0 {
+		t.Fatalf("no measurements: %+v", res.Measured)
+	}
+	var sb strings.Builder
+	if err := res.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E[R_s]", "RC_cust", "PASS"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestDistGateConfigValidate(t *testing.T) {
+	bad := []DistGateConfig{
+		{Shards: 0, WarehousesPerShard: 1, Txns: 1, Workers: 1, Z: 5},
+		{Shards: 1, WarehousesPerShard: 1, Txns: 0, Workers: 1, Z: 5},
+		{Shards: 1, WarehousesPerShard: 1, Txns: 1, Workers: 1, Z: 0},
+		{Shards: 1, WarehousesPerShard: 1, Txns: 1, Workers: 1, Z: 5, RemoteStockProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultDistGateConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ floors="
 tpccmodel/internal/buffer	85.0
 tpccmodel/internal/sim	88.0
 tpccmodel/internal/engine/bufmgr	75.0
+tpccmodel/internal/engine/shard	75.0
 "
 
 pkgs=$(echo "$floors" | awk 'NF {print $1}' | sed 's|^tpccmodel|.|')
