@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-sweep bench-kernel bench-commit torture shard-torture \
-	shard-xval repro repro-full fuzz xval cover regen-golden regen-fuzz-corpus clean
+.PHONY: all build test race alloc-gate bench bench-sweep bench-kernel bench-commit bench-engine \
+	torture shard-torture shard-xval repro repro-full fuzz xval cover regen-golden \
+	regen-fuzz-corpus clean
 
 all: build test
 
@@ -16,6 +17,13 @@ test:
 
 race:
 	go test -race ./...
+
+# Hot-path allocation gate (also part of `make test`): committed New-Order
+# and Payment transactions must heap-allocate nothing. Race-free leg only —
+# AllocsPerRun is unreliable under the race detector, so the test carries
+# a !race build tag.
+alloc-gate:
+	go test ./internal/engine/db/ -run TestHotPathAllocationFree -v
 
 # Engine<->model cross-validation: run the TPC-C mix on the real engine
 # with the buffer reference stream tapped, replay it through the LRU stack
@@ -84,6 +92,13 @@ bench-kernel:
 # forces-per-commit in BENCH_commit.json.
 bench-commit:
 	go run ./cmd/tpcc-engine -bench-commit BENCH_commit.json
+
+# Engine throughput-vs-workers benchmark: the same grouped-vs-ungrouped
+# grid with the whole warehouse buffer-resident, measuring the hot
+# execution path (txns/sec, allocs/txn) rather than pool churn; records
+# BENCH_engine.json.
+bench-engine:
+	go run ./cmd/tpcc-engine -bench-engine BENCH_engine.json
 
 # Reduced-scale reproduction of every table and figure (seconds).
 repro:

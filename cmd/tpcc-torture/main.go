@@ -43,6 +43,7 @@ func main() {
 		groupCommit = flag.Bool("group-commit", true, "batch commit forces (leader/follower group commit)")
 		gcBatch     = flag.Int("gc-max-batch", 16, "max commit/abort records per group-commit force")
 		gcHold      = flag.Duration("gc-max-hold", 200*time.Microsecond, "max time a batch leader waits for followers")
+		gcAdaptive  = flag.Bool("gc-adaptive", true, "scale the leader's hold to observed commit arrivals (a solo committer forces immediately)")
 		verbose     = flag.Bool("v", false, "print per-schedule results")
 	)
 	flag.Parse()
@@ -77,7 +78,7 @@ func main() {
 	}
 	if *groupCommit {
 		cliutil.RequirePositive(tool, "gc-max-batch", int64(*gcBatch))
-		cfg.GroupCommit = wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold}
+		cfg.GroupCommit = wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold, AdaptiveHold: *gcAdaptive}
 	}
 
 	start := time.Now()

@@ -6,7 +6,6 @@
 package bufmgr
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 
@@ -49,8 +48,12 @@ type frame struct {
 	data  []byte
 	pins  int
 	dirty bool
-	// lruElem is the frame's position in the LRU list when unpinned.
-	lruElem *list.Element
+	// inLRU with prev/next form an intrusive doubly-linked LRU list of
+	// unpinned frames — intrusive so moving a frame on pin/unpin never
+	// allocates a list node (container/list would allocate an Element
+	// per unpin, one heap allocation on every record access).
+	inLRU      bool
+	prev, next *frame
 	// contentMu serializes readers/writers of data: row locks serialize
 	// same-row access, but two rows sharing a page (or its slot bitmap
 	// byte) may be touched concurrently.
@@ -65,7 +68,16 @@ type Manager struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	frames map[storage.PageID]*frame
-	lru    *list.List // unpinned frames, front = MRU
+	// Intrusive LRU list of unpinned frames: lruHead = MRU, lruTail =
+	// eviction victim.
+	lruHead, lruTail *frame
+	// freeFrames chains evicted frames (via next) for reuse, and
+	// frameChunk/dataSlab back batched frame allocation, so a steady
+	// state of misses and evictions recycles frames instead of
+	// heap-allocating a frame and page buffer per miss.
+	freeFrames *frame
+	frameChunk []frame
+	dataSlab   []byte
 
 	stats Stats
 	// classOf assigns pages to accounting classes (e.g. one per
@@ -92,10 +104,79 @@ func New(store *storage.Store, capacity int) *Manager {
 		store:    store,
 		capacity: capacity,
 		frames:   make(map[storage.PageID]*frame, capacity),
-		lru:      list.New(),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// frameChunkSize bounds how many frames are allocated per chunk.
+const frameChunkSize = 64
+
+// frameFor returns a reusable or freshly carved frame reset for page id.
+// Callers hold m.mu.
+func (m *Manager) frameFor(id storage.PageID) *frame {
+	f := m.freeFrames
+	if f != nil {
+		m.freeFrames = f.next
+		f.next = nil
+	} else {
+		if len(m.frameChunk) == 0 {
+			n := m.capacity
+			if n > frameChunkSize {
+				n = frameChunkSize
+			}
+			m.frameChunk = make([]frame, n)
+			m.dataSlab = make([]byte, n*m.store.PageSize())
+		}
+		f = &m.frameChunk[0]
+		m.frameChunk = m.frameChunk[1:]
+		ps := m.store.PageSize()
+		f.data = m.dataSlab[:ps:ps]
+		m.dataSlab = m.dataSlab[ps:]
+	}
+	f.id = id
+	f.pins = 0
+	f.dirty = false
+	f.inLRU = false
+	f.prev, f.next = nil, nil
+	return f
+}
+
+// freeFrame returns an unlisted frame to the reuse chain. Callers hold
+// m.mu.
+func (m *Manager) freeFrame(f *frame) {
+	f.next = m.freeFrames
+	m.freeFrames = f
+}
+
+// lruPush puts f at the MRU end. Callers hold m.mu; f must not be listed.
+func (m *Manager) lruPush(f *frame) {
+	f.inLRU = true
+	f.prev = nil
+	f.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = f
+	}
+	m.lruHead = f
+	if m.lruTail == nil {
+		m.lruTail = f
+	}
+}
+
+// lruRemove unlinks f from the LRU list. Callers hold m.mu.
+func (m *Manager) lruRemove(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		m.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		m.lruTail = f.prev
+	}
+	f.inLRU = false
+	f.prev, f.next = nil, nil
 }
 
 // SetClassifier installs a page-to-class mapping with the given number
@@ -185,9 +266,8 @@ func (m *Manager) pin(id storage.PageID) (*frame, error) {
 		if m.tap != nil {
 			m.tap(id, cls, false, true)
 		}
-		if f.pins == 0 && f.lruElem != nil {
-			m.lru.Remove(f.lruElem)
-			f.lruElem = nil
+		if f.pins == 0 && f.inLRU {
+			m.lruRemove(f)
 		}
 		f.pins++
 		return f, nil
@@ -201,24 +281,26 @@ func (m *Manager) pin(id storage.PageID) (*frame, error) {
 		m.tap(id, cls, false, false)
 	}
 	for len(m.frames) >= m.capacity {
-		if victim := m.lru.Back(); victim != nil {
-			f := victim.Value.(*frame)
+		if f := m.lruTail; f != nil {
 			if f.dirty {
 				if err := m.flushFrame(f); err != nil {
 					return nil, err
 				}
 			}
-			m.lru.Remove(victim)
+			m.lruRemove(f)
 			delete(m.frames, f.id)
 			m.stats.Evicts++
+			m.freeFrame(f)
 			continue
 		}
 		// All frames pinned: wait for an unpin.
 		m.cond.Wait()
 	}
 
-	f := &frame{id: id, data: make([]byte, m.store.PageSize()), pins: 1}
+	f := m.frameFor(id)
+	f.pins = 1
 	if err := m.store.Read(id, f.data); err != nil {
+		m.freeFrame(f)
 		return nil, err
 	}
 	m.frames[id] = f
@@ -237,9 +319,31 @@ func (m *Manager) unpin(f *frame, dirty bool) {
 		panic("bufmgr: unpin without pin")
 	}
 	if f.pins == 0 {
-		f.lruElem = m.lru.PushFront(f)
+		m.lruPush(f)
 		m.cond.Signal()
 	}
+}
+
+// Pin implements storage.Pager's closure-free page access: it pins page
+// id, acquires the frame's content latch, and returns the page bytes.
+// Pin/Unpin do the exact work of With without a callback, so hot-path
+// callers avoid the per-call closure allocation an interface boundary
+// forces. The Token carries the frame pointer; storing a pointer in the
+// interface does not allocate.
+func (m *Manager) Pin(id storage.PageID) (storage.Pinned, error) {
+	f, err := m.pin(id)
+	if err != nil {
+		return storage.Pinned{}, err
+	}
+	f.contentMu.Lock()
+	return storage.Pinned{Data: f.data, Token: f}, nil
+}
+
+// Unpin releases a page returned by Pin, marking it dirty when dirty.
+func (m *Manager) Unpin(p storage.Pinned, dirty bool) {
+	f := p.Token.(*frame)
+	f.contentMu.Unlock()
+	m.unpin(f, dirty)
 }
 
 // With implements storage.Pager: it pins page id, runs fn on its bytes,
@@ -282,23 +386,27 @@ func (m *Manager) Allocate() (storage.PageID, error) {
 		m.tap(id, cls, true, false)
 	}
 	for len(m.frames) >= m.capacity {
-		if victim := m.lru.Back(); victim != nil {
-			f := victim.Value.(*frame)
+		if f := m.lruTail; f != nil {
 			if f.dirty {
 				if err := m.flushFrame(f); err != nil {
 					return 0, err
 				}
 			}
-			m.lru.Remove(victim)
+			m.lruRemove(f)
 			delete(m.frames, f.id)
 			m.stats.Evicts++
+			m.freeFrame(f)
 			continue
 		}
 		m.cond.Wait()
 	}
-	f := &frame{id: id, data: make([]byte, m.store.PageSize()), dirty: true}
+	f := m.frameFor(id)
+	// A recycled frame still holds its previous page's bytes; a new page
+	// must start zeroed, matching its durable image.
+	clear(f.data)
+	f.dirty = true
 	m.frames[id] = f
-	f.lruElem = m.lru.PushFront(f)
+	m.lruPush(f)
 	return id, nil
 }
 
@@ -332,8 +440,13 @@ func (m *Manager) Crash() error {
 			return fmt.Errorf("bufmgr: crash with pinned page %d", f.id)
 		}
 	}
+	for _, f := range m.frames {
+		f.inLRU = false
+		f.prev, f.next = nil, nil
+		m.freeFrame(f)
+	}
 	m.frames = make(map[storage.PageID]*frame, m.capacity)
-	m.lru.Init()
+	m.lruHead, m.lruTail = nil, nil
 	return nil
 }
 

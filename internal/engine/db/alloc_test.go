@@ -1,0 +1,97 @@
+//go:build !race
+
+// AllocsPerRun is documented as unreliable under the race detector (the
+// instrumentation itself allocates), so this gate runs only on the
+// race-free test leg.
+
+package db
+
+import (
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/tpcc"
+)
+
+// TestHotPathAllocationFree gates the engine hot path at zero heap
+// allocations per committed transaction: testing.AllocsPerRun must report
+// exactly 0 for New-Order and for Payment (both the by-id and the by-name
+// customer select) on the non-group-commit path.
+//
+// The measured closures reuse inputs prepared once by the Runner's own
+// generator, so the gate covers exactly what the benchmark loop executes:
+// Session scratch, typed undo + arena, index descent, buffer-pool hits,
+// and WAL appends. Amortized infrastructure growth (heap-file page slabs,
+// B-tree node chunks, WAL buffer doubling) is kept out of the measurement
+// by sizing the buffer pool to hold the whole 1-warehouse dataset,
+// pre-growing the log, and warming up first; residual growth events land
+// well under one allocation per run, which AllocsPerRun's integer average
+// reports as 0 — any per-transaction allocation reports as >= 1.
+func TestHotPathAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs a loaded warehouse")
+	}
+	// 32768 x 4 KiB covers the ~15k-page 1-warehouse dataset plus insert
+	// growth; with room to spare the measurement sees no evictions.
+	d, err := Open(Config{Warehouses: 1, PageSize: 4096, BufferPages: 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(1); err != nil {
+		t.Fatal(err)
+	}
+	d.log.Grow(64 << 20)
+
+	// One Session and one prepared input per gate, reused across runs:
+	// AllocsPerRun must observe steady-state execution, not input setup.
+	s := d.NewSession()
+	rn := NewRunner(d, 7, tpcc.DefaultMix())
+
+	rn.prepareArgs(core.TxnNewOrder)
+	newOrder := func() {
+		if _, err := s.NewOrder(rn.args.newOrder); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	paymentInput := func(byName bool) PaymentInput {
+		for {
+			rn.prepareArgs(core.TxnPayment)
+			if rn.args.payment.ByName == byName {
+				return rn.args.payment
+			}
+		}
+	}
+	byID := paymentInput(false)
+	byName := paymentInput(true)
+	paymentByID := func() {
+		if err := s.Payment(byID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paymentByName := func() {
+		if err := s.Payment(byName); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 500; i++ {
+		newOrder()
+		paymentByID()
+		paymentByName()
+	}
+
+	gates := []struct {
+		name string
+		fn   func()
+	}{
+		{"NewOrder", newOrder},
+		{"Payment/byID", paymentByID},
+		{"Payment/byName", paymentByName},
+	}
+	for _, g := range gates {
+		if allocs := testing.AllocsPerRun(500, g.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/run, want 0", g.name, allocs)
+		}
+	}
+}

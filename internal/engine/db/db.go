@@ -110,13 +110,45 @@ func (p relPager) With(id storage.PageID, dirty bool, fn func(page []byte)) erro
 	return p.buf.With(id, dirty, fn)
 }
 
+func (p relPager) Pin(id storage.PageID) (storage.Pinned, error) { return p.buf.Pin(id) }
+
+func (p relPager) Unpin(pg storage.Pinned, dirty bool) { p.buf.Unpin(pg, dirty) }
+
 func (p relPager) Allocate() (storage.PageID, error) {
 	id, err := p.buf.Allocate()
 	if err != nil {
 		return 0, err
 	}
-	p.db.pageRel.Store(id, p.rel)
+	p.db.pageRel.set(id, p.rel)
 	return id, nil
+}
+
+// pageRelMap is a dense page→relation table. PageIDs are allocated densely
+// from 0, so a slice indexed by page ID beats a map: the classifier reads
+// it on every flush and eviction, and reads must not allocate.
+type pageRelMap struct {
+	mu   sync.RWMutex
+	rels []core.Relation
+}
+
+func (m *pageRelMap) set(id storage.PageID, rel core.Relation) {
+	m.mu.Lock()
+	if n := int(id) + 1; n > len(m.rels) {
+		grown := make([]core.Relation, n+n/2+64)
+		copy(grown, m.rels)
+		m.rels = grown[:n]
+	}
+	m.rels[id] = rel
+	m.mu.Unlock()
+}
+
+func (m *pageRelMap) get(id storage.PageID) core.Relation {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) < len(m.rels) {
+		return m.rels[id]
+	}
+	return 0
 }
 
 // DB is a running TPC-C database instance.
@@ -129,7 +161,7 @@ type DB struct {
 
 	heaps [core.NumRelations]*storage.HeapFile
 	// pageRel maps pages to relations for buffer accounting.
-	pageRel sync.Map // storage.PageID -> core.Relation
+	pageRel pageRelMap
 
 	// Primary and secondary indexes (memory-resident, rebuilt at
 	// recovery, as the paper's one-index-lookup assumption implies).
@@ -159,6 +191,11 @@ type DB struct {
 	distMu   sync.Mutex
 	outcomes map[uint64]bool
 	inDoubt  []wal.InDoubtTxn
+
+	// sessions pools execution contexts for the DB-level procedure
+	// methods, so callers without their own Session still run on
+	// recycled scratch.
+	sessions sync.Pool
 }
 
 // Options customizes the engine's I/O substrate; the zero value gives a
@@ -209,10 +246,7 @@ func OpenWith(cfg Config, opts Options) (*DB, error) {
 	// records covering it are durable.
 	d.buf.SetPreFlush(d.log.Force)
 	d.buf.SetClassifier(int(core.NumRelations), func(id storage.PageID) int {
-		if rel, ok := d.pageRel.Load(id); ok {
-			return int(rel.(core.Relation))
-		}
-		return 0
+		return int(d.pageRel.get(id))
 	})
 	for _, rel := range core.Relations() {
 		h, err := storage.NewHeapFile(rel.String(), relPager{buf: d.buf, db: d, rel: rel},
@@ -365,6 +399,10 @@ func (d *DB) Recover() error {
 	if err != nil {
 		return err
 	}
+	// Transactions open at the crash never deregistered; clear the log's
+	// active-committer count so the adaptive group-commit heuristic does
+	// not hold for ghosts.
+	d.log.ResetActive()
 	if d.txnSeq.Load() < dist.MaxTxn {
 		d.txnSeq.Store(dist.MaxTxn)
 	}

@@ -72,7 +72,8 @@ func (b *Branch) Abort() error { return b.t.rollbackWith(b.gid) }
 // will restore a correct state. On a live device Forsake would corrupt:
 // other transactions could overwrite rows recovery later re-applies.
 func (b *Branch) Forsake() {
-	b.t.undo = nil
+	b.t.undo = b.t.undo[:0]
+	b.t.end()
 	b.t.d.locks.ReleaseAll(b.t.id)
 }
 
@@ -232,7 +233,7 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	if !ok {
 		return nil, res, t.fail(fmt.Errorf("db: no warehouse %d", in.W))
 	}
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+	buf := t.buf
 	if err := t.readRec(core.Warehouse, storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
 		return nil, res, t.fail(err)
 	}
@@ -253,11 +254,9 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	var drec DistrictRec
 	drec.Unmarshal(buf[:dlen])
 	oid := int64(drec.NextOID)
-	before := append([]byte(nil), buf[:dlen]...)
 	drec.NextOID++
-	after := make([]byte, dlen)
-	drec.Marshal(after)
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), before, after); err != nil {
+	drec.Marshal(t.img[:dlen])
+	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return nil, res, t.fail(err)
 	}
 
@@ -339,11 +338,9 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 			}
 			var srec StockRec
 			srec.Unmarshal(buf[:slen])
-			sBefore := append([]byte(nil), buf[:slen]...)
 			applyStockOrder(&srec, it.Qty, false)
-			sAfter := make([]byte, slen)
-			srec.Marshal(sAfter)
-			if err := t.updateRec(core.Stock, storage.UnpackRID(srid), sBefore, sAfter); err != nil {
+			srec.Marshal(t.img[:slen])
+			if err := t.updateRec(core.Stock, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
 				return nil, res, t.fail(err)
 			}
 		} else {
@@ -394,7 +391,7 @@ func applyStockOrder(s *StockRec, qty int64, remote bool) {
 func (d *DB) RemoteStockBegin(gid uint64, items []OrderItem) (*Branch, error) {
 	t := d.begin()
 	slen := tpcc.TupleLen[core.Stock]
-	buf := make([]byte, slen)
+	buf := t.buf
 	for _, it := range items {
 		skey := index.KeyWI(it.SupplyW, it.IID)
 		if err := t.lockRow(core.Stock, skey, lock.Exclusive); err != nil {
@@ -409,11 +406,9 @@ func (d *DB) RemoteStockBegin(gid uint64, items []OrderItem) (*Branch, error) {
 		}
 		var srec StockRec
 		srec.Unmarshal(buf[:slen])
-		sBefore := append([]byte(nil), buf[:slen]...)
 		applyStockOrder(&srec, it.Qty, true)
-		sAfter := make([]byte, slen)
-		srec.Marshal(sAfter)
-		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), sBefore, sAfter); err != nil {
+		srec.Marshal(t.img[:slen])
+		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
 			return nil, t.fail(err)
 		}
 	}
@@ -426,7 +421,7 @@ func (d *DB) RemoteStockBegin(gid uint64, items []OrderItem) (*Branch, error) {
 // custW/custD/custC are GLOBAL coordinates recorded in the history row.
 func (d *DB) PaymentHomeBegin(gid uint64, in PaymentInput, custW, custD, custC int64) (*Branch, error) {
 	t := d.begin()
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+	buf := t.buf
 
 	wlen := tpcc.TupleLen[core.Warehouse]
 	if err := t.lockRow(core.Warehouse, uint64(in.W), lock.Exclusive); err != nil {
@@ -441,11 +436,9 @@ func (d *DB) PaymentHomeBegin(gid uint64, in PaymentInput, custW, custD, custC i
 	}
 	var wrec WarehouseRec
 	wrec.Unmarshal(buf[:wlen])
-	wBefore := append([]byte(nil), buf[:wlen]...)
 	wrec.YTDCents += uint64(in.AmountCents)
-	wAfter := make([]byte, wlen)
-	wrec.Marshal(wAfter)
-	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), wBefore, wAfter); err != nil {
+	wrec.Marshal(t.img[:wlen])
+	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), buf[:wlen], t.img[:wlen]); err != nil {
 		return nil, t.fail(err)
 	}
 
@@ -463,11 +456,9 @@ func (d *DB) PaymentHomeBegin(gid uint64, in PaymentInput, custW, custD, custC i
 	}
 	var drec DistrictRec
 	drec.Unmarshal(buf[:dlen])
-	dBefore := append([]byte(nil), buf[:dlen]...)
 	drec.YTDCents += uint64(in.AmountCents)
-	dAfter := make([]byte, dlen)
-	drec.Marshal(dAfter)
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), dBefore, dAfter); err != nil {
+	drec.Marshal(t.img[:dlen])
+	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return nil, t.fail(err)
 	}
 
@@ -493,7 +484,7 @@ func (d *DB) PaymentHomeBegin(gid uint64, in PaymentInput, custW, custD, custC i
 // the Appendix A remote-call measurement.
 func (d *DB) RemotePaymentBegin(gid uint64, w, dist int64, byName bool, c, nameOrd int64, amountCents uint32) (*Branch, int64, int, error) {
 	t := d.begin()
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+	buf := t.buf
 
 	cid, selected := c, 1
 	if byName {
@@ -517,13 +508,11 @@ func (d *DB) RemotePaymentBegin(gid uint64, w, dist int64, byName bool, c, nameO
 	}
 	var crec CustomerRec
 	crec.Unmarshal(buf[:clen])
-	cBefore := append([]byte(nil), buf[:clen]...)
 	crec.BalanceCents -= int64(amountCents)
 	crec.YTDPayCents += uint64(amountCents)
 	crec.PaymentCount++
-	cAfter := make([]byte, clen)
-	crec.Marshal(cAfter)
-	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), cBefore, cAfter); err != nil {
+	crec.Marshal(t.img[:clen])
+	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
 		return nil, 0, 0, t.fail(err)
 	}
 	return &Branch{t: t, gid: gid}, cid, selected, nil

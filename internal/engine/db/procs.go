@@ -2,7 +2,6 @@ package db
 
 import (
 	"fmt"
-	"sort"
 
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/engine/index"
@@ -39,8 +38,14 @@ type NewOrderResult struct {
 // read+update district (allocating the order id), read customer, insert
 // order and new-order, and per item read item, read+update stock, insert
 // order-line. Returns ErrAborted on deadlock; the caller retries.
-func (d *DB) NewOrder(in NewOrderInput) (NewOrderResult, error) {
-	t := d.begin()
+//
+// The body works entirely through the session transaction's scratch
+// buffers: reads and marshals go through t.buf, after-images through
+// t.img, and updateRec/insertRec copy what they keep, so a committed
+// execution allocates nothing.
+func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
+	d := s.d
+	t := s.begin()
 	var res NewOrderResult
 
 	// 1. Select warehouse.
@@ -52,7 +57,7 @@ func (d *DB) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	if !ok {
 		return res, t.fail(fmt.Errorf("db: no warehouse %d", in.W))
 	}
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+	buf := t.buf
 	if err := t.readRec(core.Warehouse, storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
 		return res, t.fail(err)
 	}
@@ -74,11 +79,9 @@ func (d *DB) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	var drec DistrictRec
 	drec.Unmarshal(buf[:dlen])
 	oid := int64(drec.NextOID)
-	before := append([]byte(nil), buf[:dlen]...)
 	drec.NextOID++
-	after := make([]byte, dlen)
-	drec.Marshal(after)
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), before, after); err != nil {
+	drec.Marshal(t.img[:dlen])
+	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return res, t.fail(err)
 	}
 
@@ -163,20 +166,13 @@ func (d *DB) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 		}
 		var srec StockRec
 		srec.Unmarshal(buf[:slen])
-		sBefore := append([]byte(nil), buf[:slen]...)
-		srec.Quantity -= int32(it.Qty)
-		if srec.Quantity < 10 {
-			srec.Quantity += 91
-		}
-		srec.YTD += uint64(it.Qty)
-		srec.OrderCount++
-		if it.SupplyW != in.W {
-			srec.RemoteCnt++
+		remote := it.SupplyW != in.W
+		applyStockOrder(&srec, it.Qty, remote)
+		if remote {
 			res.RemoteLines++
 		}
-		sAfter := make([]byte, slen)
-		srec.Marshal(sAfter)
-		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), sBefore, sAfter); err != nil {
+		srec.Marshal(t.img[:slen])
+		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
 			return res, t.fail(err)
 		}
 
@@ -219,9 +215,10 @@ type PaymentInput struct {
 }
 
 // Payment executes the Payment transaction.
-func (d *DB) Payment(in PaymentInput) error {
-	t := d.begin()
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+func (s *Session) Payment(in PaymentInput) error {
+	d := s.d
+	t := s.begin()
+	buf := t.buf
 
 	// 1+4. Select and update warehouse.
 	wlen := tpcc.TupleLen[core.Warehouse]
@@ -237,11 +234,9 @@ func (d *DB) Payment(in PaymentInput) error {
 	}
 	var wrec WarehouseRec
 	wrec.Unmarshal(buf[:wlen])
-	wBefore := append([]byte(nil), buf[:wlen]...)
 	wrec.YTDCents += uint64(in.AmountCents)
-	wAfter := make([]byte, wlen)
-	wrec.Marshal(wAfter)
-	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), wBefore, wAfter); err != nil {
+	wrec.Marshal(t.img[:wlen])
+	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), buf[:wlen], t.img[:wlen]); err != nil {
 		return t.fail(err)
 	}
 
@@ -260,11 +255,9 @@ func (d *DB) Payment(in PaymentInput) error {
 	}
 	var drec DistrictRec
 	drec.Unmarshal(buf[:dlen])
-	dBefore := append([]byte(nil), buf[:dlen]...)
 	drec.YTDCents += uint64(in.AmountCents)
-	dAfter := make([]byte, dlen)
-	drec.Marshal(dAfter)
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), dBefore, dAfter); err != nil {
+	drec.Marshal(t.img[:dlen])
+	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return t.fail(err)
 	}
 
@@ -293,13 +286,11 @@ func (d *DB) Payment(in PaymentInput) error {
 	}
 	var crec CustomerRec
 	crec.Unmarshal(buf[:clen])
-	cBefore := append([]byte(nil), buf[:clen]...)
 	crec.BalanceCents -= int64(in.AmountCents)
 	crec.YTDPayCents += uint64(in.AmountCents)
 	crec.PaymentCount++
-	cAfter := make([]byte, clen)
-	crec.Marshal(cAfter)
-	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), cBefore, cAfter); err != nil {
+	crec.Marshal(t.img[:clen])
+	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
 		return t.fail(err)
 	}
 
@@ -326,21 +317,29 @@ func (d *DB) Payment(in PaymentInput) error {
 // customers of (w, d) sharing the last name are read (under S locks) and
 // the middle one by customer id is returned, along with how many tuples
 // the select touched (the Appendix A RC_cust remote-call measurement).
+// The hit list lives in the transaction's scratch and is ordered with an
+// insertion sort (sort.Slice would allocate its reflect-based swapper;
+// name groups average ~3 customers, so the O(n²) sort is also faster).
 func (t *txn) middleCustomerByName(w, d, nameOrd int64, buf []byte) (int64, int, error) {
 	lo, hi := index.RangeWDNC(w, d, nameOrd)
-	type hit struct {
-		cid int64
-		rid uint64
-	}
-	var hits []hit
+	t.hits = t.hits[:0]
 	t.d.custNameIdx.ascendRange(lo, hi, func(k, v uint64) bool {
-		hits = append(hits, hit{cid: int64(k & 0xffff), rid: v})
+		t.hits = append(t.hits, custHit{cid: int64(k & 0xffff), rid: v})
 		return true
 	})
+	hits := t.hits
 	if len(hits) == 0 {
 		return 0, 0, fmt.Errorf("db: no customer named %d in (%d,%d)", nameOrd, w, d)
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].cid < hits[j].cid })
+	for i := 1; i < len(hits); i++ {
+		h := hits[i]
+		j := i - 1
+		for j >= 0 && hits[j].cid > h.cid {
+			hits[j+1] = hits[j]
+			j--
+		}
+		hits[j+1] = h
+	}
 	clen := tpcc.TupleLen[core.Customer]
 	for _, h := range hits {
 		if err := t.lockRow(core.Customer, index.KeyWDC(w, d, h.cid), lock.Shared); err != nil {
@@ -369,10 +368,11 @@ type OrderStatusResult struct {
 }
 
 // OrderStatus executes the read-only Order-Status transaction.
-func (d *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
-	t := d.begin()
+func (s *Session) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
+	d := s.d
+	t := s.begin()
 	var res OrderStatusResult
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+	buf := t.buf
 
 	cid := in.C
 	if in.ByName {
@@ -423,12 +423,12 @@ func (d *DB) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 	// Each order line of the last order.
 	ollen := tpcc.TupleLen[core.OrderLine]
 	lo, hi = index.RangeWDOLOrder(in.W, in.D, oid)
-	var olRids []uint64
+	t.rids = t.rids[:0]
 	d.olIdx.ascendRange(lo, hi, func(k, v uint64) bool {
-		olRids = append(olRids, v)
+		t.rids = append(t.rids, v)
 		return true
 	})
-	for i, rid := range olRids {
+	for i, rid := range t.rids {
 		olkey := index.KeyWDOL(in.W, in.D, oid, int64(i))
 		if err := t.lockRow(core.OrderLine, olkey, lock.Shared); err != nil {
 			return res, t.fail(err)
@@ -461,13 +461,13 @@ type DeliveryResult struct {
 // of the warehouse, the oldest undelivered order is removed from
 // new-order, stamped in order and order-line, and the customer balance is
 // credited.
-func (d *DB) Delivery(in DeliveryInput) (DeliveryResult, error) {
-	t := d.begin()
+func (s *Session) Delivery(in DeliveryInput) (DeliveryResult, error) {
+	d := s.d
+	t := s.begin()
 	var res DeliveryResult
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
 
 	for dist := int64(0); dist < tpcc.DistrictsPerWarehouse; dist++ {
-		delivered, err := d.deliverDistrict(t, in, dist, buf)
+		delivered, err := d.deliverDistrict(t, in, dist)
 		if err != nil {
 			return res, t.fail(err)
 		}
@@ -483,7 +483,8 @@ func (d *DB) Delivery(in DeliveryInput) (DeliveryResult, error) {
 	return res, nil
 }
 
-func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64, buf []byte) (bool, error) {
+func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64) (bool, error) {
+	buf := t.buf
 	lo, hi := index.RangeWDO(in.W, dist)
 	for {
 		// Select(Min(order-id)) from New-Order via the index.
@@ -504,8 +505,7 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64, buf []byte) (
 		if err := t.readRec(core.NewOrder, storage.UnpackRID(norid), buf[:nolen]); err != nil {
 			return false, err
 		}
-		noBefore := append([]byte(nil), buf[:nolen]...)
-		if err := t.deleteRec(core.NewOrder, storage.UnpackRID(norid), noBefore); err != nil {
+		if err := t.deleteRec(core.NewOrder, storage.UnpackRID(norid), buf[:nolen]); err != nil {
 			return false, err
 		}
 		if err := t.delIdx(d.newOrderIdx, k, norid); err != nil {
@@ -526,11 +526,9 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64, buf []byte) (
 		}
 		var orec OrderRec
 		orec.Unmarshal(buf[:olenOrd])
-		oBefore := append([]byte(nil), buf[:olenOrd]...)
 		orec.CarrierID = in.Carrier
-		oAfter := make([]byte, olenOrd)
-		orec.Marshal(oAfter)
-		if err := t.updateRec(core.Order, storage.UnpackRID(orid), oBefore, oAfter); err != nil {
+		orec.Marshal(t.img[:olenOrd])
+		if err := t.updateRec(core.Order, storage.UnpackRID(orid), buf[:olenOrd], t.img[:olenOrd]); err != nil {
 			return false, err
 		}
 
@@ -552,12 +550,10 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64, buf []byte) (
 			}
 			var olrec OrderLineRec
 			olrec.Unmarshal(buf[:ollen])
-			olBefore := append([]byte(nil), buf[:ollen]...)
 			olrec.DeliveryTick = tick
 			total += uint64(olrec.AmountCents)
-			olAfter := make([]byte, ollen)
-			olrec.Marshal(olAfter)
-			if err := t.updateRec(core.OrderLine, storage.UnpackRID(olrid), olBefore, olAfter); err != nil {
+			olrec.Marshal(t.img[:ollen])
+			if err := t.updateRec(core.OrderLine, storage.UnpackRID(olrid), buf[:ollen], t.img[:ollen]); err != nil {
 				return false, err
 			}
 		}
@@ -577,12 +573,10 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64, buf []byte) (
 		}
 		var crec CustomerRec
 		crec.Unmarshal(buf[:clen])
-		cBefore := append([]byte(nil), buf[:clen]...)
 		crec.BalanceCents += int64(total)
 		crec.DeliveryCount++
-		cAfter := make([]byte, clen)
-		crec.Marshal(cAfter)
-		if err := t.updateRec(core.Customer, storage.UnpackRID(crid), cBefore, cAfter); err != nil {
+		crec.Marshal(t.img[:clen])
+		if err := t.updateRec(core.Customer, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
 			return false, err
 		}
 		return true, nil
@@ -598,9 +592,10 @@ type StockLevelInput struct {
 // StockLevel executes the Stock-Level join: count distinct items among the
 // order lines of the district's last 20 orders whose stock quantity at the
 // home warehouse is below the threshold. Returns the count.
-func (d *DB) StockLevel(in StockLevelInput) (int, error) {
-	t := d.begin()
-	buf := make([]byte, tpcc.TupleLen[core.Customer])
+func (s *Session) StockLevel(in StockLevelInput) (int, error) {
+	d := s.d
+	t := s.begin()
+	buf := t.buf
 
 	// First select: the district's next order id.
 	dlen := tpcc.TupleLen[core.District]
@@ -625,20 +620,19 @@ func (d *DB) StockLevel(in StockLevelInput) (int, error) {
 	}
 	ollen := tpcc.TupleLen[core.OrderLine]
 	slen := tpcc.TupleLen[core.Stock]
-	type olref struct {
-		key uint64
-		rid uint64
-	}
-	var refs []olref
 	lo := index.KeyWDOL(in.W, in.D, loOID, 0)
 	hi := index.KeyWDOL(in.W, in.D, int64(drec.NextOID)-1, 255)
+	t.refs = t.refs[:0]
 	d.olIdx.ascendRange(lo, hi, func(k, v uint64) bool {
-		refs = append(refs, olref{key: k, rid: v})
+		t.refs = append(t.refs, olref{key: k, rid: v})
 		return true
 	})
-	distinct := make(map[uint32]struct{})
+	// The distinct-item set is a linear-scan slice, not a map: the scan
+	// covers at most 20 orders × 10 lines, and the slice is reusable
+	// transaction scratch while a map would allocate per transaction.
+	t.seen = t.seen[:0]
 	low := 0
-	for _, ref := range refs {
+	for _, ref := range t.refs {
 		if err := t.lockRow(core.OrderLine, ref.key, lock.Shared); err != nil {
 			return 0, t.fail(err)
 		}
@@ -662,8 +656,15 @@ func (d *DB) StockLevel(in StockLevelInput) (int, error) {
 		var srec StockRec
 		srec.Unmarshal(buf[:slen])
 		if srec.Quantity < in.Threshold {
-			if _, seen := distinct[srec.IID]; !seen {
-				distinct[srec.IID] = struct{}{}
+			seen := false
+			for _, id := range t.seen {
+				if id == srec.IID {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				t.seen = append(t.seen, srec.IID)
 				low++
 			}
 		}

@@ -56,11 +56,18 @@ func DefaultRetryPolicy() RetryPolicy {
 // another goroutine.
 type Runner struct {
 	d       *DB
+	sess    *Session
 	r       *rng.RNG
 	custGen *nurand.Gen
 	itemGen *nurand.Gen
 	nameGen *nurand.Gen
 	mix     tpcc.Mix
+
+	// args holds the precomputed input for the current transaction. The
+	// inputs are generated once, before the attempt loop, into fixed
+	// per-runner storage (itemsBuf backs NewOrderInput.Items), so neither
+	// generation nor retries allocate.
+	args runnerArgs
 
 	// RemoteStockProb and RemotePaymentProb default to the benchmark's
 	// 0.01 and 0.15.
@@ -83,6 +90,17 @@ type Runner struct {
 	latW    stats.Welford
 }
 
+// runnerArgs is the Runner's reusable input storage, one field per
+// transaction type plus the fixed backing array for New-Order items.
+type runnerArgs struct {
+	newOrder    NewOrderInput
+	itemsBuf    [tpcc.ItemsPerOrder]OrderItem
+	payment     PaymentInput
+	orderStatus OrderStatusInput
+	delivery    DeliveryInput
+	stockLevel  StockLevelInput
+}
+
 // Latency-histogram geometry: 1µs buckets up to 50ms, overflow beyond
 // (the exact maximum is tracked separately). All runners share it so
 // per-worker histograms merge.
@@ -96,6 +114,7 @@ func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
 	r := rng.New(seed)
 	return &Runner{
 		d:                 d,
+		sess:              d.NewSession(),
 		r:                 r,
 		custGen:           nurand.NewGen(nurand.CustomerID, r),
 		itemGen:           nurand.NewGen(nurand.ItemID, r),
@@ -269,17 +288,16 @@ func (rn *Runner) RunOne() (core.TxnType, error) {
 	return rn.runOne(context.Background())
 }
 
-func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
-	start := time.Now()
-	typ := rn.pickType()
-	var exec func() error
+// prepareArgs generates the input for one transaction of the given type
+// into the runner's reusable args storage.
+func (rn *Runner) prepareArgs(typ core.TxnType) {
 	switch typ {
 	case core.TxnNewOrder:
-		in := NewOrderInput{
-			W: rn.warehouse(),
-			D: rn.r.Int63n(tpcc.DistrictsPerWarehouse),
-			C: rn.custGen.Next() - 1,
-		}
+		in := &rn.args.newOrder
+		in.W = rn.warehouse()
+		in.D = rn.r.Int63n(tpcc.DistrictsPerWarehouse)
+		in.C = rn.custGen.Next() - 1
+		in.Items = rn.args.itemsBuf[:0]
 		for i := 0; i < tpcc.ItemsPerOrder; i++ {
 			it := OrderItem{IID: rn.itemGen.Next() - 1, SupplyW: in.W, Qty: 1 + rn.r.Int63n(10)}
 			if rn.r.Bernoulli(rn.RemoteStockProb) {
@@ -287,9 +305,9 @@ func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
 			}
 			in.Items = append(in.Items, it)
 		}
-		exec = func() error { _, err := rn.d.NewOrder(in); return err }
 	case core.TxnPayment:
-		in := PaymentInput{
+		in := &rn.args.payment
+		*in = PaymentInput{
 			W:           rn.warehouse(),
 			D:           rn.r.Int63n(tpcc.DistrictsPerWarehouse),
 			AmountCents: paymentAmountCents(rn.r),
@@ -304,9 +322,9 @@ func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
 		} else {
 			in.C = rn.custGen.Next() - 1
 		}
-		exec = func() error { return rn.d.Payment(in) }
 	case core.TxnOrderStatus:
-		in := OrderStatusInput{
+		in := &rn.args.orderStatus
+		*in = OrderStatusInput{
 			W: rn.warehouse(),
 			D: rn.r.Int63n(tpcc.DistrictsPerWarehouse),
 		}
@@ -316,24 +334,49 @@ func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
 		} else {
 			in.C = rn.custGen.Next() - 1
 		}
-		exec = func() error { _, err := rn.d.OrderStatus(in); return err }
 	case core.TxnDelivery:
-		in := DeliveryInput{W: rn.warehouse(), Carrier: uint8(1 + rn.r.Int63n(10))}
-		exec = func() error { _, err := rn.d.Delivery(in); return err }
+		rn.args.delivery = DeliveryInput{W: rn.warehouse(), Carrier: uint8(1 + rn.r.Int63n(10))}
 	case core.TxnStockLevel:
-		in := StockLevelInput{
+		rn.args.stockLevel = StockLevelInput{
 			W: rn.warehouse(), D: rn.r.Int63n(tpcc.DistrictsPerWarehouse),
 			Threshold: int32(10 + rn.r.Int63n(11)),
 		}
-		exec = func() error { _, err := rn.d.StockLevel(in); return err }
 	}
+}
+
+// execute runs the prepared transaction on the runner's session.
+func (rn *Runner) execute(typ core.TxnType) error {
+	switch typ {
+	case core.TxnNewOrder:
+		_, err := rn.sess.NewOrder(rn.args.newOrder)
+		return err
+	case core.TxnPayment:
+		return rn.sess.Payment(rn.args.payment)
+	case core.TxnOrderStatus:
+		_, err := rn.sess.OrderStatus(rn.args.orderStatus)
+		return err
+	case core.TxnDelivery:
+		_, err := rn.sess.Delivery(rn.args.delivery)
+		return err
+	case core.TxnStockLevel:
+		_, err := rn.sess.StockLevel(rn.args.stockLevel)
+		return err
+	default:
+		return fmt.Errorf("db: unknown transaction type %d", typ)
+	}
+}
+
+func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
+	start := time.Now()
+	typ := rn.pickType()
+	rn.prepareArgs(typ)
 
 	maxAttempts := rn.Policy.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	for attempt := 1; ; attempt++ {
-		err := exec()
+		err := rn.execute(typ)
 		if err == nil {
 			rn.counts[typ].Add(1)
 			rn.consecutiveSheds = 0

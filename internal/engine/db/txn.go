@@ -8,6 +8,7 @@ import (
 	"tpccmodel/internal/engine/lock"
 	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/engine/wal"
+	"tpccmodel/internal/tpcc"
 )
 
 // ErrAborted is returned by transaction procedures that were chosen as
@@ -15,16 +16,112 @@ import (
 // input.
 var ErrAborted = errors.New("db: transaction aborted, retry")
 
-// txn is one executing transaction: a lock owner plus an undo list for
-// rollback. Strict 2PL: locks release only at commit/abort.
+// undoKind tags one entry of a transaction's undo list.
+type undoKind uint8
+
+const (
+	// undoUpdate restores a before-image over an updated record.
+	undoUpdate undoKind = iota
+	// undoInsert deletes an inserted record.
+	undoInsert
+	// undoDelete re-inserts a deleted record at its old RID.
+	undoDelete
+	// undoSetIdx removes an added index entry.
+	undoSetIdx
+	// undoDelIdx restores a removed index entry.
+	undoDelIdx
+)
+
+// undoOp is one typed entry of the undo list. Before-images live in the
+// transaction's arena and are referenced by offset+length: the arena's
+// backing array may move as it grows, so undo entries must never hold
+// slices into it.
+type undoOp struct {
+	kind undoKind
+	rel  core.Relation
+	rid  storage.RID
+	off  int // arena offset of the saved image (undoUpdate/undoDelete)
+	n    int // image length
+	g    *guardedTree
+	key  uint64
+	val  uint64
+}
+
+// custHit is one row of the non-unique customer-by-name select.
+type custHit struct {
+	cid int64
+	rid uint64
+}
+
+// olref references one order line found by an index range scan.
+type olref struct {
+	key uint64
+	rid uint64
+}
+
+// txn is one executing transaction: a lock owner plus a typed undo list
+// for rollback. Strict 2PL: locks release only at commit/abort.
+//
+// A txn also owns the per-transaction scratch memory that keeps the
+// execute path allocation-free: undo entries and their before-images
+// (arena), the tuple read/marshal buffers (buf/img), and the range-scan
+// collectors (hits/rids/refs/seen). Sessions reuse one txn value across
+// transactions, so after warm-up a committed NewOrder or Payment
+// performs zero heap allocations (enforced by alloc_test.go).
 type txn struct {
 	d    *DB
 	id   lock.TxnID
-	undo []func() error
+	undo []undoOp
+	// arena backs the before-images referenced by undo entries.
+	arena []byte
+	// ended guards the log's active-committer counter: begin registers
+	// the transaction, the first of commit/rollback/forsake deregisters.
+	ended bool
+
+	// buf and img are tuple-sized scratch: procs read and marshal
+	// through them instead of allocating per record. Sized for the
+	// largest tuple (Customer).
+	buf []byte
+	img []byte
+
+	// hits, rids, refs, and seen are range-scan scratch for
+	// middleCustomerByName, OrderStatus, and StockLevel.
+	hits []custHit
+	rids []uint64
+	refs []olref
+	seen []uint32
+}
+
+// reset prepares t for a new transaction, reusing its scratch, and
+// registers it with the log's active-committer counter (the adaptive
+// group-commit leader holds only while another registered transaction
+// could still arrive).
+func (t *txn) reset(d *DB) {
+	t.d = d
+	t.id = lock.TxnID(d.txnSeq.Add(1))
+	t.undo = t.undo[:0]
+	t.arena = t.arena[:0]
+	t.ended = false
+	if t.buf == nil {
+		t.buf = make([]byte, tpcc.TupleLen[core.Customer])
+		t.img = make([]byte, tpcc.TupleLen[core.Customer])
+	}
+	d.log.TxnStart()
+}
+
+// end deregisters the transaction from the log's active-committer
+// counter, exactly once.
+func (t *txn) end() {
+	if !t.ended {
+		t.ended = true
+		t.d.log.TxnEnd()
+	}
 }
 
 func (d *DB) begin() *txn {
-	return &txn{d: d, id: lock.TxnID(d.txnSeq.Add(1))}
+	t := &txn{}
+	t.reset(d)
+	return t
 }
 
 // lockRow acquires a row lock, translating deadlock into rollback.
@@ -50,6 +147,7 @@ func (t *txn) commitWith(gid uint64) error {
 	if _, err := t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit, RID: gid}); err != nil {
 		return err
 	}
+	t.end()
 	if gid != 0 {
 		t.d.setOutcome(gid, true)
 	}
@@ -68,13 +166,14 @@ func (t *txn) rollback() error { return t.rollbackWith(0) }
 func (t *txn) rollbackWith(gid uint64) error {
 	var firstErr error
 	for i := len(t.undo) - 1; i >= 0; i-- {
-		if err := t.undo[i](); err != nil && firstErr == nil {
+		if err := t.applyUndo(&t.undo[i]); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	// A failed abort force is benign: recovery treats the transaction as
 	// uncommitted either way and restores before-images.
 	_, _ = t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecAbort, RID: gid})
+	t.end()
 	if gid != 0 {
 		t.d.setOutcome(gid, false)
 	}
@@ -84,6 +183,32 @@ func (t *txn) rollbackWith(gid uint64) error {
 		return fmt.Errorf("db: rollback failed: %w", firstErr)
 	}
 	return nil
+}
+
+// applyUndo reverses one operation.
+func (t *txn) applyUndo(op *undoOp) error {
+	switch op.kind {
+	case undoUpdate:
+		return t.d.heaps[op.rel].Update(op.rid, t.arena[op.off:op.off+op.n])
+	case undoInsert:
+		return t.d.heaps[op.rel].Delete(op.rid)
+	case undoDelete:
+		return t.d.heaps[op.rel].InsertAt(op.rid, t.arena[op.off:op.off+op.n])
+	case undoSetIdx:
+		return op.g.delete(op.key)
+	case undoDelIdx:
+		op.g.set(op.key, op.val)
+		return nil
+	default:
+		return fmt.Errorf("db: unknown undo kind %d", op.kind)
+	}
+}
+
+// saveImage copies img into the arena and returns its offset.
+func (t *txn) saveImage(img []byte) int {
+	off := len(t.arena)
+	t.arena = append(t.arena, img...)
+	return off
 }
 
 // fail rolls back and wraps the cause; deadlocks surface as ErrAborted.
@@ -103,8 +228,9 @@ func (t *txn) readRec(rel core.Relation, rid storage.RID, out []byte) error {
 }
 
 // updateRec overwrites the record at rid, logging the after-image and
-// queueing an undo that restores the before-image. before and after must
-// not be aliased or mutated afterwards.
+// queueing an undo that restores the before-image. Both images are
+// copied before returning (the log encodes them immediately, the undo
+// saves before into the arena), so callers may pass reused scratch.
 func (t *txn) updateRec(rel core.Relation, rid storage.RID, before, after []byte) error {
 	if _, err := t.d.log.Append(wal.Record{
 		Txn: uint64(t.id), Type: wal.RecUpdate, Table: uint32(rel),
@@ -115,13 +241,13 @@ func (t *txn) updateRec(rel core.Relation, rid storage.RID, before, after []byte
 	if err := t.d.heaps[rel].Update(rid, after); err != nil {
 		return err
 	}
-	h := t.d.heaps[rel]
-	img := append([]byte(nil), before...)
-	t.undo = append(t.undo, func() error { return h.Update(rid, img) })
+	off := t.saveImage(before)
+	t.undo = append(t.undo, undoOp{kind: undoUpdate, rel: rel, rid: rid, off: off, n: len(before)})
 	return nil
 }
 
 // insertRec inserts a record, logging it and queueing deletion as undo.
+// rec is copied by both the heap and the log, so it may be reused scratch.
 func (t *txn) insertRec(rel core.Relation, rec []byte) (storage.RID, error) {
 	rid, err := t.d.heaps[rel].Insert(rec)
 	if err != nil {
@@ -133,12 +259,12 @@ func (t *txn) insertRec(rel core.Relation, rec []byte) (storage.RID, error) {
 	}); err != nil {
 		return storage.RID{}, err
 	}
-	h := t.d.heaps[rel]
-	t.undo = append(t.undo, func() error { return h.Delete(rid) })
+	t.undo = append(t.undo, undoOp{kind: undoInsert, rel: rel, rid: rid})
 	return rid, nil
 }
 
 // deleteRec removes the record at rid, queueing reinsertion as undo.
+// before is copied, so it may be reused scratch.
 func (t *txn) deleteRec(rel core.Relation, rid storage.RID, before []byte) error {
 	if _, err := t.d.log.Append(wal.Record{
 		Txn: uint64(t.id), Type: wal.RecDelete, Table: uint32(rel),
@@ -149,16 +275,15 @@ func (t *txn) deleteRec(rel core.Relation, rid storage.RID, before []byte) error
 	if err := t.d.heaps[rel].Delete(rid); err != nil {
 		return err
 	}
-	h := t.d.heaps[rel]
-	img := append([]byte(nil), before...)
-	t.undo = append(t.undo, func() error { return h.InsertAt(rid, img) })
+	off := t.saveImage(before)
+	t.undo = append(t.undo, undoOp{kind: undoDelete, rel: rel, rid: rid, off: off, n: len(before)})
 	return nil
 }
 
 // setIdx adds an index entry with undo.
 func (t *txn) setIdx(g *guardedTree, key, val uint64) {
 	g.set(key, val)
-	t.undo = append(t.undo, func() error { return g.delete(key) })
+	t.undo = append(t.undo, undoOp{kind: undoSetIdx, g: g, key: key})
 }
 
 // delIdx removes an index entry with undo.
@@ -166,6 +291,6 @@ func (t *txn) delIdx(g *guardedTree, key, val uint64) error {
 	if err := g.delete(key); err != nil {
 		return err
 	}
-	t.undo = append(t.undo, func() error { g.set(key, val); return nil })
+	t.undo = append(t.undo, undoOp{kind: undoDelIdx, g: g, key: key, val: val})
 	return nil
 }

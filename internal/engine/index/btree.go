@@ -35,37 +35,86 @@ type node struct {
 	kids []*node
 	// prev/next chain leaves in key order.
 	prev, next *node
+	// Embedded backing arrays for keys/vals/kids. A node transiently
+	// overfills to maxKeys+1 keys (and an internal parent to maxKeys+2
+	// kids) before split restores the bound, so the arrays carry that
+	// slack and inserts never grow a slice through the allocator.
+	keysBuf [maxKeys + 1]uint64
+	valsBuf [maxKeys + 1]uint64
+	kidsBuf [maxKeys + 2]*node
 }
 
 // BTree is a unique-key B+tree mapping uint64 to uint64.
 type BTree struct {
 	root *node
 	size int
+	// path is findLeaf's reusable descent scratch. Mutating operations
+	// (Insert/Set/Delete) already require external exclusive locking, so
+	// sharing it is safe; read-only operations descend via leafFor and
+	// never touch it, keeping concurrent readers allocation-free.
+	path []*node
+	// chunk backs batched node allocation; splits carve nodes from it so
+	// steady-state index growth costs amortized fractions of a heap
+	// allocation per split. Mutators hold an exclusive lock (see path).
+	chunk []node
+}
+
+// nodeChunkSize is how many nodes are allocated per chunk.
+const nodeChunkSize = 16
+
+// newNode carves an initialized node from the tree's chunk.
+func (t *BTree) newNode(leaf bool) *node {
+	if len(t.chunk) == 0 {
+		t.chunk = make([]node, nodeChunkSize)
+	}
+	n := &t.chunk[0]
+	t.chunk = t.chunk[1:]
+	n.leaf = leaf
+	n.keys = n.keysBuf[:0]
+	n.vals = n.valsBuf[:0]
+	n.kids = n.kidsBuf[:0]
+	return n
 }
 
 // New creates an empty tree.
 func New() *BTree {
-	return &BTree{root: &node{leaf: true}}
+	t := &BTree{}
+	t.root = t.newNode(true)
+	return t
 }
 
 // Len returns the number of keys.
 func (t *BTree) Len() int { return t.size }
 
-// findLeaf descends to the leaf that would hold key.
+// findLeaf descends to the leaf that would hold key, recording the path
+// in the tree's reusable scratch. Only for mutating operations, which
+// hold an exclusive lock.
 func (t *BTree) findLeaf(key uint64) (*node, []*node) {
 	n := t.root
-	var path []*node
+	path := t.path[:0]
 	for !n.leaf {
 		path = append(path, n)
 		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
 		n = n.kids[i]
 	}
+	t.path = path
 	return n, path
+}
+
+// leafFor descends to the leaf that would hold key without recording the
+// path — the allocation-free descent for read-only operations.
+func (t *BTree) leafFor(key uint64) *node {
+	n := t.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n = n.kids[i]
+	}
+	return n
 }
 
 // Get returns the value for key.
 func (t *BTree) Get(key uint64) (uint64, bool) {
-	n, _ := t.findLeaf(key)
+	n := t.leafFor(key)
 	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
 	if i < len(n.keys) && n.keys[i] == key {
 		return n.vals[i], true
@@ -124,7 +173,7 @@ func (t *BTree) split(n *node, path []*node) {
 		var sep uint64
 		mid := len(n.keys) / 2
 		if n.leaf {
-			right = &node{leaf: true}
+			right = t.newNode(true)
 			right.keys = append(right.keys, n.keys[mid:]...)
 			right.vals = append(right.vals, n.vals[mid:]...)
 			n.keys = n.keys[:mid]
@@ -137,7 +186,7 @@ func (t *BTree) split(n *node, path []*node) {
 			right.prev = n
 			n.next = right
 		} else {
-			right = &node{}
+			right = t.newNode(false)
 			// The middle key moves up; right gets keys after it.
 			sep = n.keys[mid]
 			right.keys = append(right.keys, n.keys[mid+1:]...)
@@ -146,7 +195,10 @@ func (t *BTree) split(n *node, path []*node) {
 			n.kids = n.kids[:mid+1]
 		}
 		if len(path) == 0 {
-			t.root = &node{keys: []uint64{sep}, kids: []*node{n, right}}
+			r := t.newNode(false)
+			r.keys = append(r.keys, sep)
+			r.kids = append(r.kids, n, right)
+			t.root = r
 			return
 		}
 		parent := path[len(path)-1]
@@ -238,7 +290,7 @@ func (t *BTree) Min(lo uint64) (key, val uint64, ok bool) {
 // Max returns the largest key <= hi with its value, by scanning from the
 // leaf holding hi backward.
 func (t *BTree) Max(hi uint64) (key, val uint64, ok bool) {
-	n, _ := t.findLeaf(hi)
+	n := t.leafFor(hi)
 	for n != nil {
 		for i := len(n.keys) - 1; i >= 0; i-- {
 			if n.keys[i] <= hi {
@@ -256,11 +308,12 @@ type Iter struct {
 	i int
 }
 
-// Seek positions an iterator at the first key >= lo.
-func (t *BTree) Seek(lo uint64) *Iter {
-	n, _ := t.findLeaf(lo)
+// Seek positions an iterator at the first key >= lo. The iterator is
+// returned by value so seeking does not allocate.
+func (t *BTree) Seek(lo uint64) Iter {
+	n := t.leafFor(lo)
 	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
-	return &Iter{n: n, i: i}
+	return Iter{n: n, i: i}
 }
 
 // Next returns the current entry and advances; ok is false at the end.

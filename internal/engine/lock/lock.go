@@ -6,6 +6,11 @@
 // The throughput model charges 1K instructions per lock released at commit
 // (Section 5.1); this manager is the executable counterpart whose lock
 // counts can be compared against the model's Table 4 lock visit counts.
+//
+// The uncontended grant path is allocation-free: granted locks are value
+// entries in a pooled per-key state, per-transaction held lists are pooled
+// slices, and the wait channel is only allocated when a request actually
+// blocks.
 package lock
 
 import (
@@ -52,30 +57,73 @@ var ErrDeadlock = errors.New("lock: deadlock detected")
 // wait out and aborting, exactly like a deadlock victim.
 var ErrTimeout = fmt.Errorf("lock: wait timed out: %w", ErrDeadlock)
 
+// errCancelled resolves waits of a transaction being released.
+var errCancelled = errors.New("lock: wait cancelled")
+
 // TxnID identifies a transaction.
 type TxnID uint64
 
-type request struct {
+// grant is one member of a key's granted group.
+type grant struct {
 	txn  TxnID
 	mode Mode
-	// granted marks requests in the granted group; waiters follow in
-	// FIFO order.
-	granted bool
-	ready   chan error
 }
 
+// request is one BLOCKED lock request; immediately granted requests never
+// materialize one.
+type request struct {
+	txn   TxnID
+	mode  Mode
+	ready chan error
+}
+
+// lockState is the per-key lock table entry: the granted group followed by
+// FIFO waiters. Entries are pooled — emptied states go to the manager's
+// freelist instead of the garbage collector, so the steady-state acquire
+// path does not allocate.
 type lockState struct {
-	queue []*request
+	granted []grant
+	waiters []*request
+}
+
+// heldLock records one lock a transaction holds.
+type heldLock struct {
+	key  Key
+	mode Mode
+}
+
+// txnLocks is the pooled per-transaction lock list. Holding a handful of
+// locks (TPC-C transactions hold tens), a linear scan beats a map and
+// costs nothing to reset.
+type txnLocks struct {
+	keys []heldLock
+}
+
+func (tl *txnLocks) find(key Key) (int, bool) {
+	for i := range tl.keys {
+		if tl.keys[i].key == key {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Manager is the lock manager. All methods are safe for concurrent use.
 type Manager struct {
 	mu    sync.Mutex
 	locks map[Key]*lockState
-	// held[txn] is the set of keys the transaction holds or waits on.
-	held map[TxnID]map[Key]Mode
+	// held[txn] is the pooled list of keys the transaction holds.
+	held map[TxnID]*txnLocks
+	// waitKey[txn] is the single key txn is currently queued on (a
+	// transaction blocks on at most one Acquire at a time), so release
+	// can cancel the wait without scanning the whole lock table.
+	waitKey map[TxnID]Key
 	// waitFor[a] = set of txns a is waiting on (for cycle detection).
 	waitFor map[TxnID]map[TxnID]struct{}
+
+	// Freelists for the pooled structures.
+	lsFree []*lockState
+	tlFree []*txnLocks
 
 	// waitTimeout bounds every wait; 0 waits forever.
 	waitTimeout time.Duration
@@ -90,9 +138,34 @@ type Manager struct {
 func NewManager() *Manager {
 	return &Manager{
 		locks:   make(map[Key]*lockState),
-		held:    make(map[TxnID]map[Key]Mode),
+		held:    make(map[TxnID]*txnLocks),
+		waitKey: make(map[TxnID]Key),
 		waitFor: make(map[TxnID]map[TxnID]struct{}),
 	}
+}
+
+func (m *Manager) newLockState() *lockState {
+	if n := len(m.lsFree); n > 0 {
+		ls := m.lsFree[n-1]
+		m.lsFree = m.lsFree[:n-1]
+		return ls
+	}
+	return &lockState{}
+}
+
+func (m *Manager) freeLockState(ls *lockState) {
+	ls.granted = ls.granted[:0]
+	ls.waiters = ls.waiters[:0]
+	m.lsFree = append(m.lsFree, ls)
+}
+
+func (m *Manager) newTxnLocks() *txnLocks {
+	if n := len(m.tlFree); n > 0 {
+		tl := m.tlFree[n-1]
+		m.tlFree = m.tlFree[:n-1]
+		return tl
+	}
+	return &txnLocks{}
 }
 
 // Counts returns total grants, waits, and deadlocks observed.
@@ -123,27 +196,29 @@ func (m *Manager) SetWaitTimeout(d time.Duration) {
 func (m *Manager) HeldBy(txn TxnID) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.held[txn])
+	if tl := m.held[txn]; tl != nil {
+		return len(tl.keys)
+	}
+	return 0
 }
 
 func compatible(a, b Mode) bool { return a == Shared && b == Shared }
 
 // grantable reports whether a request by txn for mode can join the granted
-// group of ls (ignoring txn's own existing grant, which is an upgrade).
+// group of ls. FIFO fairness: a new request also waits behind existing
+// waiters.
 func grantable(ls *lockState, txn TxnID, mode Mode) bool {
-	for _, r := range ls.queue {
-		if !r.granted {
-			// FIFO fairness: a new request must also wait behind
-			// existing waiters unless it is an upgrade.
-			if r.txn != txn {
-				return false
-			}
-			continue
-		}
-		if r.txn == txn {
-			continue
-		}
-		if !compatible(r.mode, mode) {
+	if len(ls.waiters) > 0 {
+		return false
+	}
+	return compatibleWithGranted(ls, txn, mode)
+}
+
+// compatibleWithGranted reports whether a request by txn for mode
+// conflicts with no currently granted lock of another transaction.
+func compatibleWithGranted(ls *lockState, txn TxnID, mode Mode) bool {
+	for _, g := range ls.granted {
+		if g.txn != txn && !compatible(g.mode, mode) {
 			return false
 		}
 	}
@@ -158,7 +233,7 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 	m.mu.Lock()
 	ls := m.locks[key]
 	if ls == nil {
-		ls = &lockState{}
+		ls = m.newLockState()
 		m.locks[key] = ls
 	}
 
@@ -177,7 +252,6 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		isUpgrade = true
 	}
 
-	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
 	can := grantable(ls, txn, mode)
 	if isUpgrade {
 		can = compatibleWithGranted(ls, txn, mode)
@@ -186,8 +260,7 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		if isUpgrade {
 			m.removeGrant(ls, txn)
 		}
-		req.granted = true
-		ls.queue = append(ls.queue, req)
+		ls.granted = append(ls.granted, grant{txn: txn, mode: mode})
 		m.noteHeld(txn, key, mode)
 		m.acquired++
 		m.mu.Unlock()
@@ -198,33 +271,39 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 	// upgrade waits only on the granted group; a plain request also
 	// waits on the waiters queued ahead of it.
 	blockers := make(map[TxnID]struct{})
-	for _, r := range ls.queue {
-		if r.txn == txn {
-			continue
+	for _, g := range ls.granted {
+		if g.txn != txn {
+			blockers[g.txn] = struct{}{}
 		}
-		if r.granted || !isUpgrade {
-			blockers[r.txn] = struct{}{}
+	}
+	if !isUpgrade {
+		for _, r := range ls.waiters {
+			if r.txn != txn {
+				blockers[r.txn] = struct{}{}
+			}
 		}
 	}
 	m.waitFor[txn] = blockers
 	if m.cycleFrom(txn) {
 		delete(m.waitFor, txn)
 		m.deadlocks++
+		if len(ls.granted) == 0 && len(ls.waiters) == 0 {
+			delete(m.locks, key)
+			m.freeLockState(ls)
+		}
 		m.mu.Unlock()
 		return ErrDeadlock
 	}
+	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
 	if isUpgrade {
 		// Insert the upgrade ahead of plain waiters.
-		pos := 0
-		for pos < len(ls.queue) && ls.queue[pos].granted {
-			pos++
-		}
-		ls.queue = append(ls.queue, nil)
-		copy(ls.queue[pos+1:], ls.queue[pos:])
-		ls.queue[pos] = req
+		ls.waiters = append(ls.waiters, nil)
+		copy(ls.waiters[1:], ls.waiters)
+		ls.waiters[0] = req
 	} else {
-		ls.queue = append(ls.queue, req)
+		ls.waiters = append(ls.waiters, req)
 	}
+	m.waitKey[txn] = key
 	m.waits++
 	timeout := m.waitTimeout
 	m.mu.Unlock()
@@ -246,6 +325,7 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		m.noteHeld(txn, key, mode)
 		m.acquired++
 		delete(m.waitFor, txn)
+		delete(m.waitKey, txn)
 		m.mu.Unlock()
 	}
 	return err
@@ -266,14 +346,15 @@ func (m *Manager) expireWait(txn TxnID, key Key, req *request) error {
 	}
 	ls := m.locks[key]
 	if ls != nil {
-		for i, r := range ls.queue {
+		for i, r := range ls.waiters {
 			if r == req {
-				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
 				break
 			}
 		}
 	}
 	delete(m.waitFor, txn)
+	delete(m.waitKey, txn)
 	m.timeouts++
 	if ls != nil {
 		m.promote(key, ls)
@@ -310,74 +391,59 @@ func (m *Manager) cycleFrom(start TxnID) bool {
 }
 
 func (m *Manager) heldMode(txn TxnID, key Key) (Mode, bool) {
-	if hs, ok := m.held[txn]; ok {
-		mode, ok := hs[key]
-		return mode, ok
+	if tl := m.held[txn]; tl != nil {
+		if i, ok := tl.find(key); ok {
+			return tl.keys[i].mode, true
+		}
 	}
 	return 0, false
 }
 
 func (m *Manager) noteHeld(txn TxnID, key Key, mode Mode) {
-	hs := m.held[txn]
-	if hs == nil {
-		hs = make(map[Key]Mode)
-		m.held[txn] = hs
+	tl := m.held[txn]
+	if tl == nil {
+		tl = m.newTxnLocks()
+		m.held[txn] = tl
 	}
-	hs[key] = mode
+	if i, ok := tl.find(key); ok {
+		tl.keys[i].mode = mode
+		return
+	}
+	tl.keys = append(tl.keys, heldLock{key: key, mode: mode})
 }
 
 func (m *Manager) removeGrant(ls *lockState, txn TxnID) {
-	out := ls.queue[:0]
-	for _, r := range ls.queue {
-		if r.granted && r.txn == txn {
+	out := ls.granted[:0]
+	for _, g := range ls.granted {
+		if g.txn == txn {
 			continue
 		}
-		out = append(out, r)
+		out = append(out, g)
 	}
-	ls.queue = out
-}
-
-// compatibleWithGranted reports whether a request by txn for mode
-// conflicts with no currently granted lock of another transaction.
-func compatibleWithGranted(ls *lockState, txn TxnID, mode Mode) bool {
-	for _, r := range ls.queue {
-		if r.granted && r.txn != txn && !compatible(r.mode, mode) {
-			return false
-		}
-	}
-	return true
+	ls.granted = out
 }
 
 // promote grants FIFO waiters until the first one that conflicts with the
 // (growing) granted group. Granting a waiting upgrade first retires the
-// transaction's old shared grant.
+// transaction's old shared grant. Emptied states return to the pool.
 func (m *Manager) promote(key Key, ls *lockState) {
-	for i := 0; i < len(ls.queue); i++ {
-		r := ls.queue[i]
-		if r.granted {
-			continue
-		}
-		if compatibleWithGranted(ls, r.txn, r.mode) {
-			// Retire an old grant of the same transaction (upgrade).
-			for j := 0; j < len(ls.queue); j++ {
-				if ls.queue[j].granted && ls.queue[j].txn == r.txn {
-					ls.queue = append(ls.queue[:j], ls.queue[j+1:]...)
-					if j < i {
-						i--
-					}
-					j--
-				}
-			}
-			r.granted = true
-			// The waiter finishes bookkeeping in Acquire.
-			r.ready <- nil
-		} else {
+	for len(ls.waiters) > 0 {
+		r := ls.waiters[0]
+		if !compatibleWithGranted(ls, r.txn, r.mode) {
 			// FIFO: stop at the first ungrantable waiter.
 			break
 		}
+		// Retire an old grant of the same transaction (upgrade).
+		m.removeGrant(ls, r.txn)
+		ls.granted = append(ls.granted, grant{txn: r.txn, mode: r.mode})
+		copy(ls.waiters, ls.waiters[1:])
+		ls.waiters = ls.waiters[:len(ls.waiters)-1]
+		// The waiter finishes bookkeeping in Acquire.
+		r.ready <- nil
 	}
-	if len(ls.queue) == 0 {
+	if len(ls.granted) == 0 && len(ls.waiters) == 0 {
 		delete(m.locks, key)
+		m.freeLockState(ls)
 	}
 }
 
@@ -387,25 +453,33 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.waitFor, txn)
-	for key := range m.held[txn] {
+	// Cancel an in-flight wait (possible after a deadlock abort racing
+	// with a grant). The waitKey index makes this O(1) instead of a
+	// whole-table scan.
+	if key, ok := m.waitKey[txn]; ok {
+		delete(m.waitKey, txn)
 		if ls := m.locks[key]; ls != nil {
-			m.removeGrant(ls, txn)
+			for i, r := range ls.waiters {
+				if r.txn == txn {
+					ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+					r.ready <- errCancelled
+					break
+				}
+			}
 			m.promote(key, ls)
 		}
 	}
-	delete(m.held, txn)
-	// Cancel any in-flight waits (possible after a deadlock abort racing
-	// with a grant).
-	for key, ls := range m.locks {
-		out := ls.queue[:0]
-		for _, r := range ls.queue {
-			if r.txn == txn && !r.granted {
-				r.ready <- errors.New("lock: wait cancelled")
-				continue
-			}
-			out = append(out, r)
-		}
-		ls.queue = out
-		m.promote(key, ls)
+	tl := m.held[txn]
+	if tl == nil {
+		return
 	}
+	for _, h := range tl.keys {
+		if ls := m.locks[h.key]; ls != nil {
+			m.removeGrant(ls, txn)
+			m.promote(h.key, ls)
+		}
+	}
+	delete(m.held, txn)
+	tl.keys = tl.keys[:0]
+	m.tlFree = append(m.tlFree, tl)
 }

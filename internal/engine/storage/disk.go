@@ -82,12 +82,18 @@ type DiskIO interface {
 	Pages() int64
 }
 
+// memDiskSlabPages is how many pages' worth of backing memory MemDisk
+// reserves per slab: page storage is carved from slabs so allocating a
+// page costs amortized fractions of a heap allocation, not two.
+const memDiskSlabPages = 64
+
 // MemDisk is the baseline DiskIO: a fault-free in-memory page device.
 type MemDisk struct {
 	mu      sync.RWMutex
 	data    map[PageID][]byte
 	journal map[PageID][]byte
 	next    PageID
+	slab    []byte
 }
 
 // NewMemDisk creates an empty device.
@@ -104,8 +110,13 @@ func (m *MemDisk) Allocate(size int) PageID {
 	defer m.mu.Unlock()
 	id := m.next
 	m.next++
-	m.data[id] = make([]byte, size)
-	m.journal[id] = make([]byte, size)
+	need := 2 * size
+	if len(m.slab) < need {
+		m.slab = make([]byte, need*memDiskSlabPages)
+	}
+	m.data[id] = m.slab[:size:size]
+	m.journal[id] = m.slab[size:need:need]
+	m.slab = m.slab[need:]
 	return id
 }
 

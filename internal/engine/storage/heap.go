@@ -23,13 +23,32 @@ func UnpackRID(v uint64) RID {
 // String renders the RID as "page:slot".
 func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 
+// Pinned is a page fixed in memory by Pager.Pin. Data is the page's
+// bytes, stable until the matching Unpin; Token is pager-private state
+// (a pointer, so passing it through the interface does not allocate).
+type Pinned struct {
+	Data  []byte
+	Token any
+}
+
 // Pager is the page-access interface HeapFile needs; the buffer manager
 // implements it (storage_test uses the store directly via a trivial
 // write-through adapter).
+//
+// With and Pin/Unpin are equivalent; the closure-free Pin/Unpin pair
+// exists for the hot path, where a closure passed through the interface
+// always escapes to the heap and would put an allocation in every
+// record access.
 type Pager interface {
 	// With pins page id, calls fn with its bytes, and unpins, marking
 	// the page dirty when dirty is true. fn must not retain the slice.
 	With(id PageID, dirty bool, fn func(page []byte)) error
+	// Pin fixes page id in memory, taking the same per-page content
+	// latch With holds around fn. The caller must Unpin exactly once
+	// and must not retain p.Data afterwards.
+	Pin(id PageID) (Pinned, error)
+	// Unpin releases a pinned page, marking it dirty when dirty is true.
+	Unpin(p Pinned, dirty bool)
 	// Allocate creates a new zeroed page (resident and dirty).
 	Allocate() (PageID, error)
 }
@@ -151,21 +170,21 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	for len(h.freePages) > 0 {
 		idx := h.freePages[len(h.freePages)-1]
 		pid := h.pages[idx]
-		slot := -1
-		err := h.pager.With(pid, true, func(page []byte) {
-			for s := 0; s < h.slots; s++ {
-				if !bitmapGet(page, s) {
-					bitmapSet(page, s, true)
-					off := slotOffset(h.slots, h.recLen, s)
-					copy(page[off:off+h.recLen], rec)
-					slot = s
-					return
-				}
-			}
-		})
+		p, err := h.pager.Pin(pid)
 		if err != nil {
 			return RID{}, err
 		}
+		slot := -1
+		for s := 0; s < h.slots; s++ {
+			if !bitmapGet(p.Data, s) {
+				bitmapSet(p.Data, s, true)
+				off := slotOffset(h.slots, h.recLen, s)
+				copy(p.Data[off:off+h.recLen], rec)
+				slot = s
+				break
+			}
+		}
+		h.pager.Unpin(p, slot >= 0)
 		if slot >= 0 {
 			// Check whether the page is now full by slot count:
 			// conservatively drop it from the free list when the
@@ -281,17 +300,17 @@ func (h *HeapFile) Read(rid RID, out []byte) error {
 	if len(out) != h.recLen {
 		return fmt.Errorf("storage: %s: read buffer is %d bytes, want %d: %w", h.name, len(out), h.recLen, ErrInvalidArgument)
 	}
-	var live bool
-	err := h.pager.With(rid.Page, false, func(page []byte) {
-		if int(rid.Slot) < h.slots && bitmapGet(page, int(rid.Slot)) {
-			live = true
-			off := slotOffset(h.slots, h.recLen, int(rid.Slot))
-			copy(out, page[off:off+h.recLen])
-		}
-	})
+	p, err := h.pager.Pin(rid.Page)
 	if err != nil {
 		return err
 	}
+	var live bool
+	if int(rid.Slot) < h.slots && bitmapGet(p.Data, int(rid.Slot)) {
+		live = true
+		off := slotOffset(h.slots, h.recLen, int(rid.Slot))
+		copy(out, p.Data[off:off+h.recLen])
+	}
+	h.pager.Unpin(p, false)
 	if !live {
 		return fmt.Errorf("storage: %s: no record at %s: %w", h.name, rid, ErrNoRecord)
 	}
@@ -303,17 +322,17 @@ func (h *HeapFile) Update(rid RID, rec []byte) error {
 	if len(rec) != h.recLen {
 		return fmt.Errorf("storage: %s: record is %d bytes, want %d: %w", h.name, len(rec), h.recLen, ErrInvalidArgument)
 	}
-	var live bool
-	err := h.pager.With(rid.Page, true, func(page []byte) {
-		if int(rid.Slot) < h.slots && bitmapGet(page, int(rid.Slot)) {
-			live = true
-			off := slotOffset(h.slots, h.recLen, int(rid.Slot))
-			copy(page[off:off+h.recLen], rec)
-		}
-	})
+	p, err := h.pager.Pin(rid.Page)
 	if err != nil {
 		return err
 	}
+	var live bool
+	if int(rid.Slot) < h.slots && bitmapGet(p.Data, int(rid.Slot)) {
+		live = true
+		off := slotOffset(h.slots, h.recLen, int(rid.Slot))
+		copy(p.Data[off:off+h.recLen], rec)
+	}
+	h.pager.Unpin(p, live)
 	if !live {
 		return fmt.Errorf("storage: %s: no record at %s: %w", h.name, rid, ErrNoRecord)
 	}
@@ -322,16 +341,16 @@ func (h *HeapFile) Update(rid RID, rec []byte) error {
 
 // Delete removes the record at rid.
 func (h *HeapFile) Delete(rid RID) error {
-	var live bool
-	err := h.pager.With(rid.Page, true, func(page []byte) {
-		if int(rid.Slot) < h.slots && bitmapGet(page, int(rid.Slot)) {
-			live = true
-			bitmapSet(page, int(rid.Slot), false)
-		}
-	})
+	p, err := h.pager.Pin(rid.Page)
 	if err != nil {
 		return err
 	}
+	var live bool
+	if int(rid.Slot) < h.slots && bitmapGet(p.Data, int(rid.Slot)) {
+		live = true
+		bitmapSet(p.Data, int(rid.Slot), false)
+	}
+	h.pager.Unpin(p, live)
 	if !live {
 		return fmt.Errorf("storage: %s: no record at %s: %w", h.name, rid, ErrNoRecord)
 	}

@@ -51,6 +51,21 @@ func (p *directPager) With(id PageID, dirty bool, fn func(page []byte)) error {
 	return nil
 }
 
+func (p *directPager) Pin(id PageID) (Pinned, error) {
+	if err := p.store.Read(id, p.buf); err != nil {
+		return Pinned{}, err
+	}
+	return Pinned{Data: p.buf, Token: id}, nil
+}
+
+func (p *directPager) Unpin(pg Pinned, dirty bool) {
+	if dirty {
+		if err := p.store.Flush(pg.Token.(PageID), pg.Data); err != nil {
+			panic(err)
+		}
+	}
+}
+
 func (p *directPager) Allocate() (PageID, error) { return p.store.Allocate() }
 
 func TestStoreReadWrite(t *testing.T) {

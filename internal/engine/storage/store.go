@@ -57,6 +57,13 @@ type Store struct {
 	disk     DiskIO
 	pageSize int
 	stats    StoreStats
+	// phys is the reusable physical-image scratch for Read/Flush (both
+	// run under mu); without it every buffer-pool miss and write-back
+	// would heap-allocate a page-sized buffer.
+	phys []byte
+	// zeroPhys is the sealed all-zero image every Allocate writes; the
+	// image is identical for all pages, so it is built once.
+	zeroPhys []byte
 }
 
 // NewStore creates a store with the given page size over a private
@@ -102,17 +109,30 @@ func checkOK(phys []byte) bool {
 	return crc == got
 }
 
+// scratch returns the store's physical-image scratch buffer. Callers
+// hold s.mu.
+func (s *Store) scratch() []byte {
+	if s.phys == nil {
+		s.phys = make([]byte, s.physSize())
+	}
+	return s.phys
+}
+
 // Allocate creates a new zeroed page and returns its ID. Both physical
 // copies are initialized with a valid checksum so the page is readable
 // immediately.
 func (s *Store) Allocate() (PageID, error) {
-	phys := make([]byte, s.physSize())
-	seal(phys, make([]byte, s.pageSize))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.zeroPhys == nil {
+		s.zeroPhys = make([]byte, s.physSize())
+		seal(s.zeroPhys, s.zeroPhys[:s.pageSize])
+	}
 	id := s.disk.Allocate(s.physSize())
-	if err := s.disk.Write(id, AreaJournal, phys); err != nil {
+	if err := s.disk.Write(id, AreaJournal, s.zeroPhys); err != nil {
 		return 0, fmt.Errorf("storage: init journal of page %d: %w", id, err)
 	}
-	if err := s.disk.Write(id, AreaData, phys); err != nil {
+	if err := s.disk.Write(id, AreaData, s.zeroPhys); err != nil {
 		return 0, fmt.Errorf("storage: init page %d: %w", id, err)
 	}
 	return id, nil
@@ -130,7 +150,7 @@ func (s *Store) Read(id PageID, buf []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	phys := make([]byte, s.physSize())
+	phys := s.scratch()
 	if err := s.disk.Read(id, AreaData, phys); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
@@ -164,7 +184,7 @@ func (s *Store) Flush(id PageID, buf []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	phys := make([]byte, s.physSize())
+	phys := s.scratch()
 	seal(phys, buf)
 	if err := s.disk.Write(id, AreaJournal, phys); err != nil {
 		return fmt.Errorf("storage: journal page %d: %w", id, err)

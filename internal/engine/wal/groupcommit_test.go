@@ -237,3 +237,127 @@ func TestGroupCommitSequentialDoesNotStall(t *testing.T) {
 		t.Errorf("Forces = %d, want 1", l.Forces())
 	}
 }
+
+// commitN runs n sequential registered commits and returns the elapsed
+// wall time. Each iteration brackets with TxnStart/TxnEnd the way the
+// database layer does.
+func commitN(t *testing.T, l *Log, n int) time.Duration {
+	t.Helper()
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		l.TxnStart()
+		ap(t, l, Record{Txn: uint64(i), Type: RecCommit})
+		l.TxnEnd()
+	}
+	return time.Since(start)
+}
+
+// TestAdaptiveSoloLeaderForcesImmediately is the 1-worker regression
+// case: with adaptive hold, a single committer must force immediately —
+// no hold, no waiter handoff — so grouped latency stays within 2× of
+// ungrouped instead of eating MaxHold per commit.
+func TestAdaptiveSoloLeaderForcesImmediately(t *testing.T) {
+	const n = 2000
+	plain := New()
+	ungrouped := commitN(t, plain, n)
+
+	l := New()
+	l.SetGroupCommit(GroupConfig{MaxBatch: 64, MaxHold: 200 * time.Microsecond, AdaptiveHold: true})
+	grouped := commitN(t, l, n)
+
+	if l.Forces() != n {
+		t.Errorf("Forces = %d, want %d (solo commits cannot batch)", l.Forces(), n)
+	}
+	if l.Holds() != 0 {
+		t.Errorf("Holds = %d, want 0: a solo leader must never hold", l.Holds())
+	}
+	if l.DurableSize() != l.Size() {
+		t.Errorf("durable %d != size %d after solo commits", l.DurableSize(), l.Size())
+	}
+	// 2× the ungrouped run plus scheduling slack. The fixed-hold config
+	// would be ~MaxHold×n ≈ 400ms slower, far outside this bound.
+	limit := 2*ungrouped + 20*time.Millisecond
+	if grouped > limit {
+		t.Errorf("solo grouped latency %v exceeds limit %v (ungrouped %v)", grouped, limit, ungrouped)
+	}
+	t.Logf("solo: ungrouped %v, adaptive grouped %v for %d commits", ungrouped, grouped, n)
+}
+
+// TestAdaptiveHoldBatchesConcurrentCommits checks adaptive mode still
+// amortizes forces when committers really are concurrent: every commit
+// is durable at ack and the batch leaders issued fewer forces than
+// commits.
+func TestAdaptiveHoldBatchesConcurrentCommits(t *testing.T) {
+	const committers = 8
+	l := New()
+	l.SetGroupCommit(GroupConfig{MaxBatch: committers, MaxHold: 20 * time.Millisecond, AdaptiveHold: true})
+	for i := 0; i < committers; i++ {
+		l.TxnStart()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer l.TxnEnd()
+			txn := uint64(i + 1)
+			if _, err := l.Append(Record{Txn: txn, Type: RecCommit}); err != nil {
+				t.Error(err)
+				return
+			}
+			if durable := l.DurableSize(); durable < int64(recHeader) {
+				t.Errorf("txn %d acked with durable prefix %d bytes", txn, durable)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Active() != 0 {
+		t.Errorf("Active = %d after all commits ended, want 0", l.Active())
+	}
+	if f := l.Forces(); f >= committers {
+		t.Errorf("adaptive grouped log issued %d forces for %d commits, want fewer", f, committers)
+	} else {
+		t.Logf("%d commits in %d forces, %d holds", committers, f, l.Holds())
+	}
+}
+
+// TestAdaptiveHoldSkipsWhenArrivalsAreSlow checks the EWMA gate: with
+// another committer active but arriving far slower than MaxHold, the
+// leader learns the interval and stops holding.
+func TestAdaptiveHoldSkipsWhenArrivalsAreSlow(t *testing.T) {
+	l := New()
+	const maxHold = time.Millisecond
+	l.SetGroupCommit(GroupConfig{MaxBatch: 64, MaxHold: maxHold, AdaptiveHold: true})
+	l.TxnStart() // a long-running transaction that never commits
+	defer l.TxnEnd()
+
+	// First commit has no interval history (EWMA empty) and another
+	// active transaction, so the leader may hold once.
+	l.TxnStart()
+	ap(t, l, Record{Txn: 1, Type: RecCommit})
+	l.TxnEnd()
+	warmupHolds := l.Holds()
+
+	// Subsequent commits arrive 5×MaxHold apart; the clamped EWMA sits
+	// above MaxHold, so holding can never pay off and must stop.
+	for i := 2; i <= 5; i++ {
+		time.Sleep(5 * maxHold)
+		l.TxnStart()
+		ap(t, l, Record{Txn: uint64(i), Type: RecCommit})
+		l.TxnEnd()
+	}
+	if h := l.Holds(); h != warmupHolds {
+		t.Errorf("leader held %d more times despite slow arrivals", h-warmupHolds)
+	}
+}
+
+// TestDefaultGroupConfig pins the CLI-facing defaults.
+func TestDefaultGroupConfig(t *testing.T) {
+	g := DefaultGroupConfig()
+	if !g.Enabled() || !g.AdaptiveHold {
+		t.Fatalf("DefaultGroupConfig = %+v, want enabled adaptive config", g)
+	}
+	if g.MaxBatch != 64 || g.MaxHold != 200*time.Microsecond {
+		t.Fatalf("DefaultGroupConfig = %+v, want MaxBatch 64, MaxHold 200µs", g)
+	}
+}

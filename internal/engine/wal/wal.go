@@ -28,7 +28,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpccmodel/internal/rng"
@@ -184,10 +186,24 @@ type GroupConfig struct {
 	// MaxHold bounds how long a batch leader waits for followers before
 	// forcing a partial batch. 0 forces whatever is queued immediately.
 	MaxHold time.Duration
+	// AdaptiveHold makes the leader's hold depend on observed commit
+	// traffic instead of always sleeping MaxHold: the leader skips the
+	// hold when it is the only active committer (or when the EWMA of
+	// commit-arrival intervals says no follower is likely within the
+	// window), and otherwise holds min(MaxHold, 2×EWMA). Requires the
+	// database layer to bracket transactions with TxnStart/TxnEnd.
+	// False preserves the fixed-hold behavior for A/B comparison.
+	AdaptiveHold bool
 }
 
 // Enabled reports whether the configuration actually batches.
 func (g GroupConfig) Enabled() bool { return g.MaxBatch > 1 }
+
+// DefaultGroupConfig is the batching configuration the CLIs use by
+// default: adaptive hold so a solo committer is never taxed MaxHold.
+func DefaultGroupConfig() GroupConfig {
+	return GroupConfig{MaxBatch: 64, MaxHold: 200 * time.Microsecond, AdaptiveHold: true}
+}
 
 // forceWaiter is one transaction blocked on commit durability. Its
 // record is held here — NOT in the log buffer — until a leader appends
@@ -214,11 +230,23 @@ type Log struct {
 
 	// Group-commit state: queued durability waiters, whether a leader is
 	// draining them, and a capacity-1 signal that wakes a holding leader
-	// early when the queue reaches MaxBatch.
+	// early when the queue reaches MaxBatch (or, under adaptive hold,
+	// when every active committer has arrived).
 	group     GroupConfig
 	queue     []*forceWaiter
 	leading   bool
 	batchFull chan struct{}
+
+	// Adaptive-hold state. active counts transactions between TxnStart
+	// and TxnEnd — committers that could still show up as followers.
+	// ewmaGap (nanoseconds, under mu) tracks the recent inter-arrival
+	// time of forced records; lastForced is the previous arrival. holds
+	// counts leader holds actually taken (observability for tests and
+	// the bench reports).
+	active     atomic.Int64
+	ewmaGap    float64
+	lastForced time.Time
+	holds      int64
 }
 
 // New creates an empty log.
@@ -243,6 +271,64 @@ func (l *Log) GroupCommit() GroupConfig {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.group
+}
+
+// TxnStart registers an active transaction. The database layer brackets
+// every transaction with TxnStart/TxnEnd so an adaptive batch leader can
+// tell whether any other committer could still arrive; the pair must
+// balance exactly once per transaction regardless of outcome.
+func (l *Log) TxnStart() { l.active.Add(1) }
+
+// TxnEnd unregisters an active transaction.
+func (l *Log) TxnEnd() { l.active.Add(-1) }
+
+// Active returns the number of registered in-flight transactions.
+func (l *Log) Active() int64 { return l.active.Load() }
+
+// ResetActive clears the active-transaction count. Crash recovery calls
+// it: transactions open at the crash died without TxnEnd and must not be
+// counted as potential committers afterwards.
+func (l *Log) ResetActive() { l.active.Store(0) }
+
+// Holds returns how many times a batch leader actually held for
+// followers (adaptive leaders that force immediately do not count).
+func (l *Log) Holds() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.holds
+}
+
+// Grow ensures the log buffer can absorb at least n more bytes without
+// reallocating — lets benchmarks and allocation-regression tests keep
+// amortized buffer doubling out of the measured loop.
+func (l *Log) Grow(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap(l.data)-len(l.data) < n {
+		grown := make([]byte, len(l.data), len(l.data)+n)
+		copy(grown, l.data)
+		l.data = grown
+	}
+}
+
+// observeArrival folds one forced-record arrival into the inter-arrival
+// EWMA. Intervals are clamped to 8×MaxHold so an idle stretch does not
+// poison the estimate for minutes of traffic after it resumes. Called
+// with l.mu held.
+func (l *Log) observeArrival(now time.Time) {
+	if !l.lastForced.IsZero() {
+		gap := float64(now.Sub(l.lastForced))
+		if clamp := 8 * float64(l.group.MaxHold); l.group.MaxHold > 0 && gap > clamp {
+			gap = clamp
+		}
+		const alpha = 0.25
+		if l.ewmaGap == 0 {
+			l.ewmaGap = gap
+		} else {
+			l.ewmaGap += alpha * (gap - l.ewmaGap)
+		}
+	}
+	l.lastForced = now
 }
 
 // Append writes one record (assigning its LSN) and returns the LSN.
@@ -287,10 +373,37 @@ func (l *Log) Append(r Record) (LSN, error) {
 // and just block until their record is durable (or the batch force
 // failed). Called with l.mu held; releases it.
 func (l *Log) appendGrouped(r Record) (LSN, error) {
+	if l.group.AdaptiveHold {
+		l.observeArrival(time.Now())
+		// Solo fast path: no leader draining, nothing queued, and no
+		// other active committer that could join a batch — force inline
+		// exactly like the ungrouped path, with no waiter or channel.
+		if !l.leading && len(l.queue) == 0 && l.active.Load() <= 1 {
+			defer l.mu.Unlock()
+			r.LSN = l.next
+			encoded := r.encode(l.data)
+			if l.hook != nil {
+				if err := l.hook.BeforeForce(len(encoded)); err != nil {
+					return 0, fmt.Errorf("wal: force failed: %w", err)
+				}
+			}
+			l.data = encoded
+			l.next++
+			l.forces++
+			l.forcedLen = len(l.data)
+			return r.LSN, nil
+		}
+	}
 	w := &forceWaiter{rec: r, done: make(chan struct{})}
 	l.queue = append(l.queue, w)
 	if l.leading {
-		if len(l.queue) >= l.group.MaxBatch {
+		full := len(l.queue) >= l.group.MaxBatch
+		if l.group.AdaptiveHold && int64(len(l.queue)) >= l.active.Load() {
+			// Every registered committer has arrived; nobody is left
+			// for the leader to hold for.
+			full = true
+		}
+		if full {
 			select {
 			case l.batchFull <- struct{}{}:
 			default:
@@ -314,21 +427,26 @@ func (l *Log) appendGrouped(r Record) (LSN, error) {
 // empty — and every waiter resolved — when lead returns. Called with
 // l.mu held; temporarily releases it while holding for followers.
 func (l *Log) lead() {
-	hold := l.group.MaxHold
 	for first := true; len(l.queue) > 0; first = false {
+		hold := l.holdFor()
 		if first && hold > 0 && len(l.queue) < l.group.MaxBatch {
-			select {
-			case <-l.batchFull: // drain a stale signal
-			default:
+			l.holds++
+			if l.group.AdaptiveHold {
+				l.yieldHold(hold)
+			} else {
+				select {
+				case <-l.batchFull: // drain a stale signal
+				default:
+				}
+				l.mu.Unlock()
+				t := time.NewTimer(hold)
+				select {
+				case <-l.batchFull:
+					t.Stop()
+				case <-t.C:
+				}
+				l.mu.Lock()
 			}
-			l.mu.Unlock()
-			t := time.NewTimer(hold)
-			select {
-			case <-l.batchFull:
-				t.Stop()
-			case <-t.C:
-			}
-			l.mu.Lock()
 		}
 		n := len(l.queue)
 		if max := l.group.MaxBatch; max > 1 && n > max {
@@ -339,6 +457,69 @@ func (l *Log) lead() {
 		l.forceBatch(batch)
 	}
 	l.queue = nil
+}
+
+// maxIdleYields bounds how many consecutive unproductive scheduler
+// yields an adaptive leader tolerates before forcing. A follower that is
+// runnable commits within a yield or two; one that never enqueues across
+// this many yields is almost certainly blocked — typically on a lock the
+// leader's own transaction holds, a wait that can only end after this
+// force — so continuing to wait is a self-inflicted convoy.
+const maxIdleYields = 8
+
+// yieldHold is the adaptive leader's hold: instead of a timer sleep
+// (whose real latency is kernel-timer granularity, often 5x the
+// microsecond budgets used here), the leader repeatedly yields the
+// processor so runnable committers can reach their enqueue, and stops as
+// soon as every active committer has arrived, the batch is full, the
+// budget is spent, or yields stop producing arrivals. On a loaded single
+// core the "hold" therefore costs only the useful work of the followers
+// it harvests. Called with l.mu held; releases and reacquires it around
+// each yield.
+func (l *Log) yieldHold(budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	idle := 0
+	for int64(len(l.queue)) < l.active.Load() && len(l.queue) < l.group.MaxBatch && idle < maxIdleYields {
+		prev := len(l.queue)
+		l.mu.Unlock()
+		runtime.Gosched()
+		l.mu.Lock()
+		if len(l.queue) > prev {
+			idle = 0
+		} else {
+			idle++
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+	}
+}
+
+// holdFor decides how long the leader should wait for followers before
+// forcing. Fixed mode always returns MaxHold (the seed behavior).
+// Adaptive mode returns 0 — force immediately — when no other committer
+// is active (everyone registered is already queued) or when the recent
+// commit-arrival interval says no follower is likely inside the window;
+// otherwise it holds just long enough for the expected arrivals,
+// min(MaxHold, 2×EWMA). Called with l.mu held.
+func (l *Log) holdFor() time.Duration {
+	if !l.group.AdaptiveHold {
+		return l.group.MaxHold
+	}
+	others := l.active.Load() - int64(len(l.queue))
+	if others <= 0 {
+		return 0
+	}
+	if l.ewmaGap == 0 {
+		return l.group.MaxHold
+	}
+	if l.ewmaGap > float64(l.group.MaxHold) {
+		return 0
+	}
+	if hold := time.Duration(2 * l.ewmaGap); hold < l.group.MaxHold {
+		return hold
+	}
+	return l.group.MaxHold
 }
 
 // forceBatch appends every waiter's record and makes them durable with a

@@ -281,6 +281,63 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileZero(t *testing.T) {
+	h := NewHistogram(1, 100)
+	for _, v := range []int64{5, 6, 7} {
+		h.Add(v)
+	}
+	// q=0 is the distribution's lower edge: the start of the first
+	// non-empty bucket, not 0.
+	if got := h.Quantile(0); got != 5 {
+		t.Errorf("Quantile(0) = %v, want 5", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(-0.5); got != 5 {
+		t.Errorf("Quantile(-0.5) = %v, want 5", got)
+	}
+	var empty Histogram
+	if got := (&empty).Quantile(0); got != 0 {
+		t.Errorf("empty Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram(10, 5)
+	h.Add(1000)
+	h.Add(2000)
+	if h.Overflow() != h.Total() {
+		t.Fatalf("Overflow = %d, Total = %d, want all overflow", h.Overflow(), h.Total())
+	}
+	// With every observation past the bucketed range, any quantile can
+	// only be reported as the max.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 2000 {
+			t.Errorf("Quantile(%v) = %v, want max 2000", q, got)
+		}
+	}
+}
+
+func TestHistogramMergeEmptySide(t *testing.T) {
+	full := NewHistogram(10, 5)
+	for _, v := range []int64{0, 25, 1000} {
+		full.Add(v)
+	}
+	// Empty receiver absorbs the full histogram...
+	into := NewHistogram(10, 5)
+	into.Merge(full)
+	// ...and merging an empty histogram changes nothing.
+	full.Merge(NewHistogram(10, 5))
+	for _, h := range []*Histogram{into, full} {
+		if h.Total() != 3 || h.Overflow() != 1 || h.Max() != 1000 {
+			t.Errorf("total/overflow/max = %d/%d/%d, want 3/1/1000",
+				h.Total(), h.Overflow(), h.Max())
+		}
+		if h.Bucket(0) != 1 || h.Bucket(2) != 1 {
+			t.Errorf("bucket counts = %d/%d, want 1/1", h.Bucket(0), h.Bucket(2))
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{5, 1, 3, 2, 4})
 	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
