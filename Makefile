@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 
 .PHONY: all build test race alloc-gate bench bench-sweep bench-kernel bench-commit bench-engine \
-	torture shard-torture shard-xval repro repro-full fuzz xval cover regen-golden \
+	bench-scale torture shard-torture shard-xval repro repro-full fuzz xval cover regen-golden \
 	regen-fuzz-corpus clean
 
 all: build test
@@ -99,6 +99,12 @@ bench-commit:
 # BENCH_engine.json.
 bench-engine:
 	go run ./cmd/tpcc-engine -bench-engine BENCH_engine.json
+
+# Multi-core scalability grid: workers x {striped, global-mutex lock
+# manager} x {partitioned, unified buffer pool}, with hardware metadata so
+# the recorded curve carries its core count; records BENCH_scale.json.
+bench-scale:
+	go run ./cmd/tpcc-engine -bench-scale BENCH_scale.json
 
 # Reduced-scale reproduction of every table and figure (seconds).
 repro:

@@ -49,11 +49,17 @@ func main() {
 		gcBatch     = flag.Int("gc-max-batch", 64, "max commit/abort records per group-commit force")
 		gcHold      = flag.Duration("gc-max-hold", 200*time.Microsecond, "max time a batch leader waits for followers")
 		gcAdaptive  = flag.Bool("gc-adaptive", true, "scale the leader's hold to observed commit arrivals (a solo committer forces immediately)")
+		lockStripes = flag.Int("lock-stripes", 0, "lock-manager stripes, rounded up to a power of two (0 = default 64, 1 = single global table)")
+		bufParts    = flag.Int("buffer-partitions", 0, "buffer-pool partitions, rounded up to a power of two (0 = 1, the unified pool)")
 		benchCommit = flag.String("bench-commit", "", "instead of a single run, benchmark grouped vs ungrouped commit at 1/2/4/8 workers and write this JSON report")
 		benchEngine = flag.String("bench-engine", "", "instead of a single run, benchmark engine throughput and allocations at 1/2/4/8 workers (grouped and ungrouped) and write this JSON report")
+		benchScale  = flag.String("bench-scale", "", "instead of a single run, benchmark workers x {striped,global-lock} x {partitioned,unified-pool} and write this JSON report")
 		commitSmoke = flag.Bool("commit-smoke", false, "CI smoke: reduced grouped-vs-ungrouped cells at 1/2/4/8 workers; exit 1 unless grouped throughput keeps up and batching engages")
-		benchFile   = flag.String("bench-file", "", "with -commit-smoke: also check this BENCH_commit.json against the CLI defaults and batching thresholds")
+		scaleSmoke  = flag.Bool("scale-smoke", false, "CI smoke: reduced striped-vs-global cells; exit 1 if striping costs >5% at 1 worker (multi-worker ratios are recorded, not gated)")
+		benchFile   = flag.String("bench-file", "", "with -commit-smoke / -scale-smoke: also check this checked-in BENCH_*.json against the CLI defaults and thresholds")
 	)
+	cpuProf, memProf := cliutil.ProfileFlags()
+	mutexProf, blockProf := cliutil.ContentionProfileFlags()
 	flag.Parse()
 
 	const tool = "tpcc-engine"
@@ -63,6 +69,12 @@ func main() {
 	cliutil.RequireNonNegative(tool, "warmup", int64(*warmup))
 	cliutil.RequirePositive(tool, "workers", int64(*workers))
 	cliutil.RequirePositive(tool, "gc-max-batch", int64(*gcBatch))
+	cliutil.RequireNonNegative(tool, "lock-stripes", int64(*lockStripes))
+	cliutil.RequireNonNegative(tool, "buffer-partitions", int64(*bufParts))
+
+	stopProf := cliutil.StartProfiles(tool, *cpuProf, *memProf)
+	stopContention := cliutil.StartContentionProfiles(tool, *mutexProf, *blockProf)
+	stop := func() { stopProf(); stopContention() }
 
 	gcfg := wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold, AdaptiveHold: *gcAdaptive}
 	group := wal.GroupConfig{}
@@ -74,23 +86,41 @@ func main() {
 		if err := runBenchCommit(*benchCommit, *seed, gcfg); err != nil {
 			fatal(err)
 		}
+		stop()
 		return
 	}
 	if *benchEngine != "" {
 		if err := runBenchEngine(*benchEngine, *seed, gcfg); err != nil {
 			fatal(err)
 		}
+		stop()
+		return
+	}
+	if *benchScale != "" {
+		if err := runBenchScale(*benchScale, *seed, gcfg); err != nil {
+			fatal(err)
+		}
+		stop()
 		return
 	}
 	if *commitSmoke {
 		if err := runCommitSmoke(*seed, gcfg, *benchFile); err != nil {
 			fatal(err)
 		}
+		stop()
+		return
+	}
+	if *scaleSmoke {
+		if err := runScaleSmoke(*seed, gcfg, *benchFile); err != nil {
+			fatal(err)
+		}
+		stop()
 		return
 	}
 
 	d, err := db.OpenWith(db.Config{
 		Warehouses: *warehouses, PageSize: 4096, BufferPages: *bufferPages,
+		LockStripes: *lockStripes, BufferPartitions: *bufParts,
 	}, db.Options{GroupCommit: group})
 	if err != nil {
 		fatal(err)
@@ -190,6 +220,7 @@ func main() {
 		}
 		fmt.Printf("post_recovery_txns\t100\tok\n")
 	}
+	stop()
 }
 
 // commitCell is one grouped-vs-ungrouped benchmark measurement.

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"tpccmodel/internal/cliutil"
+	"tpccmodel/internal/engine/db"
+	"tpccmodel/internal/engine/lock"
+	"tpccmodel/internal/engine/wal"
+	"tpccmodel/internal/tpcc"
+)
+
+// The scalability grid compares the sharded engine structures against the
+// global-mutex baselines: stripes=1 IS the seed lock manager (one table,
+// one mutex) and partitions=1 IS the seed buffer pool, so the baseline
+// legs measure the pre-striping engine rather than a reconstruction of it.
+const (
+	scaleStripes    = lock.DefaultStripes
+	scalePartitions = 8
+	scalePoolPages  = 8192
+)
+
+// scaleCell is one (workers, lock layout, pool layout) measurement.
+type scaleCell struct {
+	Workers          int     `json:"workers"`
+	LockStripes      int     `json:"lock_stripes"`
+	BufferPartitions int     `json:"buffer_partitions"`
+	TxnsPerSec       float64 `json:"txns_per_sec"`
+	TpmC             float64 `json:"tpmc"`
+	Commits          int64   `json:"commits"`
+	Aborts           int64   `json:"aborts"`
+	LockWaits        int64   `json:"lock_waits"`
+	Deadlocks        int64   `json:"deadlocks"`
+	P99Micros        int64   `json:"p99_us"`
+}
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	cliutil.Hardware
+	Warehouses int         `json:"warehouses"`
+	Txns       int         `json:"txns_per_cell"`
+	Stripes    int         `json:"striped_lock_stripes"`
+	Partitions int         `json:"partitioned_pool_partitions"`
+	PoolPages  int         `json:"buffer_pages"`
+	Cells      []scaleCell `json:"cells"`
+}
+
+// runScaleCell loads a fresh single-warehouse instance with the given lock
+// and pool layout and measures one cell.
+func runScaleCell(seed uint64, txns, warmup, workers, stripes, partitions int, group wal.GroupConfig) (scaleCell, error) {
+	d, err := db.OpenWith(db.Config{
+		Warehouses: 1, PageSize: 4096, BufferPages: scalePoolPages,
+		LockStripes: stripes, BufferPartitions: partitions,
+	}, db.Options{GroupCommit: group})
+	if err != nil {
+		return scaleCell{}, err
+	}
+	if err := d.Load(seed); err != nil {
+		return scaleCell{}, err
+	}
+	mix := tpcc.DefaultMix()
+	if warmup > 0 {
+		if err := db.RunConcurrent(d, seed+1, mix, warmup, workers); err != nil {
+			return scaleCell{}, err
+		}
+	}
+	// Settle the previous cell's garbage (a whole discarded pool) so no
+	// inherited GC cycle lands mid-measurement.
+	runtime.GC()
+	waits0, dead0 := lockWaits(d)
+	st, err := db.RunConcurrentPolicy(d, seed+2, mix, txns, workers, db.DefaultRetryPolicy())
+	if err != nil {
+		return scaleCell{}, err
+	}
+	waits1, dead1 := lockWaits(d)
+	return scaleCell{
+		Workers:          workers,
+		LockStripes:      stripes,
+		BufferPartitions: partitions,
+		TxnsPerSec:       float64(txns) / st.Elapsed.Seconds(),
+		TpmC:             st.TpmC(),
+		Commits:          st.Commits,
+		Aborts:           st.Aborts,
+		LockWaits:        waits1 - waits0,
+		Deadlocks:        dead1 - dead0,
+		P99Micros:        st.Latency.P99.Microseconds(),
+	}, nil
+}
+
+func lockWaits(d *db.DB) (waits, deadlocks int64) {
+	_, w, dl := d.LockCounts()
+	return w, dl
+}
+
+// runBenchScale writes BENCH_scale.json: workers x {striped, global lock}
+// x {partitioned, unified pool}, with hardware metadata so the recorded
+// scaling curve carries its core count.
+func runBenchScale(path string, seed uint64, group wal.GroupConfig) error {
+	const txns, warmup = 8000, 500
+	rep := scaleReport{
+		Hardware:   cliutil.HardwareInfo(),
+		Warehouses: 1,
+		Txns:       txns,
+		Stripes:    scaleStripes,
+		Partitions: scalePartitions,
+		PoolPages:  scalePoolPages,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, layout := range []struct{ stripes, parts int }{
+			{1, 1}, {scaleStripes, 1}, {1, scalePartitions}, {scaleStripes, scalePartitions},
+		} {
+			cell, err := runScaleCell(seed, txns, warmup, workers, layout.stripes, layout.parts, group)
+			if err != nil {
+				return fmt.Errorf("workers=%d stripes=%d partitions=%d: %w",
+					workers, layout.stripes, layout.parts, err)
+			}
+			fmt.Fprintf(os.Stderr,
+				"bench-scale: workers=%d stripes=%-2d partitions=%d tpmC=%-8.0f waits=%-6d p99=%dus\n",
+				cell.Workers, cell.LockStripes, cell.BufferPartitions, cell.TpmC,
+				cell.LockWaits, cell.P99Micros)
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// checkScaleReport validates a checked-in BENCH_scale.json: its layout
+// knobs must match the binary's constants, every worker count must carry
+// the sharded and global cells, and at 1 worker the sharded engine must be
+// within 5% of the global-mutex baseline — striping must not tax the
+// uncontended path. Multi-worker ratios are evidence, not gates: the
+// recorded hardware says how many cores they were measured on.
+func checkScaleReport(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep scaleReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Cores <= 0 {
+		return fmt.Errorf("%s: missing hardware metadata", path)
+	}
+	if rep.Stripes != scaleStripes || rep.Partitions != scalePartitions {
+		return fmt.Errorf("%s: layout %d stripes / %d partitions does not match the binary (%d/%d) — regenerate with make bench-scale",
+			path, rep.Stripes, rep.Partitions, scaleStripes, scalePartitions)
+	}
+	type key struct{ workers, stripes, parts int }
+	cells := map[key]scaleCell{}
+	for _, c := range rep.Cells {
+		cells[key{c.Workers, c.LockStripes, c.BufferPartitions}] = c
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		sharded, ok := cells[key{workers, scaleStripes, scalePartitions}]
+		if !ok {
+			return fmt.Errorf("%s: missing sharded cell at %d workers", path, workers)
+		}
+		global, ok := cells[key{workers, 1, 1}]
+		if !ok {
+			return fmt.Errorf("%s: missing global-mutex cell at %d workers", path, workers)
+		}
+		if workers == 1 && sharded.TpmC < 0.95*global.TpmC {
+			return fmt.Errorf("%s: sharded tpmC %.0f < 0.95 x global %.0f at 1 worker",
+				path, sharded.TpmC, global.TpmC)
+		}
+	}
+	return nil
+}
+
+// runScaleSmoke is the CI gate for the sharded engine. The live gate runs
+// only at 1 worker: striping and partitioning must not cost more than 5%
+// when uncontended. Like the commit smoke, it takes the best of 3 paired
+// runs — adjacent global/sharded runs see similar machine state, so the
+// pairing cancels scheduler drift that short cells on a shared core
+// otherwise read as regression. Multi-worker ratios are printed for the
+// record but not gated: on a 1-core runner added workers measure context
+// switching, not parallelism. With benchFile set, the checked-in
+// BENCH_scale.json is validated too.
+func runScaleSmoke(seed uint64, group wal.GroupConfig, benchFile string) error {
+	const txns, warmup, runs = 4000, 400, 3
+	fmt.Printf("layout\tworkers\ttpmc\tlock_waits\tratio\n")
+	for _, workers := range []int{1, 2, 4, 8} {
+		var global, sharded scaleCell
+		bestRatio := -1.0
+		for i := 0; i < runs; i++ {
+			g, err := runScaleCell(seed+uint64(i), txns, warmup, workers, 1, 1, group)
+			if err != nil {
+				return err
+			}
+			s, err := runScaleCell(seed+uint64(i), txns, warmup, workers, scaleStripes, scalePartitions, group)
+			if err != nil {
+				return err
+			}
+			if r := s.TpmC / g.TpmC; r > bestRatio {
+				bestRatio, global, sharded = r, g, s
+			}
+		}
+		fmt.Printf("global\t%d\t%.0f\t%d\t\n", workers, global.TpmC, global.LockWaits)
+		fmt.Printf("sharded\t%d\t%.0f\t%d\t%.3f\n", workers, sharded.TpmC, sharded.LockWaits, bestRatio)
+		if workers == 1 && bestRatio < 0.95 {
+			return fmt.Errorf("sharded tpmC %.0f < 0.95 x global %.0f at 1 worker (best of %d paired runs)",
+				sharded.TpmC, global.TpmC, runs)
+		}
+	}
+	if benchFile != "" {
+		if err := checkScaleReport(benchFile); err != nil {
+			return err
+		}
+		fmt.Printf("bench-report\t%s\tok\n", benchFile)
+	}
+	fmt.Println("scale-smoke: ok")
+	return nil
+}

@@ -51,6 +51,8 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit JSON instead of TSV (xval mode)")
 		verbose     = flag.Bool("v", false, "print per-schedule torture results")
 	)
+	cpuProf, memProf := cliutil.ProfileFlags()
+	mutexProf, blockProf := cliutil.ContentionProfileFlags()
 	flag.Parse()
 
 	const tool = "tpcc-shard"
@@ -69,6 +71,9 @@ func main() {
 		cliutil.Fail(tool, "-xval and -torture are mutually exclusive")
 	}
 
+	stopProf := cliutil.StartProfiles(tool, *cpuProf, *memProf)
+	stopContention := cliutil.StartContentionProfiles(tool, *mutexProf, *blockProf)
+
 	switch {
 	case *tortureMode:
 		cliutil.RequirePositive(tool, "seeds", int64(*seeds))
@@ -80,6 +85,10 @@ func main() {
 	default:
 		runBench(*shards, *wh, *txns, *workers, *seed, *remoteStock, *remotePay)
 	}
+	// Failure paths exit(1) above without writing profiles — a failed
+	// run's contention profile is not the one being measured.
+	stopProf()
+	stopContention()
 }
 
 func runBench(shards, wh, txns, workers int, seed uint64, remoteStock, remotePay float64) {

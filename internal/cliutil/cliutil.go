@@ -87,6 +87,58 @@ func ProfileFlags() (cpuprofile, memprofile *string) {
 	return cpuprofile, memprofile
 }
 
+// ContentionProfileFlags registers the -mutexprofile/-blockprofile flags;
+// call before flag.Parse. These make lock contention directly observable:
+// the mutex profile attributes delay to the mutexes that caused it, the
+// block profile to the blocked call sites (channel waits included), so a
+// striping or partitioning change can be judged by where the contention
+// went rather than by throughput alone.
+func ContentionProfileFlags() (mutexprofile, blockprofile *string) {
+	mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	blockprofile = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
+	return mutexprofile, blockprofile
+}
+
+// StartContentionProfiles enables mutex/block sampling for the paths that
+// are non-empty and returns a stop function that writes the profiles and
+// disables sampling. Sampling is full-rate (fraction/rate 1): contention
+// runs are short and dedicated, so completeness beats overhead. Call the
+// stop function on the tool's normal exit path; empty paths are no-ops.
+func StartContentionProfiles(tool, mutexPath, blockPath string) (stop func()) {
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	write := func(name, path string) {
+		p := pprof.Lookup(name)
+		if p == nil {
+			Fail(tool, "-%sprofile: profile %q not registered", name, name)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			Fail(tool, "-%sprofile: %v", name, err)
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			Fail(tool, "-%sprofile: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			Fail(tool, "-%sprofile: %v", name, err)
+		}
+	}
+	return func() {
+		if mutexPath != "" {
+			write("mutex", mutexPath)
+			runtime.SetMutexProfileFraction(0)
+		}
+		if blockPath != "" {
+			write("block", blockPath)
+			runtime.SetBlockProfileRate(0)
+		}
+	}
+}
+
 // StartProfiles begins CPU profiling when cpuPath is non-empty and returns
 // a stop function that finishes the CPU profile and, when memPath is
 // non-empty, writes a GC-settled heap profile. Call the stop function on

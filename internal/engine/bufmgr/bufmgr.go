@@ -3,6 +3,18 @@
 // unpinned frames, write-back of dirty pages, and per-class hit/miss
 // accounting so the engine's buffer behaviour can be compared with the
 // paper's trace-driven simulation.
+//
+// The frame set is PARTITIONED: pages hash into P independent partitions,
+// each with its own mutex, frame table, LRU list, freelist, and counters,
+// so concurrent pins of different pages in different partitions never
+// serialize on a shared mutex (the paper's throughput model charges a
+// fixed CPU cost per buffer access, implicitly assuming those accesses
+// scale with added processors). New gives P=1 — a single LRU over all
+// frames, byte-identical in behaviour to the seed manager — and
+// NewPartitioned(P>1) splits capacity evenly. Each partition runs LRU
+// over its own share, so the aggregate is a partitioned-LRU policy: hit
+// ratios differ slightly from global LRU, and the reference-stream replay
+// (package xval) claims bit-identity only at P=1.
 package bufmgr
 
 import (
@@ -17,11 +29,13 @@ import (
 // hit/miss outcome, and once per page allocation (alloc = true; allocations
 // make a page resident at the MRU position without counting as an access,
 // so a replayed LRU simulation must see them to reproduce the pool state).
-// The tap runs under the manager lock, so calls are totally ordered and the
-// callback must not re-enter the manager. With a single-threaded caller the
-// call order is exactly the LRU decision order, which is what makes the
-// engine's measured hit/miss stream bit-reproducible by a stack-distance
-// replay (package xval).
+// The tap runs under the partition lock, so calls are totally ordered PER
+// PARTITION and the callback must not re-enter the manager. With a single
+// partition and a single-threaded caller the call order is exactly the LRU
+// decision order, which is what makes the engine's measured hit/miss
+// stream bit-reproducible by a stack-distance replay (package xval) —
+// that guarantee is therefore only claimed at partitions = 1, and the
+// cross-validation gate pins that configuration.
 type Tap func(id storage.PageID, cls int, alloc, hit bool)
 
 // Stats counts logical page accesses and physical misses.
@@ -43,11 +57,22 @@ func (s Stats) MissRate() float64 {
 	return 0
 }
 
+// add accumulates other into s.
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evicts += o.Evicts
+	s.Flushes += o.Flushes
+}
+
 type frame struct {
 	id    storage.PageID
 	data  []byte
 	pins  int
 	dirty bool
+	// part is the owning partition; Unpin needs it to find the right
+	// mutex without rehashing the page id.
+	part *partition
 	// inLRU with prev/next form an intrusive doubly-linked LRU list of
 	// unpinned frames — intrusive so moving a frame on pin/unpin never
 	// allocates a list node (container/list would allocate an Element
@@ -60,9 +85,12 @@ type frame struct {
 	contentMu sync.Mutex
 }
 
-// Manager is the buffer manager. All methods are safe for concurrent use.
-type Manager struct {
-	store    *storage.Store
+// partition is one shard of the pool: a mutex, the frames whose pages hash
+// here, an intrusive LRU of its unpinned frames, a freelist, and this
+// partition's share of the counters. Eviction, write-back, and the
+// all-pinned wait are all partition-local.
+type partition struct {
+	mgr      *Manager
 	capacity int
 
 	mu     sync.Mutex
@@ -79,60 +107,120 @@ type Manager struct {
 	frameChunk []frame
 	dataSlab   []byte
 
-	stats Stats
+	stats      Stats
+	classStats []Stats
+}
+
+// Manager is the partitioned buffer manager. All methods are safe for
+// concurrent use.
+type Manager struct {
+	store    *storage.Store
+	capacity int
+	parts    []*partition
+	mask     uint64
+
+	// The shared hooks below are read under a partition mutex on every
+	// access; writers (the Set* methods) hold EVERY partition mutex, so
+	// no reader can observe a torn update and installs are race-free
+	// even mid-run.
+	//
 	// classOf assigns pages to accounting classes (e.g. one per
 	// relation); nil means everything lands in class 0.
-	classOf    func(storage.PageID) int
-	classStats []Stats
-
+	classOf func(storage.PageID) int
 	// preFlush runs before any dirty page is written back (the WAL
 	// rule): the database installs the log's Force here so before-images
 	// of stolen pages are durable before the page image can reach disk.
 	preFlush func() error
-
 	// tap, when non-nil, observes every access and allocation in
-	// decision order (see Tap).
+	// per-partition decision order (see Tap).
 	tap Tap
 }
 
-// New creates a buffer manager with capacity frames over store.
+// New creates a buffer manager with capacity frames over store as one
+// partition: a single global LRU, the seed behaviour and the configuration
+// whose reference stream the cross-validation replay reproduces exactly.
 func New(store *storage.Store, capacity int) *Manager {
+	return NewPartitioned(store, capacity, 1)
+}
+
+// NewPartitioned creates a buffer manager with capacity frames split over
+// partitions (rounded up to a power of two; < 1 means 1). Capacity is
+// divided evenly with the remainder spread over the first partitions;
+// every partition must end up with at least one frame.
+func NewPartitioned(store *storage.Store, capacity, partitions int) *Manager {
 	if capacity <= 0 {
 		panic("bufmgr: capacity must be positive")
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	n := 1
+	for n < partitions {
+		n <<= 1
+	}
+	if n > capacity {
+		panic(fmt.Sprintf("bufmgr: %d partitions exceed %d frames", n, capacity))
 	}
 	m := &Manager{
 		store:    store,
 		capacity: capacity,
-		frames:   make(map[storage.PageID]*frame, capacity),
+		parts:    make([]*partition, n),
+		mask:     uint64(n - 1),
 	}
-	m.cond = sync.NewCond(&m.mu)
+	base, rem := capacity/n, capacity%n
+	for i := range m.parts {
+		c := base
+		if i < rem {
+			c++
+		}
+		p := &partition{
+			mgr:      m,
+			capacity: c,
+			frames:   make(map[storage.PageID]*frame, c),
+		}
+		p.cond = sync.NewCond(&p.mu)
+		m.parts[i] = p
+	}
 	return m
+}
+
+// Partitions returns the partition count (a power of two).
+func (m *Manager) Partitions() int { return len(m.parts) }
+
+// partOf hashes a page to its partition. Page ids are allocated densely,
+// so Fibonacci multiplicative hashing spreads the near-sequential ids of
+// one relation across partitions instead of leaving a hot relation's pages
+// clustered in one.
+func (m *Manager) partOf(id storage.PageID) *partition {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return m.parts[(h>>32)&m.mask]
 }
 
 // frameChunkSize bounds how many frames are allocated per chunk.
 const frameChunkSize = 64
 
 // frameFor returns a reusable or freshly carved frame reset for page id.
-// Callers hold m.mu.
-func (m *Manager) frameFor(id storage.PageID) *frame {
-	f := m.freeFrames
+// Callers hold p.mu.
+func (p *partition) frameFor(id storage.PageID) *frame {
+	f := p.freeFrames
 	if f != nil {
-		m.freeFrames = f.next
+		p.freeFrames = f.next
 		f.next = nil
 	} else {
-		if len(m.frameChunk) == 0 {
-			n := m.capacity
+		if len(p.frameChunk) == 0 {
+			n := p.capacity
 			if n > frameChunkSize {
 				n = frameChunkSize
 			}
-			m.frameChunk = make([]frame, n)
-			m.dataSlab = make([]byte, n*m.store.PageSize())
+			p.frameChunk = make([]frame, n)
+			p.dataSlab = make([]byte, n*p.mgr.store.PageSize())
 		}
-		f = &m.frameChunk[0]
-		m.frameChunk = m.frameChunk[1:]
-		ps := m.store.PageSize()
-		f.data = m.dataSlab[:ps:ps]
-		m.dataSlab = m.dataSlab[ps:]
+		f = &p.frameChunk[0]
+		p.frameChunk = p.frameChunk[1:]
+		ps := p.mgr.store.PageSize()
+		f.data = p.dataSlab[:ps:ps]
+		p.dataSlab = p.dataSlab[ps:]
+		f.part = p
 	}
 	f.id = id
 	f.pins = 0
@@ -143,174 +231,212 @@ func (m *Manager) frameFor(id storage.PageID) *frame {
 }
 
 // freeFrame returns an unlisted frame to the reuse chain. Callers hold
-// m.mu.
-func (m *Manager) freeFrame(f *frame) {
-	f.next = m.freeFrames
-	m.freeFrames = f
+// p.mu.
+func (p *partition) freeFrame(f *frame) {
+	f.next = p.freeFrames
+	p.freeFrames = f
 }
 
-// lruPush puts f at the MRU end. Callers hold m.mu; f must not be listed.
-func (m *Manager) lruPush(f *frame) {
+// lruPush puts f at the MRU end. Callers hold p.mu; f must not be listed.
+func (p *partition) lruPush(f *frame) {
 	f.inLRU = true
 	f.prev = nil
-	f.next = m.lruHead
-	if m.lruHead != nil {
-		m.lruHead.prev = f
+	f.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = f
 	}
-	m.lruHead = f
-	if m.lruTail == nil {
-		m.lruTail = f
+	p.lruHead = f
+	if p.lruTail == nil {
+		p.lruTail = f
 	}
 }
 
-// lruRemove unlinks f from the LRU list. Callers hold m.mu.
-func (m *Manager) lruRemove(f *frame) {
+// lruRemove unlinks f from the LRU list. Callers hold p.mu.
+func (p *partition) lruRemove(f *frame) {
 	if f.prev != nil {
 		f.prev.next = f.next
 	} else {
-		m.lruHead = f.next
+		p.lruHead = f.next
 	}
 	if f.next != nil {
 		f.next.prev = f.prev
 	} else {
-		m.lruTail = f.prev
+		p.lruTail = f.prev
 	}
 	f.inLRU = false
 	f.prev, f.next = nil, nil
 }
 
+// lockAll takes every partition mutex (in index order) so a shared-hook
+// write cannot race any partition's reads.
+func (m *Manager) lockAll() {
+	for _, p := range m.parts {
+		p.mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for _, p := range m.parts {
+		p.mu.Unlock()
+	}
+}
+
 // SetClassifier installs a page-to-class mapping with the given number
 // of accounting classes; must be called before any access.
 func (m *Manager) SetClassifier(classes int, fn func(storage.PageID) int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockAll()
+	defer m.unlockAll()
 	m.classOf = fn
-	m.classStats = make([]Stats, classes)
+	for _, p := range m.parts {
+		p.classStats = make([]Stats, classes)
+	}
 }
 
 // SetPreFlush installs a hook that must succeed before any dirty page is
 // written back to the store (nil disables). Used to enforce the WAL rule.
 func (m *Manager) SetPreFlush(fn func() error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockAll()
+	defer m.unlockAll()
 	m.preFlush = fn
 }
 
 // SetTap installs a reference-stream tap (nil disables). Install it before
 // the first access so the replayed stream covers the whole pool history;
 // a tap installed mid-run would miss the residency established earlier.
+// With more than one partition, tap calls from different partitions may
+// interleave (total ordering is per-partition only); the exact replay
+// contract holds only at partitions = 1.
 func (m *Manager) SetTap(fn Tap) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockAll()
+	defer m.unlockAll()
 	m.tap = fn
 }
 
 // flushFrame writes one dirty frame back, honoring the WAL rule.
-// Callers hold m.mu.
-func (m *Manager) flushFrame(f *frame) error {
-	if m.preFlush != nil {
-		if err := m.preFlush(); err != nil {
+// Callers hold p.mu.
+func (p *partition) flushFrame(f *frame) error {
+	if fn := p.mgr.preFlush; fn != nil {
+		if err := fn(); err != nil {
 			return err
 		}
 	}
-	if err := m.store.Flush(f.id, f.data); err != nil {
+	if err := p.mgr.store.Flush(f.id, f.data); err != nil {
 		return err
 	}
-	m.stats.Flushes++
+	p.stats.Flushes++
 	return nil
 }
 
-// Capacity returns the frame count.
+// Capacity returns the total frame count across partitions.
 func (m *Manager) Capacity() int { return m.capacity }
 
-// Stats returns a copy of the global counters.
+// Stats returns the global counters, aggregated over partitions.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	var out Stats
+	for _, p := range m.parts {
+		p.mu.Lock()
+		out.add(p.stats)
+		p.mu.Unlock()
+	}
+	return out
 }
 
-// ClassStats returns a copy of the per-class counters.
+// ClassStats returns the per-class counters, aggregated over partitions.
 func (m *Manager) ClassStats() []Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]Stats(nil), m.classStats...)
+	var out []Stats
+	for _, p := range m.parts {
+		p.mu.Lock()
+		if len(p.classStats) > len(out) {
+			grown := make([]Stats, len(p.classStats))
+			copy(grown, out)
+			out = grown
+		}
+		for i := range p.classStats {
+			out[i].add(p.classStats[i])
+		}
+		p.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats zeroes all counters (e.g. after warmup).
 func (m *Manager) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
-	for i := range m.classStats {
-		m.classStats[i] = Stats{}
+	for _, p := range m.parts {
+		p.mu.Lock()
+		p.stats = Stats{}
+		for i := range p.classStats {
+			p.classStats[i] = Stats{}
+		}
+		p.mu.Unlock()
 	}
 }
 
 // pin returns the frame for id with its pin count incremented, reading the
-// page in on a miss and evicting an unpinned LRU victim when full. It
-// blocks while every frame is pinned.
+// page in on a miss and evicting an unpinned LRU victim when the partition
+// is full. It blocks while every frame of the partition is pinned.
 func (m *Manager) pin(id storage.PageID) (*frame, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	p := m.partOf(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 
 	cls := 0
 	if m.classOf != nil {
 		cls = m.classOf(id)
 	}
-	if f, ok := m.frames[id]; ok {
-		m.stats.Hits++
-		if m.classStats != nil {
-			m.classStats[cls].Hits++
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if p.classStats != nil {
+			p.classStats[cls].Hits++
 		}
 		if m.tap != nil {
 			m.tap(id, cls, false, true)
 		}
 		if f.pins == 0 && f.inLRU {
-			m.lruRemove(f)
+			p.lruRemove(f)
 		}
 		f.pins++
 		return f, nil
 	}
 
-	m.stats.Misses++
-	if m.classStats != nil {
-		m.classStats[cls].Misses++
+	p.stats.Misses++
+	if p.classStats != nil {
+		p.classStats[cls].Misses++
 	}
 	if m.tap != nil {
 		m.tap(id, cls, false, false)
 	}
-	for len(m.frames) >= m.capacity {
-		if f := m.lruTail; f != nil {
+	for len(p.frames) >= p.capacity {
+		if f := p.lruTail; f != nil {
 			if f.dirty {
-				if err := m.flushFrame(f); err != nil {
+				if err := p.flushFrame(f); err != nil {
 					return nil, err
 				}
 			}
-			m.lruRemove(f)
-			delete(m.frames, f.id)
-			m.stats.Evicts++
-			m.freeFrame(f)
+			p.lruRemove(f)
+			delete(p.frames, f.id)
+			p.stats.Evicts++
+			p.freeFrame(f)
 			continue
 		}
 		// All frames pinned: wait for an unpin.
-		m.cond.Wait()
+		p.cond.Wait()
 	}
 
-	f := m.frameFor(id)
+	f := p.frameFor(id)
 	f.pins = 1
 	if err := m.store.Read(id, f.data); err != nil {
-		m.freeFrame(f)
+		p.freeFrame(f)
 		return nil, err
 	}
-	m.frames[id] = f
+	p.frames[id] = f
 	return f, nil
 }
 
 // unpin releases one pin, recording dirtiness.
 func (m *Manager) unpin(f *frame, dirty bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	p := f.part
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if dirty {
 		f.dirty = true
 	}
@@ -319,8 +445,8 @@ func (m *Manager) unpin(f *frame, dirty bool) {
 		panic("bufmgr: unpin without pin")
 	}
 	if f.pins == 0 {
-		m.lruPush(f)
-		m.cond.Signal()
+		p.lruPush(f)
+		p.cond.Signal()
 	}
 }
 
@@ -354,7 +480,7 @@ func (m *Manager) With(id storage.PageID, dirty bool, fn func(page []byte)) erro
 		return err
 	}
 	// The frame's data slice is stable while pinned; fn runs outside the
-	// manager lock so callers don't serialize the whole pool, under the
+	// partition lock so callers don't serialize the pool, under the
 	// frame's content mutex so same-page accesses don't race.
 	f.contentMu.Lock()
 	fn(f.data)
@@ -373,8 +499,9 @@ func (m *Manager) Allocate() (storage.PageID, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	p := m.partOf(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if m.tap != nil {
 		// The relation tag is attached by the caller after Allocate
 		// returns, so the class reported here is the default; replays
@@ -385,46 +512,49 @@ func (m *Manager) Allocate() (storage.PageID, error) {
 		}
 		m.tap(id, cls, true, false)
 	}
-	for len(m.frames) >= m.capacity {
-		if f := m.lruTail; f != nil {
+	for len(p.frames) >= p.capacity {
+		if f := p.lruTail; f != nil {
 			if f.dirty {
-				if err := m.flushFrame(f); err != nil {
+				if err := p.flushFrame(f); err != nil {
 					return 0, err
 				}
 			}
-			m.lruRemove(f)
-			delete(m.frames, f.id)
-			m.stats.Evicts++
-			m.freeFrame(f)
+			p.lruRemove(f)
+			delete(p.frames, f.id)
+			p.stats.Evicts++
+			p.freeFrame(f)
 			continue
 		}
-		m.cond.Wait()
+		p.cond.Wait()
 	}
-	f := m.frameFor(id)
+	f := p.frameFor(id)
 	// A recycled frame still holds its previous page's bytes; a new page
 	// must start zeroed, matching its durable image.
 	clear(f.data)
 	f.dirty = true
-	m.frames[id] = f
-	m.lruPush(f)
+	p.frames[id] = f
+	p.lruPush(f)
 	return id, nil
 }
 
 // FlushAll writes every dirty resident page back to the store (a
 // checkpoint).
 func (m *Manager) FlushAll() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, f := range m.frames {
-		if f.dirty {
-			f.contentMu.Lock()
-			err := m.flushFrame(f)
-			f.contentMu.Unlock()
-			if err != nil {
-				return err
+	for _, p := range m.parts {
+		p.mu.Lock()
+		for _, f := range p.frames {
+			if f.dirty {
+				f.contentMu.Lock()
+				err := p.flushFrame(f)
+				f.contentMu.Unlock()
+				if err != nil {
+					p.mu.Unlock()
+					return err
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		p.mu.Unlock()
 	}
 	return nil
 }
@@ -433,26 +563,35 @@ func (m *Manager) FlushAll() error {
 // failure: dirty pages are lost and only the store's durable images
 // survive. Pinned frames indicate a bug in the caller.
 func (m *Manager) Crash() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, f := range m.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("bufmgr: crash with pinned page %d", f.id)
+	// All partitions locked: the crash is atomic across the pool.
+	m.lockAll()
+	defer m.unlockAll()
+	for _, p := range m.parts {
+		for _, f := range p.frames {
+			if f.pins > 0 {
+				return fmt.Errorf("bufmgr: crash with pinned page %d", f.id)
+			}
 		}
 	}
-	for _, f := range m.frames {
-		f.inLRU = false
-		f.prev, f.next = nil, nil
-		m.freeFrame(f)
+	for _, p := range m.parts {
+		for _, f := range p.frames {
+			f.inLRU = false
+			f.prev, f.next = nil, nil
+			p.freeFrame(f)
+		}
+		p.frames = make(map[storage.PageID]*frame, p.capacity)
+		p.lruHead, p.lruTail = nil, nil
 	}
-	m.frames = make(map[storage.PageID]*frame, m.capacity)
-	m.lruHead, m.lruTail = nil, nil
 	return nil
 }
 
-// Resident returns the number of resident frames.
+// Resident returns the number of resident frames across partitions.
 func (m *Manager) Resident() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.frames)
+	n := 0
+	for _, p := range m.parts {
+		p.mu.Lock()
+		n += len(p.frames)
+		p.mu.Unlock()
+	}
+	return n
 }

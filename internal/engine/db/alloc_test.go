@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"tpccmodel/internal/core"
+	"tpccmodel/internal/engine/lock"
 	"tpccmodel/internal/tpcc"
 )
 
@@ -32,8 +33,14 @@ func TestHotPathAllocationFree(t *testing.T) {
 		t.Skip("allocation gate needs a loaded warehouse")
 	}
 	// 32768 x 4 KiB covers the ~15k-page 1-warehouse dataset plus insert
-	// growth; with room to spare the measurement sees no evictions.
-	d, err := Open(Config{Warehouses: 1, PageSize: 4096, BufferPages: 32768})
+	// growth; with room to spare the measurement sees no evictions. The
+	// gate runs with lock striping and pool partitioning explicitly on:
+	// sharding the structures must not reintroduce per-transaction
+	// allocations (each stripe and partition carries its own free pools).
+	d, err := Open(Config{
+		Warehouses: 1, PageSize: 4096, BufferPages: 32768,
+		LockStripes: lock.DefaultStripes, BufferPartitions: 8,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

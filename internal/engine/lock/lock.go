@@ -6,11 +6,32 @@
 // The throughput model charges 1K instructions per lock released at commit
 // (Section 5.1); this manager is the executable counterpart whose lock
 // counts can be compared against the model's Table 4 lock visit counts.
+// The model's per-lock CPU charge implicitly assumes lock operations scale
+// with added processors, so the lock space is STRIPED: keys hash into
+// independent stripes, each with its own mutex, lock table, and free
+// pools. Uncontended grants on different keys in different stripes never
+// touch a shared mutex or cache line. NewManagerStripes(1) degenerates to
+// the original single-table manager and is kept as the differential
+// baseline (see striped_test.go).
+//
+// Deadlock detection is the one structurally global concern: a wait cycle
+// can span stripes (txn A blocked in stripe 1 on a lock whose holder is
+// blocked in stripe 2 on a lock A holds). The wait-for graph therefore
+// lives behind a separate detector mutex that is touched ONLY by requests
+// that actually block — the uncontended grant path never takes it, so
+// detection cost scales with contention, not throughput.
 //
 // The uncontended grant path is allocation-free: granted locks are value
 // entries in a pooled per-key state, per-transaction held lists are pooled
 // slices, and the wait channel is only allocated when a request actually
 // blocks.
+//
+// Concurrency contract: methods are safe for concurrent use across
+// transactions. Calls for the SAME TxnID (its Acquires and its final
+// ReleaseAll) must be issued serially — the engine runs each transaction
+// on one goroutine, and the seed manager already relied on this (a
+// ReleaseAll racing the same transaction's in-flight Acquire could leak a
+// concurrently promoted grant).
 package lock
 
 import (
@@ -63,6 +84,13 @@ var errCancelled = errors.New("lock: wait cancelled")
 // TxnID identifies a transaction.
 type TxnID uint64
 
+// DefaultStripes is the stripe count NewManager uses. 64 comfortably
+// exceeds any plausible worker count (contention on a stripe mutex needs
+// two workers hashing to the same stripe at the same instant), while the
+// per-stripe fixed cost (one map, one mutex, empty freelists) keeps the
+// whole manager under a few KB. Must be a power of two.
+const DefaultStripes = 64
+
 // grant is one member of a key's granted group.
 type grant struct {
 	txn  TxnID
@@ -78,7 +106,7 @@ type request struct {
 }
 
 // lockState is the per-key lock table entry: the granted group followed by
-// FIFO waiters. Entries are pooled — emptied states go to the manager's
+// FIFO waiters. Entries are pooled — emptied states go to the stripe's
 // freelist instead of the garbage collector, so the steady-state acquire
 // path does not allocate.
 type lockState struct {
@@ -108,78 +136,163 @@ func (tl *txnLocks) find(key Key) (int, bool) {
 	return 0, false
 }
 
-// Manager is the lock manager. All methods are safe for concurrent use.
-type Manager struct {
-	mu    sync.Mutex
-	locks map[Key]*lockState
+// stripe is one shard of the lock table: a mutex, the keys that hash here,
+// a freelist for emptied states, and this stripe's share of the counters.
+// The pad keeps hot stripes on separate cache lines so uncontended grants
+// in different stripes do not false-share.
+type stripe struct {
+	mu     sync.Mutex
+	locks  map[Key]*lockState
+	lsFree []*lockState
+
+	acquired  int64
+	waits     int64
+	deadlocks int64
+	timeouts  int64
+
+	_ [24]byte
+}
+
+// txnShard is one shard of the per-transaction state: which locks each
+// transaction holds and the single key it is currently waiting on.
+// Sharded by txn id so commits of different transactions do not serialize
+// on one bookkeeping mutex.
+type txnShard struct {
+	mu sync.Mutex
 	// held[txn] is the pooled list of keys the transaction holds.
 	held map[TxnID]*txnLocks
 	// waitKey[txn] is the single key txn is currently queued on (a
 	// transaction blocks on at most one Acquire at a time), so release
 	// can cancel the wait without scanning the whole lock table.
 	waitKey map[TxnID]Key
-	// waitFor[a] = set of txns a is waiting on (for cycle detection).
-	waitFor map[TxnID]map[TxnID]struct{}
+	tlFree  []*txnLocks
 
-	// Freelists for the pooled structures.
-	lsFree []*lockState
-	tlFree []*txnLocks
-
-	// waitTimeout bounds every wait; 0 waits forever.
-	waitTimeout time.Duration
-
-	acquired  int64
-	waits     int64
-	deadlocks int64
-	timeouts  int64
+	_ [24]byte
 }
 
-// NewManager creates an empty lock manager.
-func NewManager() *Manager {
-	return &Manager{
-		locks:   make(map[Key]*lockState),
-		held:    make(map[TxnID]*txnLocks),
-		waitKey: make(map[TxnID]Key),
-		waitFor: make(map[TxnID]map[TxnID]struct{}),
+// Manager is the striped lock manager. See the package comment for the
+// concurrency contract.
+type Manager struct {
+	stripes []stripe
+	mask    uint64
+	txns    []txnShard
+	tmask   uint64
+
+	// det guards the global wait-for graph. Only requests that block (and
+	// the release/timeout paths cleaning up after them) take it; the
+	// uncontended grant path never does. Lock order: a stripe mutex may be
+	// held while taking det, never the reverse.
+	det struct {
+		sync.Mutex
+		// waitFor[a] = set of txns a is waiting on (for cycle detection).
+		waitFor map[TxnID]map[TxnID]struct{}
 	}
+
+	// cfgMu guards waitTimeout (set rarely, read per blocked wait).
+	cfgMu       sync.Mutex
+	waitTimeout time.Duration
 }
 
-func (m *Manager) newLockState() *lockState {
-	if n := len(m.lsFree); n > 0 {
-		ls := m.lsFree[n-1]
-		m.lsFree = m.lsFree[:n-1]
+// NewManager creates an empty lock manager with DefaultStripes stripes.
+func NewManager() *Manager { return NewManagerStripes(DefaultStripes) }
+
+// NewManagerStripes creates an empty lock manager with the given stripe
+// count, rounded up to a power of two; values < 1 mean DefaultStripes.
+// Stripes = 1 reproduces the seed single-table manager exactly and is the
+// baseline configuration of the scalability benchmark.
+func NewManagerStripes(stripes int) *Manager {
+	if stripes < 1 {
+		stripes = DefaultStripes
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	m := &Manager{
+		stripes: make([]stripe, n),
+		mask:    uint64(n - 1),
+		// Txn-state shards never need to outnumber stripes: both bound
+		// the same worker concurrency.
+		txns:  make([]txnShard, n),
+		tmask: uint64(n - 1),
+	}
+	for i := range m.stripes {
+		m.stripes[i].locks = make(map[Key]*lockState)
+	}
+	for i := range m.txns {
+		m.txns[i].held = make(map[TxnID]*txnLocks)
+		m.txns[i].waitKey = make(map[TxnID]Key)
+	}
+	m.det.waitFor = make(map[TxnID]map[TxnID]struct{})
+	return m
+}
+
+// Stripes returns the stripe count (always a power of two).
+func (m *Manager) Stripes() int { return len(m.stripes) }
+
+// stripeOf hashes a key to its stripe. Fibonacci multiplicative hashing on
+// the mixed row/table bits: row keys are near-sequential per table, so the
+// multiply spreads adjacent rows across stripes; the high bits of the
+// product carry the mixing.
+func (m *Manager) stripeOf(key Key) *stripe {
+	h := (key.Row ^ uint64(key.Table)<<32) * 0x9e3779b97f4a7c15
+	return &m.stripes[(h>>32)&m.mask]
+}
+
+// txnShardOf maps a transaction to its bookkeeping shard. Txn ids are
+// allocated sequentially, so the low bits alone spread workers evenly.
+func (m *Manager) txnShardOf(txn TxnID) *txnShard {
+	return &m.txns[uint64(txn)&m.tmask]
+}
+
+func (s *stripe) newLockState() *lockState {
+	if n := len(s.lsFree); n > 0 {
+		ls := s.lsFree[n-1]
+		s.lsFree = s.lsFree[:n-1]
 		return ls
 	}
 	return &lockState{}
 }
 
-func (m *Manager) freeLockState(ls *lockState) {
+func (s *stripe) freeLockState(ls *lockState) {
 	ls.granted = ls.granted[:0]
 	ls.waiters = ls.waiters[:0]
-	m.lsFree = append(m.lsFree, ls)
+	s.lsFree = append(s.lsFree, ls)
 }
 
-func (m *Manager) newTxnLocks() *txnLocks {
-	if n := len(m.tlFree); n > 0 {
-		tl := m.tlFree[n-1]
-		m.tlFree = m.tlFree[:n-1]
+func (ts *txnShard) newTxnLocks() *txnLocks {
+	if n := len(ts.tlFree); n > 0 {
+		tl := ts.tlFree[n-1]
+		ts.tlFree = ts.tlFree[:n-1]
 		return tl
 	}
 	return &txnLocks{}
 }
 
-// Counts returns total grants, waits, and deadlocks observed.
+// Counts returns total grants, waits, and deadlocks observed, summed over
+// stripes.
 func (m *Manager) Counts() (acquired, waits, deadlocks int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.acquired, m.waits, m.deadlocks
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		acquired += s.acquired
+		waits += s.waits
+		deadlocks += s.deadlocks
+		s.mu.Unlock()
+	}
+	return acquired, waits, deadlocks
 }
 
 // Timeouts returns the number of waits that expired (SetWaitTimeout).
 func (m *Manager) Timeouts() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.timeouts
+	var n int64
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		n += s.timeouts
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // SetWaitTimeout bounds every lock wait; 0 (the default) waits forever.
@@ -187,16 +300,24 @@ func (m *Manager) Timeouts() int64 {
 // a deadlock abort. Distributed execution requires a bound: cross-engine
 // wait cycles never appear in any single wait-for graph.
 func (m *Manager) SetWaitTimeout(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
 	m.waitTimeout = d
+	m.cfgMu.Unlock()
+}
+
+func (m *Manager) getWaitTimeout() time.Duration {
+	m.cfgMu.Lock()
+	d := m.waitTimeout
+	m.cfgMu.Unlock()
+	return d
 }
 
 // HeldBy returns the number of locks txn currently holds.
 func (m *Manager) HeldBy(txn TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if tl := m.held[txn]; tl != nil {
+	ts := m.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if tl := ts.held[txn]; tl != nil {
 		return len(tl.keys)
 	}
 	return 0
@@ -225,23 +346,47 @@ func compatibleWithGranted(ls *lockState, txn TxnID, mode Mode) bool {
 	return true
 }
 
+// heldMode returns txn's current mode on key, if any.
+func (m *Manager) heldMode(txn TxnID, key Key) (Mode, bool) {
+	ts := m.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if tl := ts.held[txn]; tl != nil {
+		if i, ok := tl.find(key); ok {
+			return tl.keys[i].mode, true
+		}
+	}
+	return 0, false
+}
+
+// noteHeld records that txn holds key in mode.
+func (m *Manager) noteHeld(txn TxnID, key Key, mode Mode) {
+	ts := m.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tl := ts.held[txn]
+	if tl == nil {
+		tl = ts.newTxnLocks()
+		ts.held[txn] = tl
+	}
+	if i, ok := tl.find(key); ok {
+		tl.keys[i].mode = mode
+		return
+	}
+	tl.keys = append(tl.keys, heldLock{key: key, mode: mode})
+}
+
 // Acquire takes key in mode for txn, blocking while incompatible locks are
-// held. A Shared request by a holder of Exclusive is a no-op; a Exclusive
+// held. A Shared request by a holder of Exclusive is a no-op; an Exclusive
 // request by a holder of Shared is an upgrade. Returns ErrDeadlock if
 // waiting would close a cycle in the wait-for graph.
 func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
-	m.mu.Lock()
-	ls := m.locks[key]
-	if ls == nil {
-		ls = m.newLockState()
-		m.locks[key] = ls
-	}
-
-	// Re-entrant cases.
+	// The re-entrant check reads only txn's own held list, which no other
+	// goroutine mutates (see the package concurrency contract), so it can
+	// run before the stripe lock: the answer cannot change underneath us.
 	isUpgrade := false
 	if cur, ok := m.heldMode(txn, key); ok {
 		if cur == Exclusive || mode == Shared {
-			m.mu.Unlock()
 			return nil
 		}
 		// Upgrade S -> X. The shared grant is KEPT while waiting (2PL:
@@ -252,24 +397,36 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		isUpgrade = true
 	}
 
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	ls := st.locks[key]
+	if ls == nil {
+		ls = st.newLockState()
+		st.locks[key] = ls
+	}
+
 	can := grantable(ls, txn, mode)
 	if isUpgrade {
 		can = compatibleWithGranted(ls, txn, mode)
 	}
 	if can {
 		if isUpgrade {
-			m.removeGrant(ls, txn)
+			removeGrant(ls, txn)
 		}
 		ls.granted = append(ls.granted, grant{txn: txn, mode: mode})
+		st.acquired++
+		st.mu.Unlock()
 		m.noteHeld(txn, key, mode)
-		m.acquired++
-		m.mu.Unlock()
 		return nil
 	}
 
 	// Must wait: record wait-for edges and check for a cycle. An
 	// upgrade waits only on the granted group; a plain request also
-	// waits on the waiters queued ahead of it.
+	// waits on the waiters queued ahead of it. The detector mutex is
+	// taken under the stripe mutex (stripe -> det is the only nesting
+	// order anywhere), so the edges and the enqueue are atomic with
+	// respect to other blockers of this stripe, and the graph itself is
+	// consistent across stripes because every mutation holds det.
 	blockers := make(map[TxnID]struct{})
 	for _, g := range ls.granted {
 		if g.txn != txn {
@@ -283,15 +440,20 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 			}
 		}
 	}
-	m.waitFor[txn] = blockers
-	if m.cycleFrom(txn) {
-		delete(m.waitFor, txn)
-		m.deadlocks++
+	m.det.Lock()
+	m.det.waitFor[txn] = blockers
+	cycle := m.cycleFromLocked(txn)
+	if cycle {
+		delete(m.det.waitFor, txn)
+	}
+	m.det.Unlock()
+	if cycle {
+		st.deadlocks++
 		if len(ls.granted) == 0 && len(ls.waiters) == 0 {
-			delete(m.locks, key)
-			m.freeLockState(ls)
+			delete(st.locks, key)
+			st.freeLockState(ls)
 		}
-		m.mu.Unlock()
+		st.mu.Unlock()
 		return ErrDeadlock
 	}
 	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
@@ -303,13 +465,16 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 	} else {
 		ls.waiters = append(ls.waiters, req)
 	}
-	m.waitKey[txn] = key
-	m.waits++
-	timeout := m.waitTimeout
-	m.mu.Unlock()
+	st.waits++
+	st.mu.Unlock()
+
+	ts := m.txnShardOf(txn)
+	ts.mu.Lock()
+	ts.waitKey[txn] = key
+	ts.mu.Unlock()
 
 	var err error
-	if timeout > 0 {
+	if timeout := m.getWaitTimeout(); timeout > 0 {
 		t := time.NewTimer(timeout)
 		select {
 		case err = <-req.ready:
@@ -321,30 +486,32 @@ func (m *Manager) Acquire(txn TxnID, key Key, mode Mode) error {
 		err = <-req.ready
 	}
 	if err == nil {
-		m.mu.Lock()
 		m.noteHeld(txn, key, mode)
-		m.acquired++
-		delete(m.waitFor, txn)
-		delete(m.waitKey, txn)
-		m.mu.Unlock()
+		m.det.Lock()
+		delete(m.det.waitFor, txn)
+		m.det.Unlock()
+		ts.mu.Lock()
+		delete(ts.waitKey, txn)
+		ts.mu.Unlock()
 	}
 	return err
 }
 
 // expireWait removes a timed-out waiter from the queue. It races against
 // a concurrent grant (promote) or cancellation (ReleaseAll): both resolve
-// req.ready while holding m.mu, so under the mutex either the request is
-// still queued ungranted — remove it and fail with ErrTimeout — or its
-// outcome is already in the buffered channel and the timeout loses.
+// req.ready while holding the stripe mutex, so under that mutex either the
+// request is still queued ungranted — remove it and fail with ErrTimeout —
+// or its outcome is already in the buffered channel and the timeout loses.
 func (m *Manager) expireWait(txn TxnID, key Key, req *request) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	st := m.stripeOf(key)
+	st.mu.Lock()
 	select {
 	case err := <-req.ready:
+		st.mu.Unlock()
 		return err
 	default:
 	}
-	ls := m.locks[key]
+	ls := st.locks[key]
 	if ls != nil {
 		for i, r := range ls.waiters {
 			if r == req {
@@ -353,18 +520,25 @@ func (m *Manager) expireWait(txn TxnID, key Key, req *request) error {
 			}
 		}
 	}
-	delete(m.waitFor, txn)
-	delete(m.waitKey, txn)
-	m.timeouts++
+	st.timeouts++
 	if ls != nil {
-		m.promote(key, ls)
+		st.promote(key, ls)
 	}
+	st.mu.Unlock()
+
+	m.det.Lock()
+	delete(m.det.waitFor, txn)
+	m.det.Unlock()
+	ts := m.txnShardOf(txn)
+	ts.mu.Lock()
+	delete(ts.waitKey, txn)
+	ts.mu.Unlock()
 	return ErrTimeout
 }
 
-// cycleFrom reports whether the wait-for graph has a cycle reachable from
-// start (DFS).
-func (m *Manager) cycleFrom(start TxnID) bool {
+// cycleFromLocked reports whether the wait-for graph has a cycle reachable
+// from start (DFS). Callers hold m.det.
+func (m *Manager) cycleFromLocked(start TxnID) bool {
 	seen := make(map[TxnID]bool)
 	var dfs func(t TxnID) bool
 	dfs = func(t TxnID) bool {
@@ -375,14 +549,14 @@ func (m *Manager) cycleFrom(start TxnID) bool {
 			return false
 		}
 		seen[t] = true
-		for next := range m.waitFor[t] {
+		for next := range m.det.waitFor[t] {
 			if dfs(next) {
 				return true
 			}
 		}
 		return false
 	}
-	for next := range m.waitFor[start] {
+	for next := range m.det.waitFor[start] {
 		if dfs(next) {
 			return true
 		}
@@ -390,29 +564,7 @@ func (m *Manager) cycleFrom(start TxnID) bool {
 	return false
 }
 
-func (m *Manager) heldMode(txn TxnID, key Key) (Mode, bool) {
-	if tl := m.held[txn]; tl != nil {
-		if i, ok := tl.find(key); ok {
-			return tl.keys[i].mode, true
-		}
-	}
-	return 0, false
-}
-
-func (m *Manager) noteHeld(txn TxnID, key Key, mode Mode) {
-	tl := m.held[txn]
-	if tl == nil {
-		tl = m.newTxnLocks()
-		m.held[txn] = tl
-	}
-	if i, ok := tl.find(key); ok {
-		tl.keys[i].mode = mode
-		return
-	}
-	tl.keys = append(tl.keys, heldLock{key: key, mode: mode})
-}
-
-func (m *Manager) removeGrant(ls *lockState, txn TxnID) {
+func removeGrant(ls *lockState, txn TxnID) {
 	out := ls.granted[:0]
 	for _, g := range ls.granted {
 		if g.txn == txn {
@@ -426,7 +578,8 @@ func (m *Manager) removeGrant(ls *lockState, txn TxnID) {
 // promote grants FIFO waiters until the first one that conflicts with the
 // (growing) granted group. Granting a waiting upgrade first retires the
 // transaction's old shared grant. Emptied states return to the pool.
-func (m *Manager) promote(key Key, ls *lockState) {
+// Callers hold s.mu.
+func (s *stripe) promote(key Key, ls *lockState) {
 	for len(ls.waiters) > 0 {
 		r := ls.waiters[0]
 		if !compatibleWithGranted(ls, r.txn, r.mode) {
@@ -434,31 +587,46 @@ func (m *Manager) promote(key Key, ls *lockState) {
 			break
 		}
 		// Retire an old grant of the same transaction (upgrade).
-		m.removeGrant(ls, r.txn)
+		removeGrant(ls, r.txn)
 		ls.granted = append(ls.granted, grant{txn: r.txn, mode: r.mode})
+		s.acquired++
 		copy(ls.waiters, ls.waiters[1:])
 		ls.waiters = ls.waiters[:len(ls.waiters)-1]
 		// The waiter finishes bookkeeping in Acquire.
 		r.ready <- nil
 	}
 	if len(ls.granted) == 0 && len(ls.waiters) == 0 {
-		delete(m.locks, key)
-		m.freeLockState(ls)
+		delete(s.locks, key)
+		s.freeLockState(ls)
 	}
 }
 
 // ReleaseAll drops every lock txn holds and cancels its waits (strict 2PL
 // release at commit or abort).
 func (m *Manager) ReleaseAll(txn TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.waitFor, txn)
+	m.det.Lock()
+	delete(m.det.waitFor, txn)
+	m.det.Unlock()
+
+	ts := m.txnShardOf(txn)
+	ts.mu.Lock()
+	key, waiting := ts.waitKey[txn]
+	if waiting {
+		delete(ts.waitKey, txn)
+	}
+	tl := ts.held[txn]
+	if tl != nil {
+		delete(ts.held, txn)
+	}
+	ts.mu.Unlock()
+
 	// Cancel an in-flight wait (possible after a deadlock abort racing
 	// with a grant). The waitKey index makes this O(1) instead of a
 	// whole-table scan.
-	if key, ok := m.waitKey[txn]; ok {
-		delete(m.waitKey, txn)
-		if ls := m.locks[key]; ls != nil {
+	if waiting {
+		st := m.stripeOf(key)
+		st.mu.Lock()
+		if ls := st.locks[key]; ls != nil {
 			for i, r := range ls.waiters {
 				if r.txn == txn {
 					ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
@@ -466,20 +634,24 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 					break
 				}
 			}
-			m.promote(key, ls)
+			st.promote(key, ls)
 		}
+		st.mu.Unlock()
 	}
-	tl := m.held[txn]
 	if tl == nil {
 		return
 	}
 	for _, h := range tl.keys {
-		if ls := m.locks[h.key]; ls != nil {
-			m.removeGrant(ls, txn)
-			m.promote(h.key, ls)
+		st := m.stripeOf(h.key)
+		st.mu.Lock()
+		if ls := st.locks[h.key]; ls != nil {
+			removeGrant(ls, txn)
+			st.promote(h.key, ls)
 		}
+		st.mu.Unlock()
 	}
-	delete(m.held, txn)
 	tl.keys = tl.keys[:0]
-	m.tlFree = append(m.tlFree, tl)
+	ts.mu.Lock()
+	ts.tlFree = append(ts.tlFree, tl)
+	ts.mu.Unlock()
 }

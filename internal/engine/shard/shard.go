@@ -41,6 +41,10 @@ type Config struct {
 	// PageSize and BufferPages size each shard's instance.
 	PageSize    int
 	BufferPages int
+	// LockStripes and BufferPartitions are passed through to each shard's
+	// db.Config (0 keeps that layer's default).
+	LockStripes      int
+	BufferPartitions int
 	// Seed loads every shard. All shards load the SAME seed: warehouse
 	// contents are per-shard anyway, and the Item relation comes out
 	// bit-identical everywhere — the paper's replicated-Item layout
@@ -184,9 +188,11 @@ func Open(cfg Config) (*Cluster, error) {
 		inj := fault.New(disk, cfg.Seed+uint64(i)*7919)
 		inj.SetConfig(cfg.Faults)
 		d, err := db.OpenWith(db.Config{
-			Warehouses:  cfg.WarehousesPerShard,
-			PageSize:    cfg.PageSize,
-			BufferPages: cfg.BufferPages,
+			Warehouses:       cfg.WarehousesPerShard,
+			PageSize:         cfg.PageSize,
+			BufferPages:      cfg.BufferPages,
+			LockStripes:      cfg.LockStripes,
+			BufferPartitions: cfg.BufferPartitions,
 		}, db.Options{
 			Disk:            inj,
 			LogHook:         inj,

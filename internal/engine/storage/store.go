@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page in the store. IDs are allocated densely from 0.
@@ -52,15 +53,30 @@ type StoreStats struct {
 // pages over a DiskIO device with copy-on-flush semantics. Reads return
 // the durable image; writes happen only through Flush (the buffer manager
 // owns the volatile images). All methods are safe for concurrent use.
+//
+// Page I/O takes the mutex SHARED: the device is internally synchronized,
+// the counters are atomics, and the physical-image scratch comes from a
+// pool, so reads and flushes of different pages proceed in parallel (the
+// partitioned buffer pool issues them from independent partition locks).
+// Only Allocate, which extends the page address space, is exclusive.
+// Concurrent Read/Flush of the SAME page are the caller's to serialize —
+// the buffer manager does, because a page lives in exactly one partition
+// and its miss-reads and write-backs run under that partition's mutex.
 type Store struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	disk     DiskIO
 	pageSize int
-	stats    StoreStats
-	// phys is the reusable physical-image scratch for Read/Flush (both
-	// run under mu); without it every buffer-pool miss and write-back
-	// would heap-allocate a page-sized buffer.
-	phys []byte
+	stats    struct {
+		reads    atomic.Int64
+		writes   atomic.Int64
+		detected atomic.Int64
+		repaired atomic.Int64
+	}
+	// physPool recycles physical-image scratch buffers for Read/Flush;
+	// without it every buffer-pool miss and write-back would
+	// heap-allocate a page-sized buffer. Pooled (not a single field)
+	// because page I/O runs shared-locked and concurrently.
+	physPool sync.Pool
 	// zeroPhys is the sealed all-zero image every Allocate writes; the
 	// image is identical for all pages, so it is built once.
 	zeroPhys []byte
@@ -82,7 +98,14 @@ func NewStoreOn(disk DiskIO, pageSize int) (*Store, error) {
 	if disk == nil {
 		return nil, fmt.Errorf("storage: nil disk: %w", ErrInvalidArgument)
 	}
-	return &Store{disk: disk, pageSize: pageSize}, nil
+	s := &Store{disk: disk, pageSize: pageSize}
+	s.physPool.New = func() any {
+		b := make([]byte, s.physSize())
+		return &b
+	}
+	s.zeroPhys = make([]byte, s.physSize())
+	seal(s.zeroPhys, s.zeroPhys[:s.pageSize])
+	return s, nil
 }
 
 // PageSize returns the logical page size in bytes.
@@ -109,25 +132,19 @@ func checkOK(phys []byte) bool {
 	return crc == got
 }
 
-// scratch returns the store's physical-image scratch buffer. Callers
-// hold s.mu.
-func (s *Store) scratch() []byte {
-	if s.phys == nil {
-		s.phys = make([]byte, s.physSize())
-	}
-	return s.phys
-}
+// scratch borrows a physical-image buffer from the pool; putScratch
+// returns it.
+func (s *Store) scratch() *[]byte { return s.physPool.Get().(*[]byte) }
+
+func (s *Store) putScratch(b *[]byte) { s.physPool.Put(b) }
 
 // Allocate creates a new zeroed page and returns its ID. Both physical
 // copies are initialized with a valid checksum so the page is readable
-// immediately.
+// immediately. Allocation extends the page address space, so it takes the
+// store lock exclusively.
 func (s *Store) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.zeroPhys == nil {
-		s.zeroPhys = make([]byte, s.physSize())
-		seal(s.zeroPhys, s.zeroPhys[:s.pageSize])
-	}
 	id := s.disk.Allocate(s.physSize())
 	if err := s.disk.Write(id, AreaJournal, s.zeroPhys); err != nil {
 		return 0, fmt.Errorf("storage: init journal of page %d: %w", id, err)
@@ -148,18 +165,20 @@ func (s *Store) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d: %w",
 			len(buf), s.pageSize, ErrInvalidArgument)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	phys := s.scratch()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pb := s.scratch()
+	defer s.putScratch(pb)
+	phys := *pb
 	if err := s.disk.Read(id, AreaData, phys); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
-	s.stats.Reads++
+	s.stats.reads.Add(1)
 	if checkOK(phys) {
 		copy(buf, phys[:s.pageSize])
 		return nil
 	}
-	s.stats.Detected++
+	s.stats.detected.Add(1)
 	jerr := s.disk.Read(id, AreaJournal, phys)
 	if jerr != nil || !checkOK(phys) {
 		return &CorruptPageError{ID: id}
@@ -167,7 +186,7 @@ func (s *Store) Read(id PageID, buf []byte) error {
 	// The mirror survived: serve it and repair the primary copy. A failed
 	// repair write is not fatal — the mirror still holds the good image.
 	if werr := s.disk.Write(id, AreaData, phys); werr == nil {
-		s.stats.Repaired++
+		s.stats.repaired.Add(1)
 	}
 	copy(buf, phys[:s.pageSize])
 	return nil
@@ -182,9 +201,11 @@ func (s *Store) Flush(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: flush buffer is %d bytes, want %d: %w",
 			len(buf), s.pageSize, ErrInvalidArgument)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	phys := s.scratch()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pb := s.scratch()
+	defer s.putScratch(pb)
+	phys := *pb
 	seal(phys, buf)
 	if err := s.disk.Write(id, AreaJournal, phys); err != nil {
 		return fmt.Errorf("storage: journal page %d: %w", id, err)
@@ -192,7 +213,7 @@ func (s *Store) Flush(id PageID, buf []byte) error {
 	if err := s.disk.Write(id, AreaData, phys); err != nil {
 		return fmt.Errorf("storage: flush page %d: %w", id, err)
 	}
-	s.stats.Writes++
+	s.stats.writes.Add(1)
 	return nil
 }
 
@@ -201,16 +222,17 @@ func (s *Store) Pages() int64 { return s.disk.Pages() }
 
 // IOCounts returns the physical read and write counts.
 func (s *Store) IOCounts() (reads, writes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats.Reads, s.stats.Writes
+	return s.stats.reads.Load(), s.stats.writes.Load()
 }
 
 // Stats returns a copy of the I/O and integrity counters.
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return StoreStats{
+		Reads:    s.stats.reads.Load(),
+		Writes:   s.stats.writes.Load(),
+		Detected: s.stats.detected.Load(),
+		Repaired: s.stats.repaired.Load(),
+	}
 }
 
 // VerifyResult summarizes a Verify pass.

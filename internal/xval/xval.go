@@ -399,11 +399,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Engine run, single-threaded: load, warm up, then measure with the
-	// buffer counters and the stream mark aligned.
+	// buffer counters and the stream mark aligned. BufferPartitions is
+	// pinned at 1: the Tap reference stream is totally ordered only within
+	// a partition, and Replay's LRU bit-identity claim needs the global
+	// order — the unified pool is the gated configuration.
 	d, err := db.Open(db.Config{
-		Warehouses:  cfg.Warehouses,
-		PageSize:    cfg.PageSize,
-		BufferPages: cfg.BufferPages,
+		Warehouses:       cfg.Warehouses,
+		PageSize:         cfg.PageSize,
+		BufferPages:      cfg.BufferPages,
+		BufferPartitions: 1,
 	})
 	if err != nil {
 		return nil, err
