@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
 .PHONY: all build test race alloc-gate bench bench-sweep bench-kernel bench-commit bench-engine \
-	bench-scale torture shard-torture shard-xval repro repro-full fuzz xval cover regen-golden \
-	regen-fuzz-corpus clean
+	bench-scale bench-cc cc-smoke torture shard-torture shard-xval repro repro-full fuzz xval \
+	cover regen-golden regen-fuzz-corpus clean
 
 all: build test
 
@@ -48,6 +48,7 @@ regen-golden:
 regen-fuzz-corpus:
 	go test ./internal/engine/wal/ -run TestFuzzSeedCorpus -regen-fuzz-corpus -v
 	go test ./internal/engine/index/ -run TestFuzzSeedCorpus -regen-fuzz-corpus -v
+	go test ./internal/engine/mvcc/ -run TestFuzzSeedCorpus -regen-fuzz-corpus -v
 
 # Seeded crash-torture campaign over the storage engine: 5 seeds x 10
 # crash schedules with transient I/O errors, bit flips, torn writes, and
@@ -106,6 +107,19 @@ bench-engine:
 bench-scale:
 	go run ./cmd/tpcc-engine -bench-scale BENCH_scale.json
 
+# Concurrency-control grid: {2pl, mvcc} x 1/2/4/8 workers with per-type
+# abort rates, write-conflict counts, and latency quantiles; records
+# BENCH_cc.json (single-worker cells also record the state hash the
+# differential gate compares).
+bench-cc:
+	go run ./cmd/tpcc-engine -bench-cc BENCH_cc.json
+
+# CI gate for the mvcc path: single-worker committed state must be
+# byte-identical across modes, mvcc throughput within 10% of 2PL at 1
+# worker, read-only types conflict-free at every worker count.
+cc-smoke:
+	go run ./cmd/tpcc-engine -cc-smoke -bench-file BENCH_cc.json
+
 # Reduced-scale reproduction of every table and figure (seconds).
 repro:
 	go run ./cmd/tpcc-repro -scale reduced -out results-reduced
@@ -121,6 +135,7 @@ fuzz:
 	go test -fuzz Fuzz2PCLog -fuzztime 30s ./internal/engine/wal/
 	go test -fuzz FuzzBTreeOps -fuzztime 30s ./internal/engine/index/
 	go test -fuzz FuzzExactPMFPaths -fuzztime 30s ./internal/nurand/
+	go test -fuzz FuzzVisibility -fuzztime 30s ./internal/engine/mvcc/
 
 clean:
 	rm -rf results-reduced results-xval coverage.out

@@ -16,6 +16,9 @@
 //	tpcc-engine -txns 20000 -validate
 //	tpcc-engine -bench-commit BENCH_commit.json
 //	tpcc-engine -commit-smoke
+//	tpcc-engine -cc mvcc -txns 20000 -workers 4
+//	tpcc-engine -bench-cc BENCH_cc.json
+//	tpcc-engine -cc-smoke
 package main
 
 import (
@@ -54,8 +57,11 @@ func main() {
 		benchCommit = flag.String("bench-commit", "", "instead of a single run, benchmark grouped vs ungrouped commit at 1/2/4/8 workers and write this JSON report")
 		benchEngine = flag.String("bench-engine", "", "instead of a single run, benchmark engine throughput and allocations at 1/2/4/8 workers (grouped and ungrouped) and write this JSON report")
 		benchScale  = flag.String("bench-scale", "", "instead of a single run, benchmark workers x {striped,global-lock} x {partitioned,unified-pool} and write this JSON report")
+		benchCC     = flag.String("bench-cc", "", "instead of a single run, benchmark 2pl vs mvcc at 1/2/4/8 workers with per-type abort rates and write this JSON report")
 		commitSmoke = flag.Bool("commit-smoke", false, "CI smoke: reduced grouped-vs-ungrouped cells at 1/2/4/8 workers; exit 1 unless grouped throughput keeps up and batching engages")
 		scaleSmoke  = flag.Bool("scale-smoke", false, "CI smoke: reduced striped-vs-global cells; exit 1 if striping costs >5% at 1 worker (multi-worker ratios are recorded, not gated)")
+		ccSmoke     = flag.Bool("cc-smoke", false, "CI smoke: reduced 2pl-vs-mvcc cells; exit 1 unless single-worker state hashes match across modes and mvcc throughput keeps up")
+		ccFlag      = flag.String("cc", "2pl", "concurrency control mode: 2pl (shared read locks) or mvcc (snapshot reads, first-committer-wins)")
 		benchFile   = flag.String("bench-file", "", "with -commit-smoke / -scale-smoke: also check this checked-in BENCH_*.json against the CLI defaults and thresholds")
 	)
 	cpuProf, memProf := cliutil.ProfileFlags()
@@ -75,6 +81,11 @@ func main() {
 	stopProf := cliutil.StartProfiles(tool, *cpuProf, *memProf)
 	stopContention := cliutil.StartContentionProfiles(tool, *mutexProf, *blockProf)
 	stop := func() { stopProf(); stopContention() }
+
+	ccMode, err := db.ParseCCMode(*ccFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	gcfg := wal.GroupConfig{MaxBatch: *gcBatch, MaxHold: *gcHold, AdaptiveHold: *gcAdaptive}
 	group := wal.GroupConfig{}
@@ -103,6 +114,20 @@ func main() {
 		stop()
 		return
 	}
+	if *benchCC != "" {
+		if err := runBenchCC(*benchCC, *seed, group); err != nil {
+			fatal(err)
+		}
+		stop()
+		return
+	}
+	if *ccSmoke {
+		if err := runCCSmoke(*seed, group, *benchFile); err != nil {
+			fatal(err)
+		}
+		stop()
+		return
+	}
 	if *commitSmoke {
 		if err := runCommitSmoke(*seed, gcfg, *benchFile); err != nil {
 			fatal(err)
@@ -120,7 +145,7 @@ func main() {
 
 	d, err := db.OpenWith(db.Config{
 		Warehouses: *warehouses, PageSize: 4096, BufferPages: *bufferPages,
-		LockStripes: *lockStripes, BufferPartitions: *bufParts,
+		LockStripes: *lockStripes, BufferPartitions: *bufParts, CC: ccMode,
 	}, db.Options{GroupCommit: group})
 	if err != nil {
 		fatal(err)
@@ -156,8 +181,8 @@ func main() {
 		}
 		mode = fmt.Sprintf("group commit (batch<=%d, hold<=%v %s)", group.MaxBatch, group.MaxHold, hold)
 	}
-	fmt.Printf("# engine run: %d txns, %d workers, %d-page pool, %v, %s\n",
-		*txns, *workers, *bufferPages, st.Elapsed.Round(time.Millisecond), mode)
+	fmt.Printf("# engine run: %d txns, %d workers, %d-page pool, %s, %v, %s\n",
+		*txns, *workers, *bufferPages, ccMode, st.Elapsed.Round(time.Millisecond), mode)
 	fmt.Printf("txns_per_sec\t%.0f\n", float64(*txns)/st.Elapsed.Seconds())
 	fmt.Printf("tpmC\t%.0f\n", st.TpmC())
 	fmt.Printf("commits\t%d\naborts\t%d\nlog_forces\t%d\n", st.Commits, st.Aborts, st.LogForces)
@@ -166,6 +191,9 @@ func main() {
 		st.Latency.P50, st.Latency.P95, st.Latency.P99, st.Latency.Max)
 	acq, waits, deadlocks := d.LockCounts()
 	fmt.Printf("locks_acquired\t%d\nlock_waits\t%d\ndeadlocks\t%d\n", acq, waits, deadlocks)
+	if ccMode == db.CCMVCC {
+		fmt.Printf("write_conflicts\t%d\nversion_chains\t%d\n", d.WriteConflicts(), d.VersionChains())
+	}
 
 	fmt.Printf("\nrelation\taccesses\tmiss_rate\n")
 	stats := d.RelationStats()

@@ -50,6 +50,7 @@ func main() {
 		z           = flag.Float64("z", 5, "xval: tolerance in standard errors")
 		jsonOut     = flag.Bool("json", false, "emit JSON instead of TSV (xval mode)")
 		verbose     = flag.Bool("v", false, "print per-schedule torture results")
+		ccFlag      = flag.String("cc", "2pl", "per-shard concurrency control mode: 2pl or mvcc")
 	)
 	cpuProf, memProf := cliutil.ProfileFlags()
 	mutexProf, blockProf := cliutil.ContentionProfileFlags()
@@ -70,6 +71,10 @@ func main() {
 	if *xvalMode && *tortureMode {
 		cliutil.Fail(tool, "-xval and -torture are mutually exclusive")
 	}
+	ccMode, err := db.ParseCCMode(*ccFlag)
+	if err != nil {
+		cliutil.Fail(tool, err.Error())
+	}
 
 	stopProf := cliutil.StartProfiles(tool, *cpuProf, *memProf)
 	stopContention := cliutil.StartContentionProfiles(tool, *mutexProf, *blockProf)
@@ -79,11 +84,11 @@ func main() {
 		cliutil.RequirePositive(tool, "seeds", int64(*seeds))
 		cliutil.RequirePositive(tool, "schedules", int64(*schedules))
 		runTorture(*shards, *wh, *txns, *workers, *seed, *seeds, *schedules,
-			*remoteStock, *remotePay, *verbose)
+			*remoteStock, *remotePay, ccMode, *verbose)
 	case *xvalMode:
 		runXval(*shards, *wh, *txns, *workers, *seed, *remoteStock, *remotePay, *z, *jsonOut)
 	default:
-		runBench(*shards, *wh, *txns, *workers, *seed, *remoteStock, *remotePay)
+		runBench(*shards, *wh, *txns, *workers, *seed, *remoteStock, *remotePay, ccMode)
 	}
 	// Failure paths exit(1) above without writing profiles — a failed
 	// run's contention profile is not the one being measured.
@@ -91,7 +96,7 @@ func main() {
 	stopContention()
 }
 
-func runBench(shards, wh, txns, workers int, seed uint64, remoteStock, remotePay float64) {
+func runBench(shards, wh, txns, workers int, seed uint64, remoteStock, remotePay float64, cc db.CCMode) {
 	c, err := shard.Open(shard.Config{
 		Shards:             shards,
 		WarehousesPerShard: wh,
@@ -99,6 +104,7 @@ func runBench(shards, wh, txns, workers int, seed uint64, remoteStock, remotePay
 		BufferPages:        4096,
 		Seed:               seed,
 		LockWaitTimeout:    50 * time.Millisecond,
+		CC:                 cc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpcc-shard:", err)
@@ -165,8 +171,9 @@ func runXval(shards, wh, txns, workers int, seed uint64, remoteStock, remotePay,
 }
 
 func runTorture(shards, wh, txns, workers int, seed uint64, seeds, schedules int,
-	remoteStock, remotePay float64, verbose bool) {
+	remoteStock, remotePay float64, cc db.CCMode, verbose bool) {
 	cfg := shard.DefaultTortureConfig()
+	cfg.CC = cc
 	cfg.BaseSeed = seed
 	cfg.Seeds = seeds
 	cfg.Schedules = schedules

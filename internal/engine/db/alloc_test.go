@@ -15,9 +15,13 @@ import (
 )
 
 // TestHotPathAllocationFree gates the engine hot path at zero heap
-// allocations per committed transaction: testing.AllocsPerRun must report
-// exactly 0 for New-Order and for Payment (both the by-id and the by-name
-// customer select) on the non-group-commit path.
+// allocations per committed transaction in BOTH concurrency-control
+// modes: testing.AllocsPerRun must report exactly 0 for New-Order and
+// for Payment (both the by-id and the by-name customer select) on the
+// non-group-commit path. Under mvcc that additionally covers snapshot
+// begin/commit, version-chain installation (per-chain arenas plus chain
+// freelists), retire-ring bookkeeping, and watermark pruning — copy-out
+// versioning must not cost the hot path its zero-allocation property.
 //
 // The measured closures reuse inputs prepared once by the Runner's own
 // generator, so the gate covers exactly what the benchmark loop executes:
@@ -32,6 +36,12 @@ func TestHotPathAllocationFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation gate needs a loaded warehouse")
 	}
+	for _, cc := range []CCMode{CC2PL, CCMVCC} {
+		t.Run(cc.String(), func(t *testing.T) { testHotPathAllocationFree(t, cc) })
+	}
+}
+
+func testHotPathAllocationFree(t *testing.T, cc CCMode) {
 	// 32768 x 4 KiB covers the ~15k-page 1-warehouse dataset plus insert
 	// growth; with room to spare the measurement sees no evictions. The
 	// gate runs with lock striping and pool partitioning explicitly on:
@@ -40,6 +50,7 @@ func TestHotPathAllocationFree(t *testing.T) {
 	d, err := Open(Config{
 		Warehouses: 1, PageSize: 4096, BufferPages: 32768,
 		LockStripes: lock.DefaultStripes, BufferPartitions: 8,
+		CC: cc,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,159 @@
+package db
+
+import (
+	"testing"
+
+	"tpccmodel/internal/core"
+	"tpccmodel/internal/tpcc"
+)
+
+// The differential gates: 2PL is the oracle for mvcc. Any committed
+// schedule the two modes both execute must land on byte-identical
+// state — snapshot isolation changes what concurrent transactions SEE,
+// never what committed serial history MEANS.
+
+// TestCCDifferentialTiny replays one deterministic, single-threaded
+// schedule — updates, a mid-schedule rollback, a first-committer loser,
+// read-only transactions — over the tiny fixture under both modes and
+// requires identical state hashes. Fast enough for `-short -race`.
+func TestCCDifferentialTiny(t *testing.T) {
+	hashes := map[CCMode]uint64{}
+	for _, cc := range []CCMode{CC2PL, CCMVCC} {
+		d := openTiny(t, cc)
+
+		// Interleaved balance/YTD churn across every fixture district.
+		for round := int64(0); round < 5; round++ {
+			for dist := int64(0); dist < tinyDistricts; dist++ {
+				tx := d.begin()
+				amt := uint64(100*round + 10*dist + 1)
+				if err := writeWarehouse(tx, func(w *WarehouseRec) { w.YTDCents += amt }); err != nil {
+					t.Fatal(err)
+				}
+				if err := tinyWriteDistrict(tx, dist, func(r *DistrictRec) {
+					r.YTDCents += amt
+					r.NextOID++
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := tinyWriteCustomer(tx, dist, func(c *CustomerRec) {
+					c.BalanceCents -= int64(amt)
+					c.PaymentCount++
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// Every third transaction aborts: rollback must restore the
+				// identical pre-images under both modes.
+				if (round+dist)%3 == 2 {
+					if err := tx.rollback(); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				if err := tx.commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// A read-only transaction between rounds (exercises the mvcc
+			// WAL-skip commit path; a plain locked read under 2PL).
+			ro := d.begin()
+			tinyReadCustomer(t, ro, round%tinyDistricts)
+			if err := ro.commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hashes[cc] = stateHash(t, d)
+	}
+	if hashes[CC2PL] != hashes[CCMVCC] {
+		t.Fatalf("committed state diverges: 2pl=%016x mvcc=%016x", hashes[CC2PL], hashes[CCMVCC])
+	}
+}
+
+// TestCCDifferentialWorkload runs the full seeded TPC-C workload — same
+// seed, same mix, one worker so the schedule is identical — under 2PL
+// and mvcc, and requires byte-identical committed state plus C1-C4
+// consistency in both. One worker means no lock conflicts and no
+// first-committer losses, so zero retries may perturb the input stream;
+// the test pins that assumption too.
+func TestCCDifferentialWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a loaded warehouse")
+	}
+	hashes := map[CCMode]uint64{}
+	for _, cc := range []CCMode{CC2PL, CCMVCC} {
+		d, err := Open(Config{
+			Warehouses: 1, PageSize: 4096, BufferPages: 32768, CC: cc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Load(11); err != nil {
+			t.Fatal(err)
+		}
+		st, err := RunConcurrentPolicy(d, 99, tpcc.DefaultMix(), 1200, 1, DefaultRetryPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Retries != 0 || st.Sheds != 0 {
+			t.Fatalf("%s: single-worker run retried (%d) or shed (%d) — schedules diverge",
+				cc, st.Retries, st.Sheds)
+		}
+		if err := d.CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", cc, err)
+		}
+		if cc == CCMVCC {
+			if n := d.WriteConflicts(); n != 0 {
+				t.Fatalf("single-worker mvcc run hit %d write conflicts", n)
+			}
+		}
+		hashes[cc] = stateHash(t, d)
+	}
+	if hashes[CC2PL] != hashes[CCMVCC] {
+		t.Fatalf("committed state diverges: 2pl=%016x mvcc=%016x", hashes[CC2PL], hashes[CCMVCC])
+	}
+}
+
+// TestCCMVCCConcurrentConsistency drives the real concurrent workload —
+// 4 workers, conflicts and retries live — under mvcc and checks the
+// benchmark's C1-C4 invariants plus the per-type stat plumbing.
+func TestCCMVCCConcurrentConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a loaded warehouse")
+	}
+	d, err := Open(Config{
+		Warehouses: 1, PageSize: 4096, BufferPages: 32768, CC: CCMVCC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(7); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunConcurrentPolicy(d, 13, tpcc.DefaultMix(), 800, 4, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	var acked, aborts, conflicts int64
+	for _, typ := range core.TxnTypes() {
+		ts := st.PerType[typ]
+		acked += ts.Acked
+		aborts += ts.Aborts
+		conflicts += ts.Conflicts
+		if ts.Conflicts > ts.Aborts {
+			t.Fatalf("%s: conflicts (%d) exceed aborts (%d)", typ, ts.Conflicts, ts.Aborts)
+		}
+	}
+	if acked != st.Acknowledged() {
+		t.Fatalf("per-type acked sum %d != total %d", acked, st.Acknowledged())
+	}
+	// Read-only transactions must never conflict: FCW only fires on writes.
+	for _, typ := range []core.TxnType{core.TxnOrderStatus, core.TxnStockLevel} {
+		if n := st.PerType[typ].Conflicts; n != 0 {
+			t.Fatalf("read-only %s hit %d write conflicts", typ, n)
+		}
+	}
+	t.Logf("mvcc 4-worker: acked=%d aborts=%d conflicts=%d (store: %d) chains=%d",
+		acked, aborts, conflicts, d.WriteConflicts(), d.VersionChains())
+}

@@ -3,6 +3,7 @@ package db
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,11 +12,51 @@ import (
 	"tpccmodel/internal/engine/bufmgr"
 	"tpccmodel/internal/engine/index"
 	"tpccmodel/internal/engine/lock"
+	"tpccmodel/internal/engine/mvcc"
 	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/engine/wal"
 	"tpccmodel/internal/rng"
 	"tpccmodel/internal/tpcc"
 )
+
+// CCMode selects the engine's concurrency-control protocol.
+type CCMode uint8
+
+const (
+	// CC2PL is strict two-phase locking: shared locks for reads,
+	// exclusive for writes, all held to commit. The seed protocol and
+	// the differential oracle for CCMVCC.
+	CC2PL CCMode = iota
+	// CCMVCC is snapshot isolation over version chains: reads never
+	// lock (each transaction observes the newest commit at or below its
+	// begin-time snapshot), writes take exclusive locks and validate
+	// first committer wins, aborting with ErrWriteConflict on a row
+	// committed past the snapshot.
+	CCMVCC
+)
+
+func (m CCMode) String() string {
+	switch m {
+	case CC2PL:
+		return "2pl"
+	case CCMVCC:
+		return "mvcc"
+	default:
+		return fmt.Sprintf("cc(%d)", uint8(m))
+	}
+}
+
+// ParseCCMode parses a -cc flag value ("2pl" or "mvcc").
+func ParseCCMode(s string) (CCMode, error) {
+	switch s {
+	case "2pl":
+		return CC2PL, nil
+	case "mvcc":
+		return CCMVCC, nil
+	default:
+		return 0, fmt.Errorf("db: unknown concurrency-control mode %q (want 2pl or mvcc)", s)
+	}
+}
 
 // Config sizes the database instance.
 type Config struct {
@@ -34,6 +75,9 @@ type Config struct {
 	// pool, which is the only configuration with a totally ordered
 	// reference stream (see xval).
 	BufferPartitions int
+	// CC selects the concurrency-control protocol; the zero value is
+	// CC2PL (the seed behavior).
+	CC CCMode
 }
 
 // DefaultConfig returns a laptop-friendly single-warehouse instance.
@@ -57,6 +101,9 @@ func (c Config) Validate() error {
 	}
 	if c.BufferPartitions < 0 {
 		return fmt.Errorf("db: buffer partitions must be non-negative")
+	}
+	if c.CC > CCMVCC {
+		return fmt.Errorf("db: unknown concurrency-control mode %d", c.CC)
 	}
 	// Partition counts round up to a power of two; the rounded count must
 	// still leave every partition at least one frame.
@@ -185,6 +232,11 @@ type DB struct {
 	log   *wal.Log
 	locks *lock.Manager
 
+	// mvcc is the version-chain store; nil unless cfg.CC == CCMVCC.
+	// ccMVCC caches the mode check for the per-operation hot path.
+	mvcc   *mvcc.Store
+	ccMVCC bool
+
 	heaps [core.NumRelations]*storage.HeapFile
 	// pageRel maps pages to relations for buffer accounting.
 	pageRel pageRelMap
@@ -272,6 +324,10 @@ func OpenWith(cfg Config, opts Options) (*DB, error) {
 		log:   wal.New(),
 		locks: lock.NewManagerStripes(stripes),
 	}
+	if cfg.CC == CCMVCC {
+		d.mvcc = mvcc.NewStore()
+		d.ccMVCC = true
+	}
 	d.log.SetFaultHook(opts.LogHook)
 	d.log.SetGroupCommit(opts.GroupCommit)
 	d.locks.SetWaitTimeout(opts.LockWaitTimeout)
@@ -348,11 +404,62 @@ func (d *DB) GroupCommit() wal.GroupConfig { return d.log.GroupCommit() }
 // Commits and Aborts report transaction outcomes.
 func (d *DB) Commits() int64 { return d.commits.Load() }
 
-// Aborts reports the number of aborted transactions (deadlock victims).
+// Aborts reports the number of aborted transactions (deadlock victims
+// under 2PL; deadlock victims plus first-committer-wins losers under
+// mvcc).
 func (d *DB) Aborts() int64 { return d.aborts.Load() }
+
+// WriteConflicts reports the number of first-committer-wins validation
+// failures (always 0 under CC2PL).
+func (d *DB) WriteConflicts() int64 {
+	if d.mvcc == nil {
+		return 0
+	}
+	return d.mvcc.Conflicts()
+}
+
+// VersionChains reports the number of live (unpruned) version chains
+// (always 0 under CC2PL); quiesced steady state should be near zero.
+func (d *DB) VersionChains() int {
+	if d.mvcc == nil {
+		return 0
+	}
+	return d.mvcc.Chains()
+}
 
 // Heap exposes a relation's heap file (read-only use: stats, verification).
 func (d *DB) Heap(rel core.Relation) *storage.HeapFile { return d.heaps[rel] }
+
+// StateHash folds every live record of every relation, in heap order,
+// into one fnv-64a digest. Two databases with equal hashes hold identical
+// committed state (same tuples at the same record IDs). Only meaningful
+// on a quiesced instance; it is the differential gate used to compare
+// concurrency-control modes and buffer layouts.
+func (d *DB) StateHash() (uint64, error) {
+	h := fnv.New64a()
+	var scratch [8]byte
+	for _, rel := range core.Relations() {
+		scratch[0] = byte(rel)
+		if _, err := h.Write(scratch[:1]); err != nil {
+			return 0, err
+		}
+		err := d.heaps[rel].Scan(func(rid storage.RID, rec []byte) bool {
+			scratch[0] = byte(rid.Page)
+			scratch[1] = byte(rid.Page >> 8)
+			scratch[2] = byte(rid.Page >> 16)
+			scratch[3] = byte(rid.Page >> 24)
+			scratch[4] = byte(rid.Slot)
+			scratch[5] = byte(rid.Slot >> 8)
+			h.Write(scratch[:6])
+			h.Write(rec)
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return h.Sum64(), nil
+}
 
 // nextTick returns a monotonically increasing stamp used for entry and
 // delivery timestamps (the model forbids wall-clock time for determinism).
@@ -437,6 +544,11 @@ func (d *DB) Recover() error {
 	// active-committer count so the adaptive group-commit heuristic does
 	// not hold for ghosts.
 	d.log.ResetActive()
+	// Recovery rebuilt the heaps to committed state, so no version chain
+	// carries information any longer; ghost snapshots die with the crash.
+	if d.ccMVCC {
+		d.mvcc.Reset()
+	}
 	if d.txnSeq.Load() < dist.MaxTxn {
 		d.txnSeq.Store(dist.MaxTxn)
 	}

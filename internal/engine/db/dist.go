@@ -73,6 +73,12 @@ func (b *Branch) Abort() error { return b.t.rollbackWith(b.gid) }
 // other transactions could overwrite rows recovery later re-applies.
 func (b *Branch) Forsake() {
 	b.t.undo = b.t.undo[:0]
+	if b.t.d.ccMVCC {
+		// Drop the chain state too (pop versions, clear writer marks,
+		// deregister the snapshot); the dead device's recovery path
+		// resets the whole store anyway.
+		b.t.d.mvcc.Abort(&b.t.mv)
+	}
 	b.t.end()
 	b.t.d.locks.ReleaseAll(b.t.id)
 }
@@ -226,15 +232,12 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	var res NewOrderResult
 
 	var wrec WarehouseRec
-	if err := t.lockRow(core.Warehouse, uint64(in.W), lock.Shared); err != nil {
-		return nil, res, t.fail(err)
-	}
 	wrid, ok := d.warehouseIdx.get(uint64(in.W))
 	if !ok {
 		return nil, res, t.fail(fmt.Errorf("db: no warehouse %d", in.W))
 	}
 	buf := t.buf
-	if err := t.readRec(core.Warehouse, storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
+	if _, err := t.snapRead(core.Warehouse, uint64(in.W), storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
 		return nil, res, t.fail(err)
 	}
 	wrec.Unmarshal(buf[:tpcc.TupleLen[core.Warehouse]])
@@ -256,19 +259,16 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	oid := int64(drec.NextOID)
 	drec.NextOID++
 	drec.Marshal(t.img[:dlen])
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
+	if err := t.updateRow(core.District, dkey, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return nil, res, t.fail(err)
 	}
 
 	ckey := index.KeyWDC(in.W, in.D, in.C)
-	if err := t.lockRow(core.Customer, ckey, lock.Shared); err != nil {
-		return nil, res, t.fail(err)
-	}
 	crid, ok := d.customerIdx.get(ckey)
 	if !ok {
 		return nil, res, t.fail(fmt.Errorf("db: no customer (%d,%d,%d)", in.W, in.D, in.C))
 	}
-	if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:tpcc.TupleLen[core.Customer]]); err != nil {
+	if _, err := t.snapRead(core.Customer, ckey, storage.UnpackRID(crid), buf[:tpcc.TupleLen[core.Customer]]); err != nil {
 		return nil, res, t.fail(err)
 	}
 
@@ -288,7 +288,7 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	}
 	olen := tpcc.TupleLen[core.Order]
 	orec.Marshal(buf[:olen])
-	orid, err := t.insertRec(core.Order, buf[:olen])
+	orid, err := t.insertRow(core.Order, okey, buf[:olen])
 	if err != nil {
 		return nil, res, t.fail(err)
 	}
@@ -301,7 +301,7 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	norec := NewOrderRec{OID: uint32(oid), WID: uint16(in.W), DID: uint8(in.D)}
 	nolen := tpcc.TupleLen[core.NewOrder]
 	norec.Marshal(buf[:nolen])
-	norid, err := t.insertRec(core.NewOrder, buf[:nolen])
+	norid, err := t.insertRow(core.NewOrder, okey, buf[:nolen])
 	if err != nil {
 		return nil, res, t.fail(err)
 	}
@@ -311,14 +311,11 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 	slen := tpcc.TupleLen[core.Stock]
 	ollen := tpcc.TupleLen[core.OrderLine]
 	for n, it := range in.Items {
-		if err := t.lockRow(core.Item, uint64(it.IID), lock.Shared); err != nil {
-			return nil, res, t.fail(err)
-		}
 		irid, ok := d.itemIdx.get(uint64(it.IID))
 		if !ok {
 			return nil, res, t.fail(fmt.Errorf("db: no item %d", it.IID))
 		}
-		if err := t.readRec(core.Item, storage.UnpackRID(irid), buf[:ilen]); err != nil {
+		if _, err := t.snapRead(core.Item, uint64(it.IID), storage.UnpackRID(irid), buf[:ilen]); err != nil {
 			return nil, res, t.fail(err)
 		}
 		var irec ItemRec
@@ -340,7 +337,7 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 			srec.Unmarshal(buf[:slen])
 			applyStockOrder(&srec, it.Qty, false)
 			srec.Marshal(t.img[:slen])
-			if err := t.updateRec(core.Stock, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
+			if err := t.updateRow(core.Stock, skey, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
 				return nil, res, t.fail(err)
 			}
 		} else {
@@ -358,7 +355,7 @@ func (d *DB) NewOrderHomeBegin(gid uint64, in NewOrderInput) (*Branch, NewOrderR
 			Quantity: uint8(it.Qty), AmountCents: amount,
 		}
 		olrec.Marshal(buf[:ollen])
-		olrid, err := t.insertRec(core.OrderLine, buf[:ollen])
+		olrid, err := t.insertRow(core.OrderLine, olkey, buf[:ollen])
 		if err != nil {
 			return nil, res, t.fail(err)
 		}
@@ -408,7 +405,7 @@ func (d *DB) RemoteStockBegin(gid uint64, items []OrderItem) (*Branch, error) {
 		srec.Unmarshal(buf[:slen])
 		applyStockOrder(&srec, it.Qty, true)
 		srec.Marshal(t.img[:slen])
-		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
+		if err := t.updateRow(core.Stock, skey, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
 			return nil, t.fail(err)
 		}
 	}
@@ -438,7 +435,7 @@ func (d *DB) PaymentHomeBegin(gid uint64, in PaymentInput, custW, custD, custC i
 	wrec.Unmarshal(buf[:wlen])
 	wrec.YTDCents += uint64(in.AmountCents)
 	wrec.Marshal(t.img[:wlen])
-	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), buf[:wlen], t.img[:wlen]); err != nil {
+	if err := t.updateRow(core.Warehouse, uint64(in.W), storage.UnpackRID(wrid), buf[:wlen], t.img[:wlen]); err != nil {
 		return nil, t.fail(err)
 	}
 
@@ -458,7 +455,7 @@ func (d *DB) PaymentHomeBegin(gid uint64, in PaymentInput, custW, custD, custC i
 	drec.Unmarshal(buf[:dlen])
 	drec.YTDCents += uint64(in.AmountCents)
 	drec.Marshal(t.img[:dlen])
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
+	if err := t.updateRow(core.District, dkey, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return nil, t.fail(err)
 	}
 
@@ -512,7 +509,7 @@ func (d *DB) RemotePaymentBegin(gid uint64, w, dist int64, byName bool, c, nameO
 	crec.YTDPayCents += uint64(amountCents)
 	crec.PaymentCount++
 	crec.Marshal(t.img[:clen])
-	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
+	if err := t.updateRow(core.Customer, ckey, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
 		return nil, 0, 0, t.fail(err)
 	}
 	return &Branch{t: t, gid: gid}, cid, selected, nil

@@ -1,42 +1,20 @@
 package db
 
 import (
-	"hash/fnv"
 	"testing"
 
-	"tpccmodel/internal/core"
-	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/tpcc"
 )
 
-// stateHash folds every live record of every relation, in heap order, into
-// one digest. Two databases with equal hashes hold identical committed
-// state (same tuples at the same record IDs).
+// stateHash is the test-side wrapper over DB.StateHash (the committed
+// state digest shared with the -cc and partition differential gates).
 func stateHash(t *testing.T, d *DB) uint64 {
 	t.Helper()
-	h := fnv.New64a()
-	var scratch [16]byte
-	for _, rel := range core.Relations() {
-		scratch[0] = byte(rel)
-		if _, err := h.Write(scratch[:1]); err != nil {
-			t.Fatal(err)
-		}
-		err := d.Heap(rel).Scan(func(rid storage.RID, rec []byte) bool {
-			scratch[0] = byte(rid.Page)
-			scratch[1] = byte(rid.Page >> 8)
-			scratch[2] = byte(rid.Page >> 16)
-			scratch[3] = byte(rid.Page >> 24)
-			scratch[4] = byte(rid.Slot)
-			scratch[5] = byte(rid.Slot >> 8)
-			h.Write(scratch[:6])
-			h.Write(rec)
-			return true
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+	h, err := d.StateHash()
+	if err != nil {
+		t.Fatal(err)
 	}
-	return h.Sum64()
+	return h
 }
 
 // TestPartitionedPoolStateEquivalence runs the same seeded single-worker

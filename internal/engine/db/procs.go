@@ -48,22 +48,22 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	t := s.begin()
 	var res NewOrderResult
 
-	// 1. Select warehouse.
+	// 1. Select warehouse (snapshot read: the warehouse row is not
+	// written by New-Order, so mvcc takes no lock here).
 	var wrec WarehouseRec
-	if err := t.lockRow(core.Warehouse, uint64(in.W), lock.Shared); err != nil {
-		return res, t.fail(err)
-	}
 	wrid, ok := d.warehouseIdx.get(uint64(in.W))
 	if !ok {
 		return res, t.fail(fmt.Errorf("db: no warehouse %d", in.W))
 	}
 	buf := t.buf
-	if err := t.readRec(core.Warehouse, storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
+	if _, err := t.snapRead(core.Warehouse, uint64(in.W), storage.UnpackRID(wrid), buf[:tpcc.TupleLen[core.Warehouse]]); err != nil {
 		return res, t.fail(err)
 	}
 	wrec.Unmarshal(buf[:tpcc.TupleLen[core.Warehouse]])
 
-	// 2-3. Select and update district: allocate the order id.
+	// 2-3. Select and update district: allocate the order id. Written
+	// rows keep their exclusive lock and CURRENT read in both modes;
+	// under mvcc the update validates first committer wins instead.
 	dkey := index.KeyWD(in.W, in.D)
 	if err := t.lockRow(core.District, dkey, lock.Exclusive); err != nil {
 		return res, t.fail(err)
@@ -81,20 +81,17 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	oid := int64(drec.NextOID)
 	drec.NextOID++
 	drec.Marshal(t.img[:dlen])
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
+	if err := t.updateRow(core.District, dkey, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return res, t.fail(err)
 	}
 
 	// 4. Select customer.
 	ckey := index.KeyWDC(in.W, in.D, in.C)
-	if err := t.lockRow(core.Customer, ckey, lock.Shared); err != nil {
-		return res, t.fail(err)
-	}
 	crid, ok := d.customerIdx.get(ckey)
 	if !ok {
 		return res, t.fail(fmt.Errorf("db: no customer (%d,%d,%d)", in.W, in.D, in.C))
 	}
-	if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:tpcc.TupleLen[core.Customer]]); err != nil {
+	if _, err := t.snapRead(core.Customer, ckey, storage.UnpackRID(crid), buf[:tpcc.TupleLen[core.Customer]]); err != nil {
 		return res, t.fail(err)
 	}
 
@@ -115,7 +112,7 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	}
 	olen := tpcc.TupleLen[core.Order]
 	orec.Marshal(buf[:olen])
-	orid, err := t.insertRec(core.Order, buf[:olen])
+	orid, err := t.insertRow(core.Order, okey, buf[:olen])
 	if err != nil {
 		return res, t.fail(err)
 	}
@@ -129,7 +126,7 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	norec := NewOrderRec{OID: uint32(oid), WID: uint16(in.W), DID: uint8(in.D)}
 	nolen := tpcc.TupleLen[core.NewOrder]
 	norec.Marshal(buf[:nolen])
-	norid, err := t.insertRec(core.NewOrder, buf[:nolen])
+	norid, err := t.insertRow(core.NewOrder, okey, buf[:nolen])
 	if err != nil {
 		return res, t.fail(err)
 	}
@@ -140,14 +137,11 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 	slen := tpcc.TupleLen[core.Stock]
 	ollen := tpcc.TupleLen[core.OrderLine]
 	for n, it := range in.Items {
-		if err := t.lockRow(core.Item, uint64(it.IID), lock.Shared); err != nil {
-			return res, t.fail(err)
-		}
 		irid, ok := d.itemIdx.get(uint64(it.IID))
 		if !ok {
 			return res, t.fail(fmt.Errorf("db: no item %d", it.IID))
 		}
-		if err := t.readRec(core.Item, storage.UnpackRID(irid), buf[:ilen]); err != nil {
+		if _, err := t.snapRead(core.Item, uint64(it.IID), storage.UnpackRID(irid), buf[:ilen]); err != nil {
 			return res, t.fail(err)
 		}
 		var irec ItemRec
@@ -172,7 +166,7 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 			res.RemoteLines++
 		}
 		srec.Marshal(t.img[:slen])
-		if err := t.updateRec(core.Stock, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
+		if err := t.updateRow(core.Stock, skey, storage.UnpackRID(srid), buf[:slen], t.img[:slen]); err != nil {
 			return res, t.fail(err)
 		}
 
@@ -187,7 +181,7 @@ func (s *Session) NewOrder(in NewOrderInput) (NewOrderResult, error) {
 			Quantity: uint8(it.Qty), AmountCents: amount,
 		}
 		olrec.Marshal(buf[:ollen])
-		olrid, err := t.insertRec(core.OrderLine, buf[:ollen])
+		olrid, err := t.insertRow(core.OrderLine, olkey, buf[:ollen])
 		if err != nil {
 			return res, t.fail(err)
 		}
@@ -236,7 +230,7 @@ func (s *Session) Payment(in PaymentInput) error {
 	wrec.Unmarshal(buf[:wlen])
 	wrec.YTDCents += uint64(in.AmountCents)
 	wrec.Marshal(t.img[:wlen])
-	if err := t.updateRec(core.Warehouse, storage.UnpackRID(wrid), buf[:wlen], t.img[:wlen]); err != nil {
+	if err := t.updateRow(core.Warehouse, uint64(in.W), storage.UnpackRID(wrid), buf[:wlen], t.img[:wlen]); err != nil {
 		return t.fail(err)
 	}
 
@@ -257,7 +251,7 @@ func (s *Session) Payment(in PaymentInput) error {
 	drec.Unmarshal(buf[:dlen])
 	drec.YTDCents += uint64(in.AmountCents)
 	drec.Marshal(t.img[:dlen])
-	if err := t.updateRec(core.District, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
+	if err := t.updateRow(core.District, dkey, storage.UnpackRID(drid), buf[:dlen], t.img[:dlen]); err != nil {
 		return t.fail(err)
 	}
 
@@ -290,7 +284,7 @@ func (s *Session) Payment(in PaymentInput) error {
 	crec.YTDPayCents += uint64(in.AmountCents)
 	crec.PaymentCount++
 	crec.Marshal(t.img[:clen])
-	if err := t.updateRec(core.Customer, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
+	if err := t.updateRow(core.Customer, ckey, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
 		return t.fail(err)
 	}
 
@@ -314,7 +308,9 @@ func (s *Session) Payment(in PaymentInput) error {
 }
 
 // middleCustomerByName implements the benchmark's non-unique select: all
-// customers of (w, d) sharing the last name are read (under S locks) and
+// customers of (w, d) sharing the last name are read (under S locks with
+// 2PL, snapshot reads with mvcc; customers are never inserted or deleted,
+// so the name group is the same set either way) and
 // the middle one by customer id is returned, along with how many tuples
 // the select touched (the Appendix A RC_cust remote-call measurement).
 // The hit list lives in the transaction's scratch and is ordered with an
@@ -342,10 +338,7 @@ func (t *txn) middleCustomerByName(w, d, nameOrd int64, buf []byte) (int64, int,
 	}
 	clen := tpcc.TupleLen[core.Customer]
 	for _, h := range hits {
-		if err := t.lockRow(core.Customer, index.KeyWDC(w, d, h.cid), lock.Shared); err != nil {
-			return 0, 0, err
-		}
-		if err := t.readRec(core.Customer, storage.UnpackRID(h.rid), buf[:clen]); err != nil {
+		if _, err := t.snapRead(core.Customer, index.KeyWDC(w, d, h.cid), storage.UnpackRID(h.rid), buf[:clen]); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -384,43 +377,49 @@ func (s *Session) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 	} else {
 		clen := tpcc.TupleLen[core.Customer]
 		ckey := index.KeyWDC(in.W, in.D, cid)
-		if err := t.lockRow(core.Customer, ckey, lock.Shared); err != nil {
-			return res, t.fail(err)
-		}
 		crid, ok := d.customerIdx.get(ckey)
 		if !ok {
 			return res, t.fail(fmt.Errorf("db: no customer (%d,%d,%d)", in.W, in.D, cid))
 		}
-		if err := t.readRec(core.Customer, storage.UnpackRID(crid), buf[:clen]); err != nil {
+		if _, err := t.snapRead(core.Customer, ckey, storage.UnpackRID(crid), buf[:clen]); err != nil {
 			return res, t.fail(err)
 		}
 	}
 	res.CID = cid
 
-	// Select(Max(order-id)): one lookup in the (w,d,c,o) index.
+	// Select(Max(order-id)): lookups in the (w,d,c,o) index, walking
+	// downward past orders not visible at the snapshot (an mvcc reader
+	// may see the index entry of an order committed after it began; under
+	// 2PL the newest entry is always live and the loop runs once).
 	lo, hi := index.RangeWDCO(in.W, in.D, cid)
-	k, orid, ok := d.custOrderIdx.max(hi)
-	if !ok || k < lo {
-		// No order on record (cannot happen after a standard load).
-		if err := t.commit(); err != nil {
+	olenOrd := tpcc.TupleLen[core.Order]
+	var oid int64
+	for {
+		k, orid, ok := d.custOrderIdx.max(hi)
+		if !ok || k < lo {
+			// No order visible (cannot happen after a standard load).
+			if err := t.commit(); err != nil {
+				return res, t.fail(err)
+			}
+			return res, nil
+		}
+		oid = int64(k & (1<<28 - 1))
+		okey := index.KeyWDO(in.W, in.D, oid)
+		live, err := t.snapRead(core.Order, okey, storage.UnpackRID(orid), buf[:olenOrd])
+		if err != nil {
 			return res, t.fail(err)
 		}
-		return res, nil
-	}
-	oid := int64(k & (1<<28 - 1))
-	okey := index.KeyWDO(in.W, in.D, oid)
-	if err := t.lockRow(core.Order, okey, lock.Shared); err != nil {
-		return res, t.fail(err)
-	}
-	olenOrd := tpcc.TupleLen[core.Order]
-	if err := t.readRec(core.Order, storage.UnpackRID(orid), buf[:olenOrd]); err != nil {
-		return res, t.fail(err)
+		if live {
+			break
+		}
+		hi = k - 1
 	}
 	var orec OrderRec
 	orec.Unmarshal(buf[:olenOrd])
 	res.OID = oid
 
-	// Each order line of the last order.
+	// Each order line of the last order (the order is visible, so its
+	// lines — committed atomically with it — are visible too).
 	ollen := tpcc.TupleLen[core.OrderLine]
 	lo, hi = index.RangeWDOLOrder(in.W, in.D, oid)
 	t.rids = t.rids[:0]
@@ -430,11 +429,12 @@ func (s *Session) OrderStatus(in OrderStatusInput) (OrderStatusResult, error) {
 	})
 	for i, rid := range t.rids {
 		olkey := index.KeyWDOL(in.W, in.D, oid, int64(i))
-		if err := t.lockRow(core.OrderLine, olkey, lock.Shared); err != nil {
+		live, err := t.snapRead(core.OrderLine, olkey, storage.UnpackRID(rid), buf[:ollen])
+		if err != nil {
 			return res, t.fail(err)
 		}
-		if err := t.readRec(core.OrderLine, storage.UnpackRID(rid), buf[:ollen]); err != nil {
-			return res, t.fail(err)
+		if !live {
+			continue
 		}
 		res.Lines++
 	}
@@ -460,7 +460,11 @@ type DeliveryResult struct {
 // Delivery executes the deferred Delivery transaction: for each district
 // of the warehouse, the oldest undelivered order is removed from
 // new-order, stamped in order and order-line, and the customer balance is
-// credited.
+// credited. Every row Delivery reads it also writes, so under mvcc all
+// its reads stay CURRENT reads under the exclusive locks (reading the
+// snapshot would just guarantee a first-committer-wins abort whenever the
+// row moved since begin); correctness still comes from validation at the
+// write.
 func (s *Session) Delivery(in DeliveryInput) (DeliveryResult, error) {
 	d := s.d
 	t := s.begin()
@@ -505,7 +509,7 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64) (bool, error)
 		if err := t.readRec(core.NewOrder, storage.UnpackRID(norid), buf[:nolen]); err != nil {
 			return false, err
 		}
-		if err := t.deleteRec(core.NewOrder, storage.UnpackRID(norid), buf[:nolen]); err != nil {
+		if err := t.deleteRow(core.NewOrder, k, storage.UnpackRID(norid), buf[:nolen]); err != nil {
 			return false, err
 		}
 		if err := t.delIdx(d.newOrderIdx, k, norid); err != nil {
@@ -528,7 +532,7 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64) (bool, error)
 		orec.Unmarshal(buf[:olenOrd])
 		orec.CarrierID = in.Carrier
 		orec.Marshal(t.img[:olenOrd])
-		if err := t.updateRec(core.Order, storage.UnpackRID(orid), buf[:olenOrd], t.img[:olenOrd]); err != nil {
+		if err := t.updateRow(core.Order, k, storage.UnpackRID(orid), buf[:olenOrd], t.img[:olenOrd]); err != nil {
 			return false, err
 		}
 
@@ -553,7 +557,7 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64) (bool, error)
 			olrec.DeliveryTick = tick
 			total += uint64(olrec.AmountCents)
 			olrec.Marshal(t.img[:ollen])
-			if err := t.updateRec(core.OrderLine, storage.UnpackRID(olrid), buf[:ollen], t.img[:ollen]); err != nil {
+			if err := t.updateRow(core.OrderLine, olkey, storage.UnpackRID(olrid), buf[:ollen], t.img[:ollen]); err != nil {
 				return false, err
 			}
 		}
@@ -576,7 +580,7 @@ func (d *DB) deliverDistrict(t *txn, in DeliveryInput, dist int64) (bool, error)
 		crec.BalanceCents += int64(total)
 		crec.DeliveryCount++
 		crec.Marshal(t.img[:clen])
-		if err := t.updateRec(core.Customer, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
+		if err := t.updateRow(core.Customer, ckey, storage.UnpackRID(crid), buf[:clen], t.img[:clen]); err != nil {
 			return false, err
 		}
 		return true, nil
@@ -597,17 +601,17 @@ func (s *Session) StockLevel(in StockLevelInput) (int, error) {
 	t := s.begin()
 	buf := t.buf
 
-	// First select: the district's next order id.
+	// First select: the district's next order id. Under mvcc the whole
+	// join below is consistent by construction: if the snapshot's
+	// district shows NextOID = n, every order below n committed at or
+	// before the snapshot, together with its order lines.
 	dlen := tpcc.TupleLen[core.District]
 	dkey := index.KeyWD(in.W, in.D)
-	if err := t.lockRow(core.District, dkey, lock.Shared); err != nil {
-		return 0, t.fail(err)
-	}
 	drid, ok := d.districtIdx.get(dkey)
 	if !ok {
 		return 0, t.fail(fmt.Errorf("db: no district (%d,%d)", in.W, in.D))
 	}
-	if err := t.readRec(core.District, storage.UnpackRID(drid), buf[:dlen]); err != nil {
+	if _, err := t.snapRead(core.District, dkey, storage.UnpackRID(drid), buf[:dlen]); err != nil {
 		return 0, t.fail(err)
 	}
 	var drec DistrictRec
@@ -633,24 +637,24 @@ func (s *Session) StockLevel(in StockLevelInput) (int, error) {
 	t.seen = t.seen[:0]
 	low := 0
 	for _, ref := range t.refs {
-		if err := t.lockRow(core.OrderLine, ref.key, lock.Shared); err != nil {
+		live, err := t.snapRead(core.OrderLine, ref.key, storage.UnpackRID(ref.rid), buf[:ollen])
+		if err != nil {
 			return 0, t.fail(err)
 		}
-		if err := t.readRec(core.OrderLine, storage.UnpackRID(ref.rid), buf[:ollen]); err != nil {
-			return 0, t.fail(err)
+		if !live {
+			// An index entry for an order line committed after the
+			// snapshot (mvcc only): not part of this cut.
+			continue
 		}
 		var olrec OrderLineRec
 		olrec.Unmarshal(buf[:ollen])
 
 		skey := index.KeyWI(in.W, int64(olrec.IID))
-		if err := t.lockRow(core.Stock, skey, lock.Shared); err != nil {
-			return 0, t.fail(err)
-		}
 		srid, ok := d.stockIdx.get(skey)
 		if !ok {
 			return 0, t.fail(fmt.Errorf("db: no stock (%d,%d)", in.W, olrec.IID))
 		}
-		if err := t.readRec(core.Stock, storage.UnpackRID(srid), buf[:slen]); err != nil {
+		if _, err := t.snapRead(core.Stock, skey, storage.UnpackRID(srid), buf[:slen]); err != nil {
 			return 0, t.fail(err)
 		}
 		var srec StockRec

@@ -80,14 +80,20 @@ type Runner struct {
 	counts  [core.NumTxnTypes]atomic.Int64
 	retries atomic.Int64
 	sheds   atomic.Int64
+	// aborts counts failed attempts per type (each one an engine-level
+	// rollback that was retried or shed); conflicts is the subset that
+	// were snapshot write-write conflicts (ErrWriteConflict, mvcc only).
+	aborts    [core.NumTxnTypes]atomic.Int64
+	conflicts [core.NumTxnTypes]atomic.Int64
 	// consecutiveSheds is only touched by the executing goroutine.
 	consecutiveSheds int
 
 	// latMu guards the latency accumulators so snapshots may be taken
 	// while the runner is executing on another goroutine.
-	latMu   sync.Mutex
-	latHist *stats.Histogram
-	latW    stats.Welford
+	latMu    sync.Mutex
+	latHist  *stats.Histogram
+	latW     stats.Welford
+	typeHist [core.NumTxnTypes]*stats.Histogram
 }
 
 // runnerArgs is the Runner's reusable input storage, one field per
@@ -112,7 +118,7 @@ const (
 // NewRunner creates a runner over d with the given seed and mix.
 func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
 	r := rng.New(seed)
-	return &Runner{
+	rn := &Runner{
 		d:                 d,
 		sess:              d.NewSession(),
 		r:                 r,
@@ -125,6 +131,10 @@ func NewRunner(d *DB, seed uint64, mix tpcc.Mix) *Runner {
 		Policy:            DefaultRetryPolicy(),
 		latHist:           stats.NewHistogram(latBucketWidthMicros, latBuckets),
 	}
+	for i := range rn.typeHist {
+		rn.typeHist[i] = stats.NewHistogram(latBucketWidthMicros, latBuckets)
+	}
+	return rn
 }
 
 // Counts returns per-type executed (acknowledged) transaction counts.
@@ -139,6 +149,28 @@ func (rn *Runner) Counts() [core.NumTxnTypes]int64 {
 // Retries returns the number of retries performed (deadlock victims plus
 // transient I/O failures).
 func (rn *Runner) Retries() int64 { return rn.retries.Load() }
+
+// Aborts returns per-type failed-attempt counts: every retriable failure
+// the runner observed, whether it was retried or shed. Each one is an
+// engine-level rollback.
+func (rn *Runner) Aborts() [core.NumTxnTypes]int64 {
+	var out [core.NumTxnTypes]int64
+	for i := range out {
+		out[i] = rn.aborts[i].Load()
+	}
+	return out
+}
+
+// Conflicts returns per-type snapshot write-write conflict counts — the
+// subset of Aborts caused by first-committer-wins validation. Always zero
+// under 2PL.
+func (rn *Runner) Conflicts() [core.NumTxnTypes]int64 {
+	var out [core.NumTxnTypes]int64
+	for i := range out {
+		out[i] = rn.conflicts[i].Load()
+	}
+	return out
+}
 
 // Sheds returns the number of transactions dropped after exhausting their
 // retry attempts.
@@ -161,8 +193,8 @@ func (ls LatencyStats) String() string {
 }
 
 // recordLatency folds one acknowledged transaction's response time into
-// the runner's accumulators.
-func (rn *Runner) recordLatency(d time.Duration) {
+// the runner's accumulators (overall and per-type).
+func (rn *Runner) recordLatency(typ core.TxnType, d time.Duration) {
 	us := d.Microseconds()
 	if us < 0 {
 		us = 0
@@ -170,6 +202,7 @@ func (rn *Runner) recordLatency(d time.Duration) {
 	rn.latMu.Lock()
 	rn.latHist.Add(us)
 	rn.latW.Add(float64(us))
+	rn.typeHist[typ].Add(us)
 	rn.latMu.Unlock()
 }
 
@@ -187,6 +220,16 @@ func (rn *Runner) mergeLatencyInto(h *stats.Histogram, w *stats.Welford) {
 	defer rn.latMu.Unlock()
 	h.Merge(rn.latHist)
 	w.Merge(rn.latW)
+}
+
+// mergeTypeLatencyInto folds the runner's per-type histograms into shared
+// ones (one per transaction type).
+func (rn *Runner) mergeTypeLatencyInto(hs *[core.NumTxnTypes]*stats.Histogram) {
+	rn.latMu.Lock()
+	defer rn.latMu.Unlock()
+	for i := range hs {
+		hs[i].Merge(rn.typeHist[i])
+	}
 }
 
 func summarizeLatency(h *stats.Histogram, w stats.Welford) LatencyStats {
@@ -380,7 +423,7 @@ func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
 		if err == nil {
 			rn.counts[typ].Add(1)
 			rn.consecutiveSheds = 0
-			rn.recordLatency(time.Since(start))
+			rn.recordLatency(typ, time.Since(start))
 			return typ, nil
 		}
 		if errors.Is(err, storage.ErrCrashed) {
@@ -388,6 +431,10 @@ func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
 		}
 		if !retriable(err) {
 			return typ, fmt.Errorf("db: %s failed: %w", typ, err)
+		}
+		rn.aborts[typ].Add(1)
+		if errors.Is(err, ErrWriteConflict) {
+			rn.conflicts[typ].Add(1)
 		}
 		if attempt >= maxAttempts {
 			// Shed: drop this transaction, keep the worker alive.
@@ -426,6 +473,26 @@ func (rn *Runner) RunContext(ctx context.Context, n int) error {
 	return nil
 }
 
+// TypeStats breaks out one transaction type's outcome over a run:
+// acknowledged executions, failed attempts (engine rollbacks retried or
+// shed), the subset of failures that were snapshot write-write conflicts,
+// and latency quantiles over acknowledged executions.
+type TypeStats struct {
+	Acked         int64
+	Aborts        int64
+	Conflicts     int64
+	P50, P95, P99 time.Duration
+}
+
+// AbortRate returns failed attempts as a fraction of all attempts
+// (0 when the type never ran).
+func (ts TypeStats) AbortRate() float64 {
+	if n := ts.Acked + ts.Aborts; n > 0 {
+		return float64(ts.Aborts) / float64(n)
+	}
+	return 0
+}
+
 // RunStats aggregates the outcome of a concurrent run.
 type RunStats struct {
 	// Counts holds acknowledged executions per transaction type.
@@ -445,6 +512,9 @@ type RunStats struct {
 	// Latency summarizes acknowledged-transaction response time across
 	// all workers.
 	Latency LatencyStats
+	// PerType breaks the run down by transaction type (abort rates,
+	// conflict counts, per-type latency quantiles).
+	PerType [core.NumTxnTypes]TypeStats
 }
 
 // Acknowledged returns the total number of acknowledged transactions.
@@ -530,16 +600,33 @@ func RunConcurrentPolicy(d *DB, seed uint64, mix tpcc.Mix, total, workers int, p
 	st.LogForces = d.LogForces() - forces0
 	latHist := stats.NewHistogram(latBucketWidthMicros, latBuckets)
 	var latW stats.Welford
+	var typeHists [core.NumTxnTypes]*stats.Histogram
+	for i := range typeHists {
+		typeHists[i] = stats.NewHistogram(latBucketWidthMicros, latBuckets)
+	}
 	for _, rn := range runners {
-		c := rn.Counts()
+		c, a, cf := rn.Counts(), rn.Aborts(), rn.Conflicts()
 		for i := range st.Counts {
 			st.Counts[i] += c[i]
+			st.PerType[i].Acked += c[i]
+			st.PerType[i].Aborts += a[i]
+			st.PerType[i].Conflicts += cf[i]
 		}
 		st.Retries += rn.Retries()
 		st.Sheds += rn.Sheds()
 		rn.mergeLatencyInto(latHist, &latW)
+		rn.mergeTypeLatencyInto(&typeHists)
 	}
 	st.Latency = summarizeLatency(latHist, latW)
+	us := func(v float64) time.Duration {
+		return time.Duration(v * float64(time.Microsecond)).Round(time.Microsecond)
+	}
+	for i := range st.PerType {
+		h := typeHists[i]
+		st.PerType[i].P50 = us(h.Quantile(0.50))
+		st.PerType[i].P95 = us(h.Quantile(0.95))
+		st.PerType[i].P99 = us(h.Quantile(0.99))
+	}
 	return st, <-errCh
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"tpccmodel/internal/core"
 	"tpccmodel/internal/engine/lock"
+	"tpccmodel/internal/engine/mvcc"
 	"tpccmodel/internal/engine/storage"
 	"tpccmodel/internal/engine/wal"
 	"tpccmodel/internal/tpcc"
@@ -15,6 +16,12 @@ import (
 // deadlock victims and rolled back; callers should retry with the same
 // input.
 var ErrAborted = errors.New("db: transaction aborted, retry")
+
+// ErrWriteConflict reports a first-committer-wins validation failure
+// under CCMVCC: the transaction tried to overwrite a row committed after
+// its snapshot. It wraps ErrAborted, so retry loops treat it like any
+// abort while per-type stats can still tell conflicts from deadlocks.
+var ErrWriteConflict = fmt.Errorf("db: snapshot write-write conflict: %w", ErrAborted)
 
 // undoKind tags one entry of a transaction's undo list.
 type undoKind uint8
@@ -90,6 +97,13 @@ type txn struct {
 	rids []uint64
 	refs []olref
 	seen []uint32
+
+	// mv is the transaction's MVCC state (snapshot, written chains) and
+	// retired the deferred-prune ring of its committed chains; both are
+	// inert under CC2PL. They live here, not on the Session, so the
+	// distributed Begin paths (which allocate bare txns) stay correct.
+	mv      mvcc.Txn
+	retired mvcc.RetireSet
 }
 
 // reset prepares t for a new transaction, reusing its scratch, and
@@ -105,6 +119,10 @@ func (t *txn) reset(d *DB) {
 	if t.buf == nil {
 		t.buf = make([]byte, tpcc.TupleLen[core.Customer])
 		t.img = make([]byte, tpcc.TupleLen[core.Customer])
+	}
+	if d.ccMVCC {
+		// Take the snapshot and pay down this slot's pruning debt.
+		d.mvcc.Begin(&t.mv, &t.retired)
 	}
 	d.log.TxnStart()
 }
@@ -144,12 +162,31 @@ func (t *txn) commit() error { return t.commitWith(0) }
 // its durability makes the whole transaction committed, and recovery
 // rebuilds the coordinator's outcome map from it.
 func (t *txn) commitWith(gid uint64) error {
+	if t.d.ccMVCC && gid == 0 && len(t.undo) == 0 {
+		// Snapshot-mode read-only commit: the transaction wrote nothing,
+		// so there is nothing to make durable — no commit record, no log
+		// force. Order-Status and Stock-Level never touch the WAL (and so
+		// never wait on a group-commit batch). 2PL keeps its per-commit
+		// record: the -commit-smoke gate pins forces/commit == 1 there.
+		t.end()
+		t.d.mvcc.Commit(&t.mv, &t.retired)
+		t.d.locks.ReleaseAll(t.id)
+		t.d.commits.Add(1)
+		return nil
+	}
 	if _, err := t.d.log.Append(wal.Record{Txn: uint64(t.id), Type: wal.RecCommit, RID: gid}); err != nil {
 		return err
 	}
 	t.end()
 	if gid != 0 {
 		t.d.setOutcome(gid, true)
+	}
+	if t.d.ccMVCC {
+		// Publish the commit timestamp and flip the chains BEFORE
+		// releasing row locks: the next writer of any of these rows must
+		// observe the new latest-commit timestamp for first-committer-
+		// wins validation to be sound.
+		t.d.mvcc.Commit(&t.mv, &t.retired)
 	}
 	t.d.locks.ReleaseAll(t.id)
 	t.d.commits.Add(1)
@@ -176,6 +213,13 @@ func (t *txn) rollbackWith(gid uint64) error {
 	t.end()
 	if gid != 0 {
 		t.d.setOutcome(gid, false)
+	}
+	if t.d.ccMVCC {
+		// Pop pushed versions only AFTER the undo loop above restored the
+		// heap before-images: while the writer mark is set, readers
+		// resolve through the chain, so they never see the intermediate
+		// heap states; once popped, the (restored) heap is authoritative.
+		t.d.mvcc.Abort(&t.mv)
 	}
 	t.d.locks.ReleaseAll(t.id)
 	t.d.aborts.Add(1)
@@ -211,10 +255,14 @@ func (t *txn) saveImage(img []byte) int {
 	return off
 }
 
-// fail rolls back and wraps the cause; deadlocks surface as ErrAborted.
+// fail rolls back and wraps the cause; deadlocks surface as ErrAborted,
+// first-committer-wins losses as ErrWriteConflict (itself an ErrAborted).
 func (t *txn) fail(cause error) error {
 	if rbErr := t.rollback(); rbErr != nil {
 		return rbErr
+	}
+	if errors.Is(cause, mvcc.ErrConflict) {
+		return ErrWriteConflict
 	}
 	if errors.Is(cause, lock.ErrDeadlock) {
 		return ErrAborted
@@ -278,6 +326,74 @@ func (t *txn) deleteRec(rel core.Relation, rid storage.RID, before []byte) error
 	off := t.saveImage(before)
 	t.undo = append(t.undo, undoOp{kind: undoDelete, rel: rel, rid: rid, off: off, n: len(before)})
 	return nil
+}
+
+// snapRead reads the version of the row visible to this transaction into
+// out. Under 2PL that is an S-locked current read — the lock IS the
+// visibility rule — and an absent record is an error (the index said the
+// row exists). Under mvcc it is a lock-free read: the current heap image
+// (tolerating absence) resolved against the version store. live=false
+// reports a row with no version at the snapshot — expected under mvcc
+// when an index entry leads to a row committed after the snapshot began;
+// callers skip such rows.
+func (t *txn) snapRead(rel core.Relation, row uint64, rid storage.RID, out []byte) (bool, error) {
+	if !t.d.ccMVCC {
+		if err := t.lockRow(rel, row, lock.Shared); err != nil {
+			return false, err
+		}
+		if err := t.readRec(rel, rid, out); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	live := true
+	if err := t.readRec(rel, rid, out); err != nil {
+		if !errors.Is(err, storage.ErrNoRecord) {
+			return false, err
+		}
+		live = false
+	}
+	return t.d.mvcc.Read(&t.mv, mvcc.Key{Table: uint32(rel), Row: row}, live, out), nil
+}
+
+// mvWrite validates and versions a row about to be overwritten (before is
+// its current image; nil for an insert). No-op under 2PL. The caller must
+// already hold the row's exclusive lock and must perform the heap
+// mutation only after mvWrite returns nil — chain state precedes heap
+// state so concurrent snapshot readers never resolve a half-written row.
+func (t *txn) mvWrite(rel core.Relation, row uint64, before []byte) error {
+	if !t.d.ccMVCC {
+		return nil
+	}
+	return t.d.mvcc.Write(&t.mv, mvcc.Key{Table: uint32(rel), Row: row}, before)
+}
+
+// updateRow is updateRec plus first-committer-wins validation and
+// before-image versioning under mvcc. row is the logical row key (the
+// same key the exclusive lock was taken on).
+func (t *txn) updateRow(rel core.Relation, row uint64, rid storage.RID, before, after []byte) error {
+	if err := t.mvWrite(rel, row, before); err != nil {
+		return err
+	}
+	return t.updateRec(rel, rid, before, after)
+}
+
+// insertRow is insertRec plus versioning: the chain records that the row
+// was absent before this transaction, so older snapshots skip it.
+func (t *txn) insertRow(rel core.Relation, row uint64, rec []byte) (storage.RID, error) {
+	if err := t.mvWrite(rel, row, nil); err != nil {
+		return storage.RID{}, err
+	}
+	return t.insertRec(rel, rec)
+}
+
+// deleteRow is deleteRec plus versioning: older snapshots keep seeing the
+// before image after the heap slot is gone.
+func (t *txn) deleteRow(rel core.Relation, row uint64, rid storage.RID, before []byte) error {
+	if err := t.mvWrite(rel, row, before); err != nil {
+		return err
+	}
+	return t.deleteRec(rel, rid, before)
 }
 
 // setIdx adds an index entry with undo.

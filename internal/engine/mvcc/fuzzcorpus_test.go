@@ -1,0 +1,102 @@
+package mvcc
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"tpccmodel/internal/fuzzcorpus"
+)
+
+// regenFuzzCorpus rewrites the checked-in fuzz seed files:
+// `go test ./internal/engine/mvcc/ -run FuzzSeedCorpus -regen-fuzz-corpus`
+// (or `make regen-fuzz-corpus`).
+var regenFuzzCorpus = flag.Bool("regen-fuzz-corpus", false, "rewrite testdata/fuzz seed corpora")
+
+// buildVisTape assembles a FuzzVisibility operation tape: 4 bytes per op
+// (opcode, slot, key, value).
+func buildVisTape(f func(emit func(op, slot, key, val byte))) []byte {
+	var tape []byte
+	f(func(op, slot, key, val byte) {
+		tape = append(tape, op, slot, key, val)
+	})
+	return tape
+}
+
+// visibilitySeeds aims each seed at a distinct schedule shape: the plain
+// committed-history walk, first-committer-wins losses, abort-undo over
+// inserts and deletes, a long reader pinning the watermark across many
+// commits, and interleaved read-your-own-writes churn.
+func visibilitySeeds() map[string][]byte {
+	seeds := map[string]func(emit func(op, slot, key, val byte)){
+		"sequential-history": func(emit func(op, slot, key, val byte)) {
+			for i := byte(0); i < 16; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopWrite, 0, i%fuzzKeys, i)
+				emit(fopCommit, 0, 0, 0)
+				emit(fopBegin, 1, 0, 0)
+				emit(fopRead, 1, i%fuzzKeys, 0)
+				emit(fopCommit, 1, 0, 0)
+			}
+		},
+		"first-committer-wins": func(emit func(op, slot, key, val byte)) {
+			for i := byte(0); i < 8; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopBegin, 1, 0, 0)
+				emit(fopWrite, 0, 1, i)
+				emit(fopCommit, 0, 0, 0)
+				emit(fopWrite, 1, 1, 200+i) // conflicts, aborts slot 1
+				emit(fopRead, 1, 1, 0)      // no-op: slot 1 is gone
+			}
+		},
+		"insert-delete-abort": func(emit func(op, slot, key, val byte)) {
+			for i := byte(0); i < 8; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopWrite, 0, 2, i)
+				emit(fopDelete, 0, 3, 0)
+				emit(fopAbort, 0, 0, 0)
+				emit(fopBegin, 1, 0, 0)
+				emit(fopRead, 1, 2, 0)
+				emit(fopDelete, 1, 2, 0)
+				emit(fopCommit, 1, 0, 0)
+			}
+		},
+		"long-reader-watermark": func(emit func(op, slot, key, val byte)) {
+			emit(fopBegin, 3, 0, 0) // pins the watermark
+			for i := byte(0); i < 24; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopWrite, 0, i%fuzzKeys, i)
+				emit(fopCommit, 0, 0, 0)
+				emit(fopRead, 3, i%fuzzKeys, 0)
+			}
+			emit(fopCommit, 3, 0, 0)
+			emit(fopBegin, 0, 0, 0) // prunes the backlog
+			emit(fopCommit, 0, 0, 0)
+		},
+		"read-your-own-writes": func(emit func(op, slot, key, val byte)) {
+			for i := byte(0); i < 8; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopWrite, 0, 0, i)
+				emit(fopRead, 0, 0, 0)
+				emit(fopDelete, 0, 0, 0)
+				emit(fopRead, 0, 0, 0)
+				emit(fopWrite, 0, 0, 100+i)
+				emit(fopRead, 0, 0, 0)
+				emit(fopCommit, 0, 0, 0)
+			}
+		},
+	}
+	out := make(map[string][]byte, len(seeds))
+	for name, build := range seeds {
+		out[name] = fuzzcorpus.Marshal(buildVisTape(build))
+	}
+	return out
+}
+
+// TestFuzzSeedCorpus keeps the checked-in seeds under testdata/fuzz/ in
+// sync with their generators. The seeds double as ordinary corpus cases:
+// plain `go test` runs every file through FuzzVisibility.
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzcorpus.WriteOrCompare(t, filepath.Join("testdata", "fuzz", "FuzzVisibility"),
+		visibilitySeeds(), *regenFuzzCorpus)
+}

@@ -45,6 +45,10 @@ type Config struct {
 	// db.Config (0 keeps that layer's default).
 	LockStripes      int
 	BufferPartitions int
+	// CC selects each shard's concurrency-control mode (zero value is
+	// 2PL). Snapshot scope is per shard: cross-shard branches run 2PC
+	// over whatever mode each participant uses locally.
+	CC db.CCMode
 	// Seed loads every shard. All shards load the SAME seed: warehouse
 	// contents are per-shard anyway, and the Item relation comes out
 	// bit-identical everywhere — the paper's replicated-Item layout
@@ -193,6 +197,7 @@ func Open(cfg Config) (*Cluster, error) {
 			BufferPages:      cfg.BufferPages,
 			LockStripes:      cfg.LockStripes,
 			BufferPartitions: cfg.BufferPartitions,
+			CC:               cfg.CC,
 		}, db.Options{
 			Disk:            inj,
 			LogHook:         inj,

@@ -49,6 +49,8 @@ type TortureConfig struct {
 	Mix tpcc.Mix
 	// GroupCommit configures per-shard WAL batching for the campaign.
 	GroupCommit wal.GroupConfig
+	// CC selects each shard's concurrency-control mode (zero = 2PL).
+	CC db.CCMode
 	// Degraded enables the held-down-shard phase per seed.
 	Degraded bool
 }
@@ -197,6 +199,7 @@ func tortureSeed(cfg TortureConfig, seed uint64, rep *Report) error {
 		LockWaitTimeout:    20 * time.Millisecond,
 		GroupCommit:        cfg.GroupCommit,
 		Faults:             cfg.Faults,
+		CC:                 cfg.CC,
 	})
 	if err != nil {
 		return err
