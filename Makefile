@@ -10,13 +10,16 @@ build:
 	go build ./...
 	go vet ./...
 
+# The race leg carries an explicit -timeout: the engine/shard package
+# loads several 3-shard clusters and the race detector's ~10-20x
+# slowdown pushes it past go test's default 10m on a 1-core runner.
 test:
 	go vet ./...
 	go test ./...
-	go test -race -short ./internal/engine/...
+	go test -race -short -timeout 30m ./internal/engine/...
 
 race:
-	go test -race ./...
+	go test -race -timeout 60m ./...
 
 # Hot-path allocation gate (also part of `make test`): committed New-Order
 # and Payment transactions must heap-allocate nothing. Race-free leg only —
@@ -107,15 +110,16 @@ bench-engine:
 bench-scale:
 	go run ./cmd/tpcc-engine -bench-scale BENCH_scale.json
 
-# Concurrency-control grid: {2pl, mvcc} x 1/2/4/8 workers with per-type
+# Concurrency-control grid: {2pl, mvcc, ssi} x 1/2/4/8 workers with per-type
 # abort rates, write-conflict counts, and latency quantiles; records
 # BENCH_cc.json (single-worker cells also record the state hash the
 # differential gate compares).
 bench-cc:
 	go run ./cmd/tpcc-engine -bench-cc BENCH_cc.json
 
-# CI gate for the mvcc path: single-worker committed state must be
-# byte-identical across modes, mvcc throughput within 10% of 2PL at 1
+# CI gate for the snapshot CC paths: write skew must be admitted under
+# mvcc and refused under 2pl/ssi, single-worker committed state must be
+# byte-identical across all three modes, mvcc/ssi throughput within 10% of 2PL at 1
 # worker, read-only types conflict-free at every worker count.
 cc-smoke:
 	go run ./cmd/tpcc-engine -cc-smoke -bench-file BENCH_cc.json

@@ -17,6 +17,7 @@
 //	tpcc-engine -bench-commit BENCH_commit.json
 //	tpcc-engine -commit-smoke
 //	tpcc-engine -cc mvcc -txns 20000 -workers 4
+//	tpcc-engine -cc ssi -txns 20000 -workers 4
 //	tpcc-engine -bench-cc BENCH_cc.json
 //	tpcc-engine -cc-smoke
 package main
@@ -57,11 +58,11 @@ func main() {
 		benchCommit = flag.String("bench-commit", "", "instead of a single run, benchmark grouped vs ungrouped commit at 1/2/4/8 workers and write this JSON report")
 		benchEngine = flag.String("bench-engine", "", "instead of a single run, benchmark engine throughput and allocations at 1/2/4/8 workers (grouped and ungrouped) and write this JSON report")
 		benchScale  = flag.String("bench-scale", "", "instead of a single run, benchmark workers x {striped,global-lock} x {partitioned,unified-pool} and write this JSON report")
-		benchCC     = flag.String("bench-cc", "", "instead of a single run, benchmark 2pl vs mvcc at 1/2/4/8 workers with per-type abort rates and write this JSON report")
+		benchCC     = flag.String("bench-cc", "", "instead of a single run, benchmark 2pl vs mvcc vs ssi at 1/2/4/8 workers with per-type abort rates and write this JSON report")
 		commitSmoke = flag.Bool("commit-smoke", false, "CI smoke: reduced grouped-vs-ungrouped cells at 1/2/4/8 workers; exit 1 unless grouped throughput keeps up and batching engages")
 		scaleSmoke  = flag.Bool("scale-smoke", false, "CI smoke: reduced striped-vs-global cells; exit 1 if striping costs >5% at 1 worker (multi-worker ratios are recorded, not gated)")
-		ccSmoke     = flag.Bool("cc-smoke", false, "CI smoke: reduced 2pl-vs-mvcc cells; exit 1 unless single-worker state hashes match across modes and mvcc throughput keeps up")
-		ccFlag      = flag.String("cc", "2pl", "concurrency control mode: 2pl (shared read locks) or mvcc (snapshot reads, first-committer-wins)")
+		ccSmoke     = flag.Bool("cc-smoke", false, "CI smoke: write-skew certification plus reduced 2pl/mvcc/ssi cells; exit 1 unless single-worker state hashes match across modes and snapshot-mode throughput keeps up")
+		ccFlag      = flag.String("cc", "2pl", "concurrency control mode: 2pl (shared read locks), mvcc (snapshot reads, first-committer-wins) or ssi (mvcc plus serializability validation)")
 		benchFile   = flag.String("bench-file", "", "with -commit-smoke / -scale-smoke: also check this checked-in BENCH_*.json against the CLI defaults and thresholds")
 	)
 	cpuProf, memProf := cliutil.ProfileFlags()
@@ -191,8 +192,11 @@ func main() {
 		st.Latency.P50, st.Latency.P95, st.Latency.P99, st.Latency.Max)
 	acq, waits, deadlocks := d.LockCounts()
 	fmt.Printf("locks_acquired\t%d\nlock_waits\t%d\ndeadlocks\t%d\n", acq, waits, deadlocks)
-	if ccMode == db.CCMVCC {
+	if ccMode != db.CC2PL {
 		fmt.Printf("write_conflicts\t%d\nversion_chains\t%d\n", d.WriteConflicts(), d.VersionChains())
+	}
+	if ccMode == db.CCSSI {
+		fmt.Printf("ssi_aborts\t%d\n", d.SSIAborts())
 	}
 
 	fmt.Printf("\nrelation\taccesses\tmiss_rate\n")

@@ -50,7 +50,7 @@ func main() {
 		z           = flag.Float64("z", 5, "xval: tolerance in standard errors")
 		jsonOut     = flag.Bool("json", false, "emit JSON instead of TSV (xval mode)")
 		verbose     = flag.Bool("v", false, "print per-schedule torture results")
-		ccFlag      = flag.String("cc", "2pl", "per-shard concurrency control mode: 2pl or mvcc")
+		ccFlag      = flag.String("cc", "2pl", "per-shard concurrency control mode: 2pl, mvcc or ssi")
 	)
 	cpuProf, memProf := cliutil.ProfileFlags()
 	mutexProf, blockProf := cliutil.ContentionProfileFlags()

@@ -36,7 +36,7 @@ func TestHotPathAllocationFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation gate needs a loaded warehouse")
 	}
-	for _, cc := range []CCMode{CC2PL, CCMVCC} {
+	for _, cc := range []CCMode{CC2PL, CCMVCC, CCSSI} {
 		t.Run(cc.String(), func(t *testing.T) { testHotPathAllocationFree(t, cc) })
 	}
 }

@@ -238,6 +238,76 @@ func TestWriteSkew(t *testing.T) {
 		}
 	})
 
+	t.Run("ssi-forbids", func(t *testing.T) {
+		d := openTiny(t, CCSSI)
+		seed := d.begin()
+		for _, dist := range []int64{0, 1} {
+			if err := tinyWriteCustomer(seed, dist, func(c *CustomerRec) { c.BalanceCents = 50 }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := seed.commit(); err != nil {
+			t.Fatal(err)
+		}
+		conflicts0 := d.WriteConflicts()
+
+		t1 := d.begin()
+		t2 := d.begin()
+		// Same schedule as mvcc-allows: guard reads cross the writes.
+		if rec, _ := tinyReadCustomer(t, t1, 1); rec.BalanceCents != 50 {
+			t.Fatalf("t1 guard read: %d, want 50", rec.BalanceCents)
+		}
+		if rec, _ := tinyReadCustomer(t, t2, 0); rec.BalanceCents != 50 {
+			t.Fatalf("t2 guard read: %d, want 50", rec.BalanceCents)
+		}
+		// t1's write overwrites t2's SIREAD mark: edge t2 → t1 installs
+		// cleanly (neither side is a pivot yet).
+		if err := tinyWriteCustomer(t1, 0, func(c *CustomerRec) { c.BalanceCents = 0 }); err != nil {
+			t.Fatal(err)
+		}
+		// t2's crossing write would give t2 both flags — exactly one
+		// victim, and it is the acting side.
+		err := tinyWriteCustomer(t2, 1, func(c *CustomerRec) { c.BalanceCents = 0 })
+		if err == nil {
+			t.Fatal("crossing write completed under ssi — write skew admitted")
+		}
+		if err := t2.fail(err); !errors.Is(err, ErrSSIAbort) {
+			t.Fatalf("crossing write failed with %v, want ErrSSIAbort", err)
+		} else if !errors.Is(err, ErrAborted) {
+			t.Fatal("ErrSSIAbort must match ErrAborted so retry loops catch it")
+		}
+		// The survivor commits: its lone in-flag is not a dangerous
+		// structure.
+		if err := t1.commit(); err != nil {
+			t.Fatalf("survivor commit: %v", err)
+		}
+		if n := d.SSIAborts(); n != 1 {
+			t.Fatalf("SSIAborts() = %d, want exactly 1 (one victim)", n)
+		}
+		if n := d.WriteConflicts() - conflicts0; n != 0 {
+			t.Fatalf("ssi abort misclassified: %d write conflicts, want 0", n)
+		}
+
+		// The retry sees t1's withdrawal and its guard refuses — the
+		// serializable outcome.
+		t2r := d.begin()
+		if rec, _ := tinyReadCustomer(t, t2r, 0); rec.BalanceCents == 50 {
+			t.Fatal("retry still sees pre-skew guard value")
+		}
+		if err := t2r.commit(); err != nil {
+			t.Fatal(err)
+		}
+		fin := d.begin()
+		r0, _ := tinyReadCustomer(t, fin, 0)
+		r1, _ := tinyReadCustomer(t, fin, 1)
+		if r0.BalanceCents != 0 || r1.BalanceCents != 50 {
+			t.Fatalf("balances (%d,%d), want (0,50): only the survivor's withdrawal lands", r0.BalanceCents, r1.BalanceCents)
+		}
+		if err := fin.commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
 	t.Run("2pl-refuses", func(t *testing.T) {
 		d := openTiny(t, CC2PL)
 		d.locks.SetWaitTimeout(2 * time.Millisecond)

@@ -7,10 +7,13 @@ import (
 	"tpccmodel/internal/tpcc"
 )
 
-// The differential gates: 2PL is the oracle for mvcc. Any committed
-// schedule the two modes both execute must land on byte-identical
+// The differential gates: 2PL is the oracle for mvcc AND ssi. Any
+// committed schedule the modes all execute must land on byte-identical
 // state — snapshot isolation changes what concurrent transactions SEE,
-// never what committed serial history MEANS.
+// and SSI changes which transactions may COMMIT, never what committed
+// serial history MEANS. Single-threaded schedules additionally pin
+// SSI's false-positive floor: with no concurrency there are no
+// rw-antidependency edges, so zero ssi aborts may occur.
 
 // TestCCDifferentialTiny replays one deterministic, single-threaded
 // schedule — updates, a mid-schedule rollback, a first-committer loser,
@@ -18,7 +21,7 @@ import (
 // requires identical state hashes. Fast enough for `-short -race`.
 func TestCCDifferentialTiny(t *testing.T) {
 	hashes := map[CCMode]uint64{}
-	for _, cc := range []CCMode{CC2PL, CCMVCC} {
+	for _, cc := range []CCMode{CC2PL, CCMVCC, CCSSI} {
 		d := openTiny(t, cc)
 
 		// Interleaved balance/YTD churn across every fixture district.
@@ -61,10 +64,17 @@ func TestCCDifferentialTiny(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		if cc == CCSSI {
+			if n := d.SSIAborts(); n != 0 {
+				t.Fatalf("sequential ssi schedule hit %d ssi aborts, want 0", n)
+			}
+		}
 		hashes[cc] = stateHash(t, d)
 	}
-	if hashes[CC2PL] != hashes[CCMVCC] {
-		t.Fatalf("committed state diverges: 2pl=%016x mvcc=%016x", hashes[CC2PL], hashes[CCMVCC])
+	for _, cc := range []CCMode{CCMVCC, CCSSI} {
+		if hashes[CC2PL] != hashes[cc] {
+			t.Fatalf("committed state diverges: 2pl=%016x %s=%016x", hashes[CC2PL], cc, hashes[cc])
+		}
 	}
 }
 
@@ -79,7 +89,7 @@ func TestCCDifferentialWorkload(t *testing.T) {
 		t.Skip("needs a loaded warehouse")
 	}
 	hashes := map[CCMode]uint64{}
-	for _, cc := range []CCMode{CC2PL, CCMVCC} {
+	for _, cc := range []CCMode{CC2PL, CCMVCC, CCSSI} {
 		d, err := Open(Config{
 			Warehouses: 1, PageSize: 4096, BufferPages: 32768, CC: cc,
 		})
@@ -100,15 +110,26 @@ func TestCCDifferentialWorkload(t *testing.T) {
 		if err := d.CheckConsistency(); err != nil {
 			t.Fatalf("%s: %v", cc, err)
 		}
-		if cc == CCMVCC {
+		if cc != CC2PL {
 			if n := d.WriteConflicts(); n != 0 {
-				t.Fatalf("single-worker mvcc run hit %d write conflicts", n)
+				t.Fatalf("single-worker %s run hit %d write conflicts", cc, n)
+			}
+		}
+		if cc == CCSSI {
+			// TPC-C is serializable under plain SI (Fekete et al., TODS
+			// 2005) and a single worker creates no concurrency at all, so
+			// any ssi abort here would be a detector bug, not a false
+			// positive.
+			if n := d.SSIAborts(); n != 0 {
+				t.Fatalf("single-worker ssi run hit %d ssi aborts", n)
 			}
 		}
 		hashes[cc] = stateHash(t, d)
 	}
-	if hashes[CC2PL] != hashes[CCMVCC] {
-		t.Fatalf("committed state diverges: 2pl=%016x mvcc=%016x", hashes[CC2PL], hashes[CCMVCC])
+	for _, cc := range []CCMode{CCMVCC, CCSSI} {
+		if hashes[CC2PL] != hashes[cc] {
+			t.Fatalf("committed state diverges: 2pl=%016x %s=%016x", hashes[CC2PL], cc, hashes[cc])
+		}
 	}
 }
 
@@ -156,4 +177,58 @@ func TestCCMVCCConcurrentConsistency(t *testing.T) {
 	}
 	t.Logf("mvcc 4-worker: acked=%d aborts=%d conflicts=%d (store: %d) chains=%d",
 		acked, aborts, conflicts, d.WriteConflicts(), d.VersionChains())
+}
+
+// TestCCSSIConcurrentConsistency is the same concurrent gate under ssi:
+// C1-C4 must hold with dangerous-structure aborts and retries live, and
+// the ssi-abort accounting must reconcile — every store-level abort
+// surfaces as exactly one ErrSSIAbort in some worker's retry loop.
+// Because TPC-C is serializable under plain SI, every one of those
+// aborts is by definition a false positive; this test tolerates them
+// (the retry loop absorbs them) but pins where they can occur.
+func TestCCSSIConcurrentConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a loaded warehouse")
+	}
+	d, err := Open(Config{
+		Warehouses: 1, PageSize: 4096, BufferPages: 32768, CC: CCSSI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(7); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunConcurrentPolicy(d, 13, tpcc.DefaultMix(), 800, 4, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	var ssiSum int64
+	for _, typ := range core.TxnTypes() {
+		ts := st.PerType[typ]
+		ssiSum += ts.SSIAborts
+		if ts.SSIAborts > ts.Aborts {
+			t.Fatalf("%s: ssi aborts (%d) exceed aborts (%d)", typ, ts.SSIAborts, ts.Aborts)
+		}
+	}
+	if n := d.SSIAborts(); ssiSum != n {
+		t.Fatalf("per-type ssi aborts sum %d != store count %d", ssiSum, n)
+	}
+	// A read-only transaction can acquire out-edges but never an in-edge
+	// (nothing it wrote can be read), so it can never become a pivot —
+	// but it CAN still draw an ssi abort: when its read lands under a
+	// version whose creator is a committed pivot, aborting the pivot is
+	// no longer possible and the reader must yield instead. So read-only
+	// ssi aborts are tolerated here; write conflicts are not — a
+	// transaction that writes nothing has nothing to conflict on.
+	for _, typ := range []core.TxnType{core.TxnOrderStatus, core.TxnStockLevel} {
+		if n := st.PerType[typ].Conflicts; n != 0 {
+			t.Fatalf("read-only %s hit %d write conflicts", typ, n)
+		}
+	}
+	t.Logf("ssi 4-worker: acked=%d ssi-aborts=%d (all false positives) conflicts=%d chains=%d",
+		st.Acknowledged(), ssiSum, d.WriteConflicts(), d.VersionChains())
 }

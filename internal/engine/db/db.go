@@ -31,8 +31,14 @@ const (
 	// lock (each transaction observes the newest commit at or below its
 	// begin-time snapshot), writes take exclusive locks and validate
 	// first committer wins, aborting with ErrWriteConflict on a row
-	// committed past the snapshot.
+	// committed past the snapshot. Write skew is allowed.
 	CCMVCC
+	// CCSSI is CCMVCC plus Cahill-style serializable snapshot
+	// isolation: SIREAD marks and rw-antidependency tracking abort any
+	// would-be pivot of a dangerous structure with ErrSSIAbort, closing
+	// the write-skew hole — committed histories are serializable, like
+	// 2PL, at snapshot-read cost plus a conservative abort rate.
+	CCSSI
 )
 
 func (m CCMode) String() string {
@@ -41,20 +47,24 @@ func (m CCMode) String() string {
 		return "2pl"
 	case CCMVCC:
 		return "mvcc"
+	case CCSSI:
+		return "ssi"
 	default:
 		return fmt.Sprintf("cc(%d)", uint8(m))
 	}
 }
 
-// ParseCCMode parses a -cc flag value ("2pl" or "mvcc").
+// ParseCCMode parses a -cc flag value ("2pl", "mvcc" or "ssi").
 func ParseCCMode(s string) (CCMode, error) {
 	switch s {
 	case "2pl":
 		return CC2PL, nil
 	case "mvcc":
 		return CCMVCC, nil
+	case "ssi":
+		return CCSSI, nil
 	default:
-		return 0, fmt.Errorf("db: unknown concurrency-control mode %q (want 2pl or mvcc)", s)
+		return 0, fmt.Errorf("db: unknown concurrency-control mode %q (want 2pl, mvcc or ssi)", s)
 	}
 }
 
@@ -102,7 +112,7 @@ func (c Config) Validate() error {
 	if c.BufferPartitions < 0 {
 		return fmt.Errorf("db: buffer partitions must be non-negative")
 	}
-	if c.CC > CCMVCC {
+	if c.CC > CCSSI {
 		return fmt.Errorf("db: unknown concurrency-control mode %d", c.CC)
 	}
 	// Partition counts round up to a power of two; the rounded count must
@@ -232,10 +242,14 @@ type DB struct {
 	log   *wal.Log
 	locks *lock.Manager
 
-	// mvcc is the version-chain store; nil unless cfg.CC == CCMVCC.
-	// ccMVCC caches the mode check for the per-operation hot path.
+	// mvcc is the version-chain store; nil under CC2PL. ccMVCC caches
+	// "a version store exists" (CCMVCC or CCSSI) for the per-operation
+	// hot path; ccSSI additionally marks the serializable mode (the
+	// store runs SIREAD/conflict-flag tracking and commits must pass
+	// PreCommit validation).
 	mvcc   *mvcc.Store
 	ccMVCC bool
+	ccSSI  bool
 
 	heaps [core.NumRelations]*storage.HeapFile
 	// pageRel maps pages to relations for buffer accounting.
@@ -324,9 +338,14 @@ func OpenWith(cfg Config, opts Options) (*DB, error) {
 		log:   wal.New(),
 		locks: lock.NewManagerStripes(stripes),
 	}
-	if cfg.CC == CCMVCC {
+	switch cfg.CC {
+	case CCMVCC:
 		d.mvcc = mvcc.NewStore()
 		d.ccMVCC = true
+	case CCSSI:
+		d.mvcc = mvcc.NewSerializableStore()
+		d.ccMVCC = true
+		d.ccSSI = true
 	}
 	d.log.SetFaultHook(opts.LogHook)
 	d.log.SetGroupCommit(opts.GroupCommit)
@@ -416,6 +435,15 @@ func (d *DB) WriteConflicts() int64 {
 		return 0
 	}
 	return d.mvcc.Conflicts()
+}
+
+// SSIAborts reports the number of dangerous-structure aborts (always 0
+// outside CCSSI).
+func (d *DB) SSIAborts() int64 {
+	if d.mvcc == nil {
+		return 0
+	}
+	return d.mvcc.SSIAborts()
 }
 
 // VersionChains reports the number of live (unpruned) version chains

@@ -43,7 +43,24 @@ func (b *Branch) GID() uint64 { return b.gid }
 // Prepare forces a prepare record: the branch's writes and its vote
 // survive any crash after this returns. A failed force aborts the branch
 // (it voted no) and returns the error.
+//
+// Under CCSSI the serializability validation runs HERE, not at commit: a
+// prepared branch has voted yes and must be able to commit whatever the
+// coordinator decides, so this is the last moment the branch may abort
+// itself. PreCommit also latches the transaction's conflict record —
+// from here on, a concurrent transaction that would complete a dangerous
+// structure through this branch aborts itself instead. Cross-shard
+// serializability is still only per-shard (each shard validates its own
+// edge graph; no global cycle detection), the same honesty caveat as the
+// per-shard snapshot cut.
 func (b *Branch) Prepare() error {
+	if b.t.d.ccSSI && !b.t.ssiChecked {
+		if err := b.t.d.mvcc.PreCommit(&b.t.mv); err != nil {
+			_ = b.t.rollbackWith(b.gid)
+			return ErrSSIAbort
+		}
+		b.t.ssiChecked = true
+	}
 	if _, err := b.t.d.log.Append(wal.Record{
 		Txn: uint64(b.t.id), Type: wal.RecPrepare, RID: b.gid,
 	}); err != nil {
@@ -75,9 +92,9 @@ func (b *Branch) Forsake() {
 	b.t.undo = b.t.undo[:0]
 	if b.t.d.ccMVCC {
 		// Drop the chain state too (pop versions, clear writer marks,
-		// deregister the snapshot); the dead device's recovery path
-		// resets the whole store anyway.
-		b.t.d.mvcc.Abort(&b.t.mv)
+		// deregister the snapshot); nil retire ring — the dead device's
+		// recovery path resets the whole store anyway.
+		b.t.d.mvcc.Abort(&b.t.mv, nil)
 	}
 	b.t.end()
 	b.t.d.locks.ReleaseAll(b.t.id)

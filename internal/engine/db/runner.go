@@ -82,9 +82,12 @@ type Runner struct {
 	sheds   atomic.Int64
 	// aborts counts failed attempts per type (each one an engine-level
 	// rollback that was retried or shed); conflicts is the subset that
-	// were snapshot write-write conflicts (ErrWriteConflict, mvcc only).
+	// were snapshot write-write conflicts (ErrWriteConflict, mvcc/ssi)
+	// and ssiAborts the subset that were dangerous-structure
+	// serialization failures (ErrSSIAbort, ssi only).
 	aborts    [core.NumTxnTypes]atomic.Int64
 	conflicts [core.NumTxnTypes]atomic.Int64
+	ssiAborts [core.NumTxnTypes]atomic.Int64
 	// consecutiveSheds is only touched by the executing goroutine.
 	consecutiveSheds int
 
@@ -168,6 +171,18 @@ func (rn *Runner) Conflicts() [core.NumTxnTypes]int64 {
 	var out [core.NumTxnTypes]int64
 	for i := range out {
 		out[i] = rn.conflicts[i].Load()
+	}
+	return out
+}
+
+// SSIAborts returns per-type dangerous-structure abort counts — the
+// subset of Aborts caused by SSI validation. Always zero outside CCSSI.
+// TPC-C is serializable under plain SI, so on this workload every one of
+// these is a false positive of the conservative two-flag tracking.
+func (rn *Runner) SSIAborts() [core.NumTxnTypes]int64 {
+	var out [core.NumTxnTypes]int64
+	for i := range out {
+		out[i] = rn.ssiAborts[i].Load()
 	}
 	return out
 }
@@ -435,6 +450,8 @@ func (rn *Runner) runOne(ctx context.Context) (core.TxnType, error) {
 		rn.aborts[typ].Add(1)
 		if errors.Is(err, ErrWriteConflict) {
 			rn.conflicts[typ].Add(1)
+		} else if errors.Is(err, ErrSSIAbort) {
+			rn.ssiAborts[typ].Add(1)
 		}
 		if attempt >= maxAttempts {
 			// Shed: drop this transaction, keep the worker alive.
@@ -481,6 +498,7 @@ type TypeStats struct {
 	Acked         int64
 	Aborts        int64
 	Conflicts     int64
+	SSIAborts     int64
 	P50, P95, P99 time.Duration
 }
 
@@ -605,12 +623,13 @@ func RunConcurrentPolicy(d *DB, seed uint64, mix tpcc.Mix, total, workers int, p
 		typeHists[i] = stats.NewHistogram(latBucketWidthMicros, latBuckets)
 	}
 	for _, rn := range runners {
-		c, a, cf := rn.Counts(), rn.Aborts(), rn.Conflicts()
+		c, a, cf, sa := rn.Counts(), rn.Aborts(), rn.Conflicts(), rn.SSIAborts()
 		for i := range st.Counts {
 			st.Counts[i] += c[i]
 			st.PerType[i].Acked += c[i]
 			st.PerType[i].Aborts += a[i]
 			st.PerType[i].Conflicts += cf[i]
+			st.PerType[i].SSIAborts += sa[i]
 		}
 		st.Retries += rn.Retries()
 		st.Sheds += rn.Sheds()

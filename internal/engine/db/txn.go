@@ -23,6 +23,13 @@ var ErrAborted = errors.New("db: transaction aborted, retry")
 // abort while per-type stats can still tell conflicts from deadlocks.
 var ErrWriteConflict = fmt.Errorf("db: snapshot write-write conflict: %w", ErrAborted)
 
+// ErrSSIAbort reports a dangerous-structure abort under CCSSI: committing
+// the transaction could have closed an rw-antidependency cycle, so it was
+// chosen as the pivot victim. Like ErrWriteConflict it wraps ErrAborted —
+// the retry loop handles it, per-type stats break it out (the rate IS the
+// false-positive rate on TPC-C, which is serializable under plain SI).
+var ErrSSIAbort = fmt.Errorf("db: serialization failure (rw-antidependency pivot): %w", ErrAborted)
+
 // undoKind tags one entry of a transaction's undo list.
 type undoKind uint8
 
@@ -104,6 +111,11 @@ type txn struct {
 	// distributed Begin paths (which allocate bare txns) stay correct.
 	mv      mvcc.Txn
 	retired mvcc.RetireSet
+
+	// ssiChecked records that SSI validation already ran (at the 2PC
+	// prepare point), so commitWith must not re-validate: a prepared
+	// branch has voted yes and MUST be able to commit.
+	ssiChecked bool
 }
 
 // reset prepares t for a new transaction, reusing its scratch, and
@@ -120,6 +132,7 @@ func (t *txn) reset(d *DB) {
 		t.buf = make([]byte, tpcc.TupleLen[core.Customer])
 		t.img = make([]byte, tpcc.TupleLen[core.Customer])
 	}
+	t.ssiChecked = false
 	if d.ccMVCC {
 		// Take the snapshot and pay down this slot's pruning debt.
 		d.mvcc.Begin(&t.mv, &t.retired)
@@ -162,6 +175,16 @@ func (t *txn) commit() error { return t.commitWith(0) }
 // its durability makes the whole transaction committed, and recovery
 // rebuilds the coordinator's outcome map from it.
 func (t *txn) commitWith(gid uint64) error {
+	if t.d.ccSSI && !t.ssiChecked {
+		// SSI validation must precede the commit decision (the WAL
+		// append below, or the read-only fast path's acknowledgement): a
+		// doomed pivot aborts and retries instead of committing. The 2PC
+		// prepare point runs this check itself (ssiChecked).
+		if err := t.d.mvcc.PreCommit(&t.mv); err != nil {
+			return err
+		}
+		t.ssiChecked = true
+	}
 	if t.d.ccMVCC && gid == 0 && len(t.undo) == 0 {
 		// Snapshot-mode read-only commit: the transaction wrote nothing,
 		// so there is nothing to make durable — no commit record, no log
@@ -219,7 +242,7 @@ func (t *txn) rollbackWith(gid uint64) error {
 		// heap before-images: while the writer mark is set, readers
 		// resolve through the chain, so they never see the intermediate
 		// heap states; once popped, the (restored) heap is authoritative.
-		t.d.mvcc.Abort(&t.mv)
+		t.d.mvcc.Abort(&t.mv, &t.retired)
 	}
 	t.d.locks.ReleaseAll(t.id)
 	t.d.aborts.Add(1)
@@ -263,6 +286,9 @@ func (t *txn) fail(cause error) error {
 	}
 	if errors.Is(cause, mvcc.ErrConflict) {
 		return ErrWriteConflict
+	}
+	if errors.Is(cause, mvcc.ErrSSI) {
+		return ErrSSIAbort
 	}
 	if errors.Is(cause, lock.ErrDeadlock) {
 		return ErrAborted

@@ -16,6 +16,15 @@ import (
 // locked row is skipped, since the real engine would block), undo of heap
 // images on abort — so the oracle disagreeing with Read means a store
 // bug, not a harness artifact.
+//
+// Every tape runs twice: once against the plain SI store and once
+// against the SSI store. SSI must preserve visibility EXACTLY — marks,
+// edges, and pivot aborts change which transactions survive, never what
+// a surviving snapshot sees — so the same oracle applies, with ErrSSI
+// (on write or at the modeled PreCommit) treated as one more abort
+// path. This is the fuzzer's check on the read-mark/conflict-flag
+// lifecycle: premature mark reclaim or a leaked mark-only chain shows
+// up as an oracle mismatch or a failed zero-chain drain.
 
 // Tape encoding: 4 bytes per op.
 //
@@ -74,8 +83,11 @@ func oracleVisible(hist []fversion, snap uint64) (byte, bool) {
 	return 0, false
 }
 
-func runVisibilityTape(t *testing.T, tape []byte) {
+func runVisibilityTape(t *testing.T, tape []byte, ssi bool) {
 	s := NewStore()
+	if ssi {
+		s = NewSerializableStore()
+	}
 	heap := map[Key][]byte{}
 	hist := map[Key][]fversion{} // committed history, append order = ts order
 	lockOwner := map[Key]int{}   // key -> slot holding the exclusive lock
@@ -147,6 +159,21 @@ func runVisibilityTape(t *testing.T, tape []byte) {
 			_, repeat := sl.befores[k]
 			before := heap[k] // nil when absent
 			err := s.Write(&sl.txn, k, before)
+			if errors.Is(err, ErrSSI) {
+				// Dangerous-structure abort: visibility-neutral, so the
+				// oracle has nothing to say beyond the engine's abort
+				// behavior (restore heap images, abort, free the slot).
+				for wk, img := range sl.befores {
+					if img == nil {
+						delete(heap, wk)
+					} else {
+						heap[wk] = img
+					}
+				}
+				s.Abort(&sl.txn, &sl.ret)
+				endSlot(sl)
+				continue
+			}
 			if errors.Is(err, ErrConflict) {
 				if repeat {
 					t.Fatalf("write slot=%d key=%v: conflict on re-write of own row", si, k)
@@ -165,7 +192,7 @@ func runVisibilityTape(t *testing.T, tape []byte) {
 						heap[wk] = img
 					}
 				}
-				s.Abort(&sl.txn)
+				s.Abort(&sl.txn, &sl.ret)
 				endSlot(sl)
 				continue
 			}
@@ -198,6 +225,20 @@ func runVisibilityTape(t *testing.T, tape []byte) {
 			if !sl.active {
 				continue
 			}
+			if err := s.PreCommit(&sl.txn); err != nil {
+				// The engine aborts a doomed transaction instead of
+				// committing it (same undo path as an explicit abort).
+				for wk, img := range sl.befores {
+					if img == nil {
+						delete(heap, wk)
+					} else {
+						heap[wk] = img
+					}
+				}
+				s.Abort(&sl.txn, &sl.ret)
+				endSlot(sl)
+				continue
+			}
 			ts := s.Commit(&sl.txn, &sl.ret)
 			if len(sl.befores) == 0 {
 				if ts != 0 {
@@ -226,7 +267,7 @@ func runVisibilityTape(t *testing.T, tape []byte) {
 					heap[wk] = img
 				}
 			}
-			s.Abort(&sl.txn)
+			s.Abort(&sl.txn, &sl.ret)
 			endSlot(sl)
 		}
 	}
@@ -245,16 +286,17 @@ func runVisibilityTape(t *testing.T, tape []byte) {
 				heap[wk] = img
 			}
 		}
-		s.Abort(&sl.txn)
+		s.Abort(&sl.txn, &sl.ret)
 		endSlot(sl)
 	}
 	var fin Txn
 	var finRet RetireSet
 	for si := range slots {
 		// Each slot's retire ring must drain now that the watermark is the
-		// clock itself.
+		// clock itself (under SSI, the Begin's rec reap stales every mark
+		// before the prune runs, so mark-pinned chains drain too).
 		s.Begin(&fin, &slots[si].ret)
-		s.Abort(&fin)
+		s.Abort(&fin, nil)
 		if n := slots[si].ret.Len(); n != 0 {
 			t.Fatalf("slot %d retire ring holds %d entries after full drain", si, n)
 		}
@@ -273,9 +315,16 @@ func runVisibilityTape(t *testing.T, tape []byte) {
 			t.Fatalf("final read key=%v: (%d,%v), oracle (%d,%v)", k, buf[0], got, wantVal, want)
 		}
 	}
-	s.Abort(&fin)
+	s.Abort(&fin, &finRet)
+	// The final reads left SIREAD marks (mark-only chains included, even
+	// on absent keys); one more begin/abort cycle prunes them.
+	s.Begin(&fin, &finRet)
+	s.Abort(&fin, nil)
+	if n := finRet.Len(); n != 0 {
+		t.Fatalf("final retire ring holds %d entries after drain", n)
+	}
 	if n := s.Chains(); n != 0 {
-		t.Fatalf("%d chains leaked after drain+prune", n)
+		t.Fatalf("%d chains leaked after drain+prune (ssi=%v)", n, s.SSI())
 	}
 }
 
@@ -284,6 +333,7 @@ func FuzzVisibility(f *testing.F) {
 		if len(tape) > 4096 {
 			tape = tape[:4096]
 		}
-		runVisibilityTape(t, tape)
+		runVisibilityTape(t, tape, false)
+		runVisibilityTape(t, tape, true)
 	})
 }

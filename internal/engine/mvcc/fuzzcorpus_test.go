@@ -85,6 +85,60 @@ func visibilitySeeds() map[string][]byte {
 				emit(fopCommit, 0, 0, 0)
 			}
 		},
+		// Crossing guard reads then disjoint writes: under the harness's
+		// ssi pass this is the write-skew shape — slot 1's second write
+		// must draw the dangerous-structure abort and the harness must
+		// restore its images. (The si pass commits both.)
+		"ssi-write-skew": func(emit func(op, slot, key, val byte)) {
+			for i := byte(0); i < 8; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopBegin, 1, 0, 0)
+				emit(fopRead, 0, 1, 0)
+				emit(fopRead, 1, 0, 0)
+				emit(fopWrite, 0, 0, i)
+				emit(fopWrite, 1, 1, 100+i)
+				emit(fopCommit, 0, 0, 0)
+				emit(fopCommit, 1, 0, 0)
+			}
+		},
+		// Reads of keys that do not exist yet, then inserts over the
+		// mark-only chains those reads created: exercises the
+		// absent-read SIREAD path and the prune rule that a chain with
+		// no versions but live marks must survive retirement.
+		"ssi-absent-read-marks": func(emit func(op, slot, key, val byte)) {
+			for i := byte(0); i < 8; i++ {
+				k := 4 + i%2 // keys the other seeds leave untouched
+				emit(fopBegin, 2, 0, 0)
+				emit(fopRead, 2, k, 0)
+				emit(fopBegin, 0, 0, 0)
+				emit(fopWrite, 0, k, i) // insert over slot 2's mark
+				emit(fopCommit, 0, 0, 0)
+				emit(fopRead, 2, k, 0)
+				emit(fopCommit, 2, 0, 0)
+				emit(fopBegin, 1, 0, 0)
+				emit(fopDelete, 1, k, 0)
+				emit(fopCommit, 1, 0, 0)
+			}
+		},
+		// A committed reader whose marks must outlive it: the long
+		// overlapping snapshot (slot 3) keeps the watermark below the
+		// readers' commits, so their recs sit in the reap queue while
+		// later writers scan their still-live marks.
+		"ssi-mark-survives-commit": func(emit func(op, slot, key, val byte)) {
+			emit(fopBegin, 3, 0, 0) // pins the watermark
+			for i := byte(0); i < 12; i++ {
+				emit(fopBegin, 0, 0, 0)
+				emit(fopRead, 0, i%fuzzKeys, 0)
+				emit(fopCommit, 0, 0, 0) // read-only commit; marks live on
+				emit(fopBegin, 1, 0, 0)
+				emit(fopWrite, 1, i%fuzzKeys, i)
+				emit(fopCommit, 1, 0, 0)
+			}
+			emit(fopRead, 3, 0, 0)
+			emit(fopCommit, 3, 0, 0)
+			emit(fopBegin, 0, 0, 0) // reap + prune the backlog
+			emit(fopCommit, 0, 0, 0)
+		},
 	}
 	out := make(map[string][]byte, len(seeds))
 	for name, build := range seeds {

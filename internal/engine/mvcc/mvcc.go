@@ -35,8 +35,11 @@
 // The store is sharded by key hash; every chain access takes only its
 // shard mutex. Deliberate non-goals, documented for honesty: SI is
 // per-store (per engine shard) — a cross-shard 2PC transaction gets one
-// snapshot per shard, not a global one — and write skew is ALLOWED, as at
-// any snapshot-isolation level (db's anomaly battery witnesses it).
+// snapshot per shard, not a global one — and in plain SI mode write skew
+// is ALLOWED, as at any snapshot-isolation level (db's anomaly battery
+// witnesses it). A store built with NewSerializableStore closes the
+// write-skew hole with Cahill-style SSI — SIREAD marks, rw-antidependency
+// flags, dangerous-structure aborts — see ssi.go for the full protocol.
 package mvcc
 
 import (
@@ -64,12 +67,16 @@ const storeShards = 256
 
 // version is one historical image of a row. The image bytes live in the
 // owning chain's arena at [off, off+n); absent marks a version in which
-// the row did not exist (the before-image of an insert).
+// the row did not exist (the before-image of an insert). Under SSI, rec
+// and gen identify the transaction that CREATED this image, so a reader
+// resolving below it knows whom its out-edge points at.
 type version struct {
 	ts     uint64
 	off    int32
 	n      int32
 	absent bool
+	rec    *ssiRec
+	gen    uint64
 }
 
 // chain is the version history of one row. latestTS is the commit
@@ -77,13 +84,21 @@ type version struct {
 // the transaction that has pushed an uncommitted heap image (it holds the
 // row's exclusive lock). versions holds the still-reachable older images,
 // oldest first. All fields are guarded by the owning shard's mutex.
+// Under SSI a chain additionally carries the SIREAD marks of its readers
+// (marks) and the creator identity of the heap image (latestRec/latestGen,
+// valid while that rec's gen matches); a chain may exist with no versions
+// at all, purely to hold marks — including marks on absent rows, which is
+// what catches an insert overwriting a "saw nothing" read.
 type chain struct {
-	k        Key
-	latestTS uint64
-	writer   *Txn
-	versions []version
-	arena    []byte
-	next     *chain // shard free list
+	k         Key
+	latestTS  uint64
+	writer    *Txn
+	versions  []version
+	arena     []byte
+	next      *chain // shard free list
+	marks     []ssiMark
+	latestRec *ssiRec
+	latestGen uint64
 }
 
 type storeShard struct {
@@ -106,6 +121,9 @@ func (sh *storeShard) alloc(k Key) *chain {
 	c.writer = nil
 	c.versions = c.versions[:0]
 	c.arena = c.arena[:0]
+	c.marks = c.marks[:0]
+	c.latestRec = nil
+	c.latestGen = 0
 	return c
 }
 
@@ -113,6 +131,9 @@ func (sh *storeShard) release(c *chain) {
 	c.writer = nil
 	c.versions = c.versions[:0]
 	c.arena = c.arena[:0]
+	c.marks = c.marks[:0]
+	c.latestRec = nil
+	c.latestGen = 0
 	c.next = sh.free
 	sh.free = c
 }
@@ -123,12 +144,18 @@ func (sh *storeShard) release(c *chain) {
 // decision to concurrent readers before the per-chain flip; prev/next
 // link the transaction into the store's active-snapshot registry; chains
 // lists the chains this transaction has pushed uncommitted versions onto.
+// Under SSI the transaction additionally borrows a pooled conflict-flag
+// rec for this life (rec/recGen) and lists the chains it left SIREAD
+// marks on (reads), so commit/abort can queue them for retirement.
 type Txn struct {
 	ts       uint64
 	commitTS atomic.Uint64
 	prev     *Txn
 	next     *Txn
 	chains   []*chain
+	rec      *ssiRec
+	recGen   uint64
+	reads    []*chain
 }
 
 // Snapshot returns the transaction's snapshot timestamp.
@@ -168,11 +195,21 @@ type Store struct {
 	commitMu sync.Mutex
 	clock    atomic.Uint64
 
-	// regMu guards the active-transaction list (the watermark source).
+	// regMu guards the active-transaction list (the watermark source)
+	// and, under SSI, the rec pool and committed-rec reap queue.
 	regMu  sync.Mutex
 	active *Txn
 
+	// SSI state (ssi.go): recFree pools conflict-flag recs; commRecs is
+	// the committed-rec reap queue in commit order with commHead the
+	// consumed prefix.
+	ssi      bool
+	recFree  *ssiRec
+	commRecs []*ssiRec
+	commHead int
+
 	conflicts atomic.Int64
+	ssiAborts atomic.Int64
 }
 
 // NewStore returns an empty store with the commit clock at zero.
@@ -181,6 +218,16 @@ func NewStore() *Store {
 	for i := range s.shards {
 		s.shards[i].chains = make(map[Key]*chain)
 	}
+	return s
+}
+
+// NewSerializableStore returns a store running serializable snapshot
+// isolation: plain SI plus SIREAD marks, rw-antidependency tracking,
+// and dangerous-structure aborts (ErrSSI). Callers additionally must
+// run PreCommit before deciding any commit.
+func NewSerializableStore() *Store {
+	s := NewStore()
+	s.ssi = true
 	return s
 }
 
@@ -233,6 +280,14 @@ func (s *Store) Begin(t *Txn, ret *RetireSet) {
 		s.active.prev = t
 	}
 	s.active = t
+	if s.ssi {
+		// Reap first, then borrow: a rec freed by the reap can serve this
+		// very transaction.
+		s.reapCommittedLocked(wm)
+		t.rec = s.acquireRecLocked()
+		t.recGen = t.rec.gen.Load()
+		t.reads = t.reads[:0]
+	}
 	s.regMu.Unlock()
 	if ret != nil && len(ret.entries) > 0 {
 		s.prune(ret, wm)
@@ -247,7 +302,12 @@ func (s *Store) Begin(t *Txn, ret *RetireSet) {
 // moved past the entry's commit (the newer commit's own retire entry
 // covers it); an entry whose chain is pinned by an uncommitted writer is
 // RE-QUEUED — if that writer aborts, this entry is the only one left that
-// can ever retire the chain.
+// can ever retire the chain. A chain pinned only by live SIREAD marks is
+// consumed WITHOUT freeing: every live mark's owner queues its own
+// retire entry for the chain when it ends (commit or abort), so the
+// youngest of those future entries retires it — and a committed marker's
+// mark cannot outlive its entry, because the reap that stales the mark
+// (Begin, under regMu) runs before that same Begin's prune.
 func (s *Store) prune(ret *RetireSet, wm uint64) {
 	kept := ret.entries[:0]
 	for _, e := range ret.entries {
@@ -261,11 +321,15 @@ func (s *Store) prune(ret *RetireSet, wm uint64) {
 		switch {
 		case c == nil || c.latestTS > e.ts:
 			// Freed already, or a newer commit owns retiring it.
-		case c.writer == nil && c.latestTS <= wm:
+		case c.writer != nil:
+			kept = append(kept, e)
+		case compactMarks(c) > 0:
+			// Live marks pin the chain; their owners' entries cover it.
+		default:
+			// No writer, no live marks, and latestTS <= e.ts <= wm:
+			// every live and future snapshot sees the heap image.
 			delete(sh.chains, e.k)
 			sh.release(c)
-		default:
-			kept = append(kept, e)
 		}
 		sh.mu.Unlock()
 	}
@@ -285,13 +349,25 @@ func (s *Store) prune(ret *RetireSet, wm uint64) {
 // so whenever Read decides "the heap image is the visible one", the heap
 // image cannot have been mid-flight. Per-record torn reads are impossible
 // separately: heap record access is serialized by the buffer frame lock.
+// Under SSI, Read additionally leaves t's SIREAD mark on the chain
+// (creating a mark-only chain if none exists — absent rows included)
+// and, whenever it resolves BELOW the heap image, installs an out-edge
+// to each newer image's creator. Read itself never fails: an edge that
+// makes t the pivot dooms it in place, surfacing at Write or PreCommit.
 func (s *Store) Read(t *Txn, k Key, heapLive bool, buf []byte) bool {
 	sh := s.shardOf(k)
 	sh.mu.Lock()
 	c := sh.chains[k]
 	if c == nil {
-		sh.mu.Unlock()
-		return heapLive
+		if !s.ssi {
+			sh.mu.Unlock()
+			return heapLive
+		}
+		c = sh.alloc(k)
+		sh.chains[k] = c
+	}
+	if s.ssi && c.writer != t {
+		s.siread(t, c)
 	}
 	if w := c.writer; w != nil {
 		if w == t {
@@ -310,10 +386,22 @@ func (s *Store) Read(t *Txn, k Key, heapLive bool, buf []byte) bool {
 		return heapLive
 	}
 	// The heap image is too new for this snapshot: walk versions newest
-	// to oldest for the first one at or below it.
+	// to oldest for the first one at or below it. Every image we skip
+	// over was created by a transaction concurrent with (or newer than)
+	// this snapshot: under SSI each creator gets an out-edge from t.
+	if s.ssi {
+		if w := c.writer; w != nil {
+			s.readEdge(t, w.rec, w.recGen)
+		} else {
+			s.readEdge(t, c.latestRec, c.latestGen)
+		}
+	}
 	for i := len(c.versions) - 1; i >= 0; i-- {
 		v := c.versions[i]
 		if v.ts > t.ts {
+			if s.ssi {
+				s.readEdge(t, v.rec, v.gen)
+			}
 			continue
 		}
 		if v.absent {
@@ -338,7 +426,17 @@ func (s *Store) Read(t *Txn, k Key, heapLive bool, buf []byte) bool {
 // must apply its heap mutation only after Write returns nil. Writing a
 // row the transaction already wrote is a no-op (the chain already holds
 // the pre-transaction image).
+//
+// Under SSI, Write is where a doomed transaction finds out (ErrSSI for
+// a pending abort a Read deferred), and where in-edges land: after FCW
+// validation passes, every live concurrent SIREAD mark on the chain is
+// an rw-antidependency from its reader into t. ErrSSI returns leave the
+// chain unmodified.
 func (s *Store) Write(t *Txn, k Key, before []byte) error {
+	if s.ssi && t.rec.state.Load()&ssiAbortPending != 0 {
+		s.ssiAborts.Add(1)
+		return ErrSSI
+	}
 	sh := s.shardOf(k)
 	sh.mu.Lock()
 	c := sh.chains[k]
@@ -359,10 +457,37 @@ func (s *Store) Write(t *Txn, k Key, before []byte) error {
 		s.conflicts.Add(1)
 		return ErrConflict
 	}
+	if s.ssi {
+		abort := false
+		kept := c.marks[:0]
+		for _, m := range c.marks {
+			if m.rec.gen.Load() != m.gen {
+				continue
+			}
+			kept = append(kept, m)
+			r := m.rec
+			if r == t.rec || abort {
+				continue
+			}
+			if e := r.endTS.Load(); e != 0 && e <= t.ts {
+				// Reader committed at or before our snapshot: not
+				// concurrent, its read saw a final state.
+				continue
+			}
+			abort = s.applyEdge(r, t.rec, t.rec)
+		}
+		c.marks = kept
+		if abort {
+			sh.mu.Unlock()
+			s.ssiAborts.Add(1)
+			return ErrSSI
+		}
+	}
 	off := int32(len(c.arena))
 	c.arena = append(c.arena, before...)
 	c.versions = append(c.versions, version{
 		ts: c.latestTS, off: off, n: int32(len(before)), absent: before == nil,
+		rec: c.latestRec, gen: c.latestGen,
 	})
 	c.writer = t
 	sh.mu.Unlock()
@@ -370,23 +495,37 @@ func (s *Store) Write(t *Txn, k Key, before []byte) error {
 	return nil
 }
 
-// Commit assigns t a commit timestamp (0 for read-only transactions),
-// publishes it, flips t's chains to the new timestamp, queues them on ret
-// for later pruning, and deregisters the snapshot. The caller must invoke
-// Commit only after the commit is decided (WAL record appended) and
-// before releasing row locks.
+// Commit assigns t a commit timestamp (0 is returned for read-only
+// transactions), publishes it, flips t's chains to the new timestamp,
+// queues them on ret for later pruning, and deregisters the snapshot.
+// The caller must invoke Commit only after the commit is decided (WAL
+// record appended, with PreCommit already passed under SSI) and before
+// releasing row locks.
+//
+// Under SSI even a read-only transaction that left marks draws a clock
+// tick: its endTS is what decides, against later writers' snapshots,
+// whether those marks are still concurrent — and what lets the reap
+// queue release its rec once the watermark passes.
 func (s *Store) Commit(t *Txn, ret *RetireSet) uint64 {
 	var ts uint64
-	if len(t.chains) > 0 {
+	wrote := len(t.chains) > 0
+	if wrote || (s.ssi && len(t.reads) > 0) {
 		s.commitMu.Lock()
 		ts = s.clock.Load() + 1
 		t.commitTS.Store(ts)
 		s.clock.Store(ts)
+		if s.ssi {
+			t.rec.endTS.Store(ts)
+		}
 		s.commitMu.Unlock()
 		for _, c := range t.chains {
 			sh := s.shardOf(c.k)
 			sh.mu.Lock()
 			c.latestTS = ts
+			if s.ssi {
+				c.latestRec = t.rec
+				c.latestGen = t.recGen
+			}
 			c.writer = nil
 			sh.mu.Unlock()
 			if ret != nil {
@@ -394,8 +533,22 @@ func (s *Store) Commit(t *Txn, ret *RetireSet) uint64 {
 			}
 		}
 		t.chains = t.chains[:0]
+		if s.ssi {
+			if ret != nil {
+				for _, c := range t.reads {
+					ret.entries = append(ret.entries, retireEntry{k: c.k, ts: ts})
+				}
+			}
+			t.reads = t.reads[:0]
+		}
 	}
-	s.endTxn(t)
+	// A rec that drew an endTS joins the reap queue (its marks and flags
+	// stay live until the watermark passes); one that touched nothing is
+	// released immediately.
+	s.endTxn(t, ts != 0)
+	if !wrote {
+		ts = 0
+	}
 	return ts
 }
 
@@ -405,7 +558,12 @@ func (s *Store) Commit(t *Txn, ret *RetireSet) uint64 {
 // restore the heap before-images BEFORE calling Abort: while writer is
 // set, readers resolve through versions, so the heap's intermediate
 // states are never observed.
-func (s *Store) Abort(t *Txn) {
+//
+// Under SSI the transaction's rec is released immediately (the gen bump
+// stales its marks and voids its edges), and its read-marked chains are
+// queued on ret so mark-only chains get retired; ret may be nil (crash
+// and forsake paths), in which case Reset-scale recovery reclaims them.
+func (s *Store) Abort(t *Txn, ret *RetireSet) {
 	for _, c := range t.chains {
 		sh := s.shardOf(c.k)
 		sh.mu.Lock()
@@ -414,8 +572,10 @@ func (s *Store) Abort(t *Txn) {
 			c.versions = c.versions[:len(c.versions)-1]
 			c.arena = c.arena[:v.off]
 			c.writer = nil
-			if len(c.versions) == 0 && c.latestTS == 0 {
-				// The chain was created by this transaction: nothing left.
+			if len(c.versions) == 0 && c.latestTS == 0 && compactMarks(c) == 0 {
+				// The chain was created by this transaction: nothing
+				// left (our own still-live mark keeps it pinned here; the
+				// retire entry below frees it once the rec is released).
 				delete(sh.chains, c.k)
 				sh.release(c)
 			}
@@ -423,10 +583,19 @@ func (s *Store) Abort(t *Txn) {
 		sh.mu.Unlock()
 	}
 	t.chains = t.chains[:0]
-	s.endTxn(t)
+	if s.ssi {
+		if ret != nil && len(t.reads) > 0 {
+			now := s.clock.Load()
+			for _, c := range t.reads {
+				ret.entries = append(ret.entries, retireEntry{k: c.k, ts: now})
+			}
+		}
+		t.reads = t.reads[:0]
+	}
+	s.endTxn(t, false)
 }
 
-func (s *Store) endTxn(t *Txn) {
+func (s *Store) endTxn(t *Txn, keepRec bool) {
 	s.regMu.Lock()
 	if t.prev != nil {
 		t.prev.next = t.next
@@ -437,6 +606,14 @@ func (s *Store) endTxn(t *Txn) {
 		t.next.prev = t.prev
 	}
 	t.prev, t.next = nil, nil
+	if s.ssi && t.rec != nil {
+		if keepRec {
+			s.commRecs = append(s.commRecs, t.rec)
+		} else {
+			s.releaseRecLocked(t.rec)
+		}
+		t.rec = nil
+	}
 	s.regMu.Unlock()
 }
 
@@ -447,6 +624,12 @@ func (s *Store) endTxn(t *Txn) {
 func (s *Store) Reset() {
 	s.regMu.Lock()
 	s.active = nil
+	for i := s.commHead; i < len(s.commRecs); i++ {
+		s.releaseRecLocked(s.commRecs[i])
+		s.commRecs[i] = nil
+	}
+	s.commRecs = s.commRecs[:0]
+	s.commHead = 0
 	s.regMu.Unlock()
 	for i := range s.shards {
 		sh := &s.shards[i]

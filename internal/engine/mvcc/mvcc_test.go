@@ -70,7 +70,7 @@ func TestVisibilityAcrossCommit(t *testing.T) {
 	if v, ok := readAt(s, &rd, k, heap); !ok || v != 10 {
 		t.Fatalf("reader saw (%d,%v) after commit, want (10,true)", v, ok)
 	}
-	s.Abort(&rd) // read-only end
+	s.Abort(&rd, nil) // read-only end
 
 	// A fresh snapshot sees the new image.
 	var t2 Txn
@@ -78,7 +78,7 @@ func TestVisibilityAcrossCommit(t *testing.T) {
 	if v, ok := readAt(s, &t2, k, heap); !ok || v != 20 {
 		t.Fatalf("fresh snapshot saw (%d,%v), want (20,true)", v, ok)
 	}
-	s.Abort(&t2)
+	s.Abort(&t2, nil)
 }
 
 func TestInsertInvisibleToOlderSnapshot(t *testing.T) {
@@ -99,13 +99,13 @@ func TestInsertInvisibleToOlderSnapshot(t *testing.T) {
 	if _, ok := readAt(s, &rd, k, heap); ok {
 		t.Fatal("row inserted after the snapshot is visible")
 	}
-	s.Abort(&rd)
+	s.Abort(&rd, nil)
 	var t2 Txn
 	s.Begin(&t2, nil)
 	if v, ok := readAt(s, &t2, k, heap); !ok || v != 1 {
 		t.Fatalf("fresh snapshot saw (%d,%v), want (1,true)", v, ok)
 	}
-	s.Abort(&t2)
+	s.Abort(&t2, nil)
 }
 
 func TestFirstCommitterWins(t *testing.T) {
@@ -130,7 +130,7 @@ func TestFirstCommitterWins(t *testing.T) {
 	if s.Conflicts() != 1 {
 		t.Fatalf("conflict counter = %d, want 1", s.Conflicts())
 	}
-	s.Abort(&b)
+	s.Abort(&b, nil)
 
 	// Retried with a fresh snapshot it succeeds.
 	var b2 Txn
@@ -166,7 +166,7 @@ func TestAbortRestoresChainAndFreesCreated(t *testing.T) {
 	// Engine order: heap undo first, then Abort.
 	heap[k0] = rec(5)
 	delete(heap, kNew)
-	s.Abort(&a)
+	s.Abort(&a, nil)
 
 	// The chain created by the aborted insert must be gone; k0's chain was
 	// created by the aborted update (no prior committed version) so it is
@@ -182,7 +182,7 @@ func TestAbortRestoresChainAndFreesCreated(t *testing.T) {
 	if _, ok := readAt(s, &t2, kNew, heap); ok {
 		t.Fatal("aborted insert is visible")
 	}
-	s.Abort(&t2)
+	s.Abort(&t2, nil)
 }
 
 func TestWatermarkPruning(t *testing.T) {
@@ -214,8 +214,8 @@ func TestWatermarkPruning(t *testing.T) {
 	if v, ok := readAt(s, &rd, k0, heap); !ok || v != 1 {
 		t.Fatalf("old snapshot read (%d,%v), want (1,true)", v, ok)
 	}
-	s.Abort(&t2)
-	s.Abort(&rd)
+	s.Abort(&t2, nil)
+	s.Abort(&rd, nil)
 
 	// With the old snapshot gone the next Begin retires the chain.
 	var t3 Txn
@@ -230,7 +230,7 @@ func TestWatermarkPruning(t *testing.T) {
 	if v, ok := readAt(s, &t3, k0, heap); !ok || v != 2 {
 		t.Fatalf("post-prune read (%d,%v), want (2,true)", v, ok)
 	}
-	s.Abort(&t3)
+	s.Abort(&t3, nil)
 }
 
 func TestChainRecycling(t *testing.T) {
@@ -256,7 +256,7 @@ func TestChainRecycling(t *testing.T) {
 	if v, ok := readAt(s, &fin, k0, heap); !ok || v != 99 {
 		t.Fatalf("final read (%d,%v), want (99,true)", v, ok)
 	}
-	s.Abort(&fin)
+	s.Abort(&fin, nil)
 }
 
 func TestResetKeepsClock(t *testing.T) {
@@ -306,5 +306,5 @@ func TestReadCopiesVersionBytes(t *testing.T) {
 	if !bytes.Equal(buf, []byte{1, 2, 3, 4}) {
 		t.Fatalf("old version bytes = %v, want [1 2 3 4]", buf)
 	}
-	s.Abort(&rd)
+	s.Abort(&rd, nil)
 }

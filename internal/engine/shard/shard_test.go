@@ -386,34 +386,40 @@ func TestRunCleanCluster(t *testing.T) {
 }
 
 // TestRunCleanClusterMVCC reruns the healthy-cluster workload with every
-// shard in snapshot-isolation mode: cross-shard 2PC branches prepare and
-// commit over mvcc-local transactions, and the cluster must come out
-// atomic and consistent exactly as under 2PL.
+// shard in snapshot-isolation mode and again in serializable-SI mode:
+// cross-shard 2PC branches prepare and commit over mvcc-local
+// transactions — under ssi the Prepare carries each shard's
+// serializability validation — and the cluster must come out atomic and
+// consistent exactly as under 2PL.
 func TestRunCleanClusterMVCC(t *testing.T) {
-	cfg := DefaultConfig(3)
-	cfg.CC = db.CCMVCC
-	c, err := Open(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	base, err := measureCluster(c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const total = 300
-	st, err := Run(c, 42, tpcc.DefaultMix(), total, 4, db.DefaultRetryPolicy(), 0.25, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n := c.Quiesce(0); n > 0 {
-		t.Fatalf("%d participant commits pending on a healthy cluster", n)
-	}
-	if got := st.Acknowledged(); got != total {
-		t.Fatalf("acknowledged %d of %d (sheds=%d)", got, total, st.Sheds)
-	}
-	checkAtomicity(t, c, base)
-	if err := c.CheckAll(); err != nil {
-		t.Fatal(err)
+	for _, cc := range []db.CCMode{db.CCMVCC, db.CCSSI} {
+		t.Run(cc.String(), func(t *testing.T) {
+			cfg := DefaultConfig(3)
+			cfg.CC = cc
+			c, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := measureCluster(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const total = 300
+			st, err := Run(c, 42, tpcc.DefaultMix(), total, 4, db.DefaultRetryPolicy(), 0.25, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := c.Quiesce(0); n > 0 {
+				t.Fatalf("%d participant commits pending on a healthy cluster", n)
+			}
+			if got := st.Acknowledged(); got != total {
+				t.Fatalf("acknowledged %d of %d (sheds=%d)", got, total, st.Sheds)
+			}
+			checkAtomicity(t, c, base)
+			if err := c.CheckAll(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -15,7 +15,8 @@ tpccmodel/internal/buffer	85.0
 tpccmodel/internal/sim	88.0
 tpccmodel/internal/engine/bufmgr	75.0
 tpccmodel/internal/engine/shard	75.0
-tpccmodel/internal/engine/mvcc	75.0
+tpccmodel/internal/engine/mvcc	90.0
+tpccmodel/internal/engine/db	78.0
 "
 
 pkgs=$(echo "$floors" | awk 'NF {print $1}' | sed 's|^tpccmodel|.|')
